@@ -1,0 +1,183 @@
+package mbavf
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation. Each benchmark regenerates the corresponding artifact
+// (printing its rows on the first iteration with -v via b.Log), so
+//
+//	go test -bench=. -benchmem
+//
+// re-derives the full evaluation. Instrumented simulation runs are
+// memoized inside the experiments package, so iteration time measures the
+// MB-AVF analysis itself, which is the paper's contribution.
+//
+// The benchmarks default to a representative workload subset
+// (minife, matmul, srad) so a full -bench=. pass completes in minutes;
+// run cmd/mbavf-exp for the complete benchmark set.
+
+import (
+	"testing"
+
+	"mbavf/internal/bitgeom"
+	"mbavf/internal/ecc"
+	"mbavf/internal/experiments"
+	"mbavf/internal/interleave"
+)
+
+var benchOpts = experiments.Options{
+	Workloads:  []string{"minife", "matmul", "srad"},
+	Injections: 10,
+	Seed:       42,
+	Windows:    8,
+}
+
+func benchExperiment(b *testing.B, name string) {
+	e, err := experiments.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		tables, err := e.Run(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, t := range tables {
+				b.Log(t.String())
+			}
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates Table I (Ibe et al. fault-width
+// distribution by technology node).
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkFig2 regenerates Figure 2 (temporal vs spatial MBF MTTF of a
+// 32MB cache across raw fault rates).
+func BenchmarkFig2(b *testing.B) { benchExperiment(b, "fig2") }
+
+// BenchmarkFig4 regenerates Figure 4 (2x1 DUE MB-AVF of the L1 under
+// parity with logical / way-physical / index-physical x2 interleaving).
+func BenchmarkFig4(b *testing.B) { benchExperiment(b, "fig4") }
+
+// BenchmarkFig5 regenerates Figures 5a/5b (MiniFE SB- and MB-AVF over
+// time, per interleaving style).
+func BenchmarkFig5(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkFig6 regenerates Figures 6a/6b (DUE MB-AVF vs fault-mode size
+// under parity and SEC-DED with x4 way-physical interleaving).
+func BenchmarkFig6(b *testing.B) { benchExperiment(b, "fig6") }
+
+// BenchmarkTable2 regenerates Table II (the ACE-interference fault
+// injection study) at reduced campaign size.
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+
+// BenchmarkFig8 regenerates Figure 8 (SDC vs DUE MB-AVF for 3x1 faults on
+// MiniFE, index- vs way-physical interleaving).
+func BenchmarkFig8(b *testing.B) { benchExperiment(b, "fig8") }
+
+// BenchmarkFig9 regenerates Figure 9 (SDC MB-AVF for 5x1..8x1 faults with
+// SEC-DED and x2 interleaving).
+func BenchmarkFig9(b *testing.B) { benchExperiment(b, "fig9") }
+
+// BenchmarkFig10 regenerates Figure 10 (true vs false DUE by fault mode).
+func BenchmarkFig10(b *testing.B) { benchExperiment(b, "fig10") }
+
+// BenchmarkTable3 regenerates Table III (case-study fault rates).
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3") }
+
+// BenchmarkFig11 regenerates Figure 11 (the VGPR protection case study).
+func BenchmarkFig11(b *testing.B) { benchExperiment(b, "fig11") }
+
+// --- component micro-benchmarks ---
+
+// BenchmarkSimulateMinife measures a full instrumented simulation run of
+// the minife workload (event tracking phase of the AVF methodology).
+func BenchmarkSimulateMinife(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RunWorkload("minife"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyzeL1 measures one MB-AVF analysis pass (the analysis
+// phase) over the minife L1 for a 2x1 mode.
+func BenchmarkAnalyzeL1(b *testing.B) {
+	run, err := RunWorkload("minife")
+	if err != nil {
+		b.Fatal(err)
+	}
+	il := Interleaving{Style: StyleWayPhysical, Factor: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := run.L1AVF(Parity, il, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyzeVGPR measures one MB-AVF analysis pass over the vector
+// register file for a 4x1 mode.
+func BenchmarkAnalyzeVGPR(b *testing.B) {
+	run, err := RunWorkload("minife")
+	if err != nil {
+		b.Fatal(err)
+	}
+	il := Interleaving{Style: StyleInterThread, Factor: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := run.VGPRAVF(Parity, il, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHammingDecode measures the real SEC-DED codec.
+func BenchmarkHammingDecode(b *testing.B) {
+	h := ecc.NewHamming(32)
+	cw := h.Encode([]byte{0xDE, 0xAD, 0xBE, 0xEF})
+	buf := make([]byte, len(cw))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, cw)
+		h.FlipCodewordBit(buf, i%h.CodewordBits())
+		if _, r := h.Decode(buf); r != ecc.ReactCorrected {
+			b.Fatal("unexpected reaction")
+		}
+	}
+}
+
+// BenchmarkGroupEnumeration measures fault-group enumeration over an
+// L1-sized array.
+func BenchmarkGroupEnumeration(b *testing.B) {
+	lay, err := interleave.WayPhysical(64, 4, 512, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mode := bitgeom.Mx1(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		lay.Geom.ForEachGroup(mode, func(_ int, bits []bitgeom.BitPos) {
+			n += len(bits)
+		})
+		if n == 0 {
+			b.Fatal("no groups")
+		}
+	}
+}
+
+// BenchmarkWorkloads measures the full instrumented simulation of every
+// bundled workload (the event-tracking phase cost per benchmark).
+func BenchmarkWorkloads(b *testing.B) {
+	for _, name := range Workloads() {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := RunWorkload(name); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

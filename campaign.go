@@ -1,0 +1,124 @@
+package mbavf
+
+import (
+	"mbavf/internal/inject"
+	"mbavf/internal/sim"
+	"mbavf/internal/workloads"
+)
+
+// InjectionOutcome classifies a fault-injected run.
+type InjectionOutcome string
+
+// Injection outcomes.
+const (
+	Masked InjectionOutcome = "masked"
+	SDC    InjectionOutcome = "sdc"
+	DUE    InjectionOutcome = "due"
+)
+
+func outcomeOf(o inject.Outcome) InjectionOutcome {
+	switch o {
+	case inject.OutcomeSDC:
+		return SDC
+	case inject.OutcomeDUE:
+		return DUE
+	default:
+		return Masked
+	}
+}
+
+// InjectionCampaign performs architectural fault injection into the GPU
+// vector register file of a workload, the validation methodology behind
+// the paper's Table II.
+type InjectionCampaign struct {
+	c *inject.Campaign
+}
+
+// NewInjectionCampaign records the golden run of the named workload.
+func NewInjectionCampaign(workload string) (*InjectionCampaign, error) {
+	w, err := workloads.ByName(workload)
+	if err != nil {
+		return nil, err
+	}
+	c, err := inject.NewCampaign(w, sim.InjectionConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &InjectionCampaign{c: c}, nil
+}
+
+// InjectionResult is one injected run: a single-bit flip of the given
+// register bit of the given VGPR thread at the given cycle.
+type InjectionResult struct {
+	Cycle   uint64
+	Thread  int
+	Reg     int
+	Bit     int
+	Outcome InjectionOutcome
+}
+
+// CampaignSummary tallies outcome classes.
+type CampaignSummary struct {
+	Masked, SDC, DUE int
+}
+
+// RunSingleBit performs n random single-bit injections with the given
+// seed and returns every classified result.
+func (ic *InjectionCampaign) RunSingleBit(n int, seed int64) ([]InjectionResult, CampaignSummary, error) {
+	rs, err := ic.c.SingleBitCampaign(n, seed)
+	if err != nil {
+		return nil, CampaignSummary{}, err
+	}
+	out := make([]InjectionResult, len(rs))
+	var sum CampaignSummary
+	for i, r := range rs {
+		out[i] = InjectionResult{
+			Cycle:   r.Target.Cycle,
+			Thread:  r.Target.Thread,
+			Reg:     r.Target.Reg,
+			Bit:     r.Target.Bit,
+			Outcome: outcomeOf(r.Outcome),
+		}
+		switch out[i].Outcome {
+		case Masked:
+			sum.Masked++
+		case SDC:
+			sum.SDC++
+		case DUE:
+			sum.DUE++
+		}
+	}
+	return out, sum, nil
+}
+
+// InterferenceRow is the Table II result for one multi-bit fault-mode
+// size.
+type InterferenceRow struct {
+	ModeSize     int
+	Groups       int
+	Interference int
+}
+
+// RunInterference injects, for every SDC outcome in results, the
+// modeSizes-bit fault groups containing that bit, and counts ACE
+// interference (groups masked despite containing an SDC ACE bit).
+func (ic *InjectionCampaign) RunInterference(results []InjectionResult, modeSizes []int) ([]InterferenceRow, error) {
+	var sdc []inject.Result
+	for _, r := range results {
+		if r.Outcome == SDC {
+			sdc = append(sdc, inject.Result{
+				Target:  inject.Target{Cycle: r.Cycle, Thread: r.Thread, Reg: r.Reg, Bit: r.Bit},
+				Outcome: inject.OutcomeSDC,
+			})
+		}
+	}
+	study, err := ic.c.InterferenceStudy(sdc, modeSizes)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]InterferenceRow, len(study))
+	for i, s := range study {
+		out[i] = InterferenceRow{ModeSize: s.ModeSize, Groups: s.Groups, Interference: s.Interference}
+	}
+	return out, nil
+}

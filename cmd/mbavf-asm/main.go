@@ -1,0 +1,77 @@
+// Command mbavf-asm assembles, checks, and optionally test-runs a GPU
+// kernel written in the library's assembler syntax.
+//
+// Usage:
+//
+//	mbavf-asm kernel.s                 # assemble + print stats and disassembly
+//	mbavf-asm -run -waves 4 kernel.s   # also execute with scratch buffers
+//
+// When running, the kernel receives the addresses of eight 64KB scratch
+// buffers in s0..s7 (each 64-byte aligned); buffer 0 is dumped after the
+// run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mbavf"
+)
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "mbavf-asm:", err)
+	os.Exit(1)
+}
+
+func main() {
+	runIt := flag.Bool("run", false, "execute the kernel on the simulator")
+	waves := flag.Int("waves", 1, "wavefronts to dispatch when running")
+	dumpWords := flag.Int("dump", 16, "words of buffer 0 to print after a run")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mbavf-asm [-run] [-waves N] kernel.s")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		die(err)
+	}
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	k, err := mbavf.AssembleKernel(name, string(src))
+	if err != nil {
+		die(err)
+	}
+	dis := k.Disassemble()
+	fmt.Printf("%s: assembled OK (%d instructions)\n\n%s",
+		name, strings.Count(dis, "\n")-1, dis)
+
+	if !*runIt {
+		return
+	}
+	c, err := mbavf.NewCustom()
+	if err != nil {
+		die(err)
+	}
+	const bufWords = 16 * 1024
+	args := make([]uint32, 8)
+	args[0] = c.Output(bufWords)
+	for i := 1; i < 8; i++ {
+		args[i] = c.Scratch(bufWords)
+	}
+	c.Dispatch(k, *waves, args...)
+	run, err := c.Finish()
+	if err != nil {
+		die(err)
+	}
+	fmt.Printf("\nran %d wave(s): %d cycles, %d instructions\n",
+		*waves, run.Cycles(), run.Instructions())
+	out, err := c.ReadWords(args[0], *dumpWords)
+	if err != nil {
+		die(err)
+	}
+	fmt.Printf("buffer0[0:%d] = %v\n", *dumpWords, out)
+}

@@ -1,0 +1,111 @@
+// Command mbavf-exp regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	mbavf-exp -exp fig4                 # one experiment
+//	mbavf-exp -exp all                  # everything
+//	mbavf-exp -exp table2 -injections 500
+//	mbavf-exp -exp fig6 -workloads minife,comd
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"mbavf"
+	"mbavf/internal/experiments"
+	"mbavf/internal/report"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: a paper artifact (table1, fig2, fig4, fig5, fig6, table2, fig8, fig9, fig10, table3, fig11), an ablation (locality, schemes, geometry, l2, cachesize, validate), or 'all' for the paper set")
+	workloadsFlag := flag.String("workloads", "", "comma-separated workload subset (default: the paper set)")
+	injections := flag.Int("injections", 200, "single-bit injections per benchmark for table2")
+	windows := flag.Int("windows", 12, "time windows for fig5/fig8")
+	seed := flag.Int64("seed", 42, "injection sampling seed")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	svgDir := flag.String("svgdir", "", "also write one SVG figure per table into this directory")
+	flag.Parse()
+
+	opts := mbavf.ExperimentOptions{
+		Injections: *injections,
+		Windows:    *windows,
+		Seed:       *seed,
+	}
+	if *workloadsFlag != "" {
+		opts.Workloads = strings.Split(*workloadsFlag, ",")
+	}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = []string{"table1", "fig2", "fig4", "fig5", "fig6", "table2", "fig8", "fig9", "fig10", "table3", "fig11"}
+	}
+	for _, name := range names {
+		start := time.Now()
+		e, err := experiments.ByName(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mbavf-exp: %v\n", err)
+			os.Exit(1)
+		}
+		tables, err := e.Run(toInternal(opts))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mbavf-exp: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Print(experiments.RenderAll(tables, *csv))
+		if *svgDir != "" {
+			if err := writeFigures(e, tables, *svgDir); err != nil {
+				fmt.Fprintf(os.Stderr, "mbavf-exp: %s figures: %v\n", name, err)
+				os.Exit(1)
+			}
+		}
+		if !*csv {
+			fmt.Printf("[%s completed in %v]\n", name, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}
+
+// writeFigures renders an experiment's already-computed tables as SVG
+// files named <exp>-<n>.svg.
+func writeFigures(e experiments.Experiment, tables []*report.Table, dir string) error {
+	if e.Chart.Skip {
+		return nil
+	}
+	figs, err := e.Figures(tables)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, svg := range figs {
+		path := filepath.Join(dir, fmt.Sprintf("%s-%d.svg", e.Name, i+1))
+		if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	return nil
+}
+
+// toInternal translates public options to the internal registry's.
+func toInternal(opts mbavf.ExperimentOptions) experiments.Options {
+	io := experiments.DefaultOptions()
+	if len(opts.Workloads) > 0 {
+		io.Workloads = opts.Workloads
+	}
+	if opts.Injections > 0 {
+		io.Injections = opts.Injections
+	}
+	if opts.Windows > 0 {
+		io.Windows = opts.Windows
+	}
+	if opts.Seed != 0 {
+		io.Seed = opts.Seed
+	}
+	return io
+}

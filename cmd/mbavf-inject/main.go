@@ -1,0 +1,54 @@
+// Command mbavf-inject runs fault-injection campaigns against a
+// workload's vector register file: a single-bit campaign to classify
+// outcomes, and optionally the multi-bit ACE-interference study
+// (paper Table II).
+//
+// Usage:
+//
+//	mbavf-inject -workload prefixsum -n 500
+//	mbavf-inject -workload dct -n 200 -interference
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mbavf"
+)
+
+func main() {
+	workload := flag.String("workload", "prefixsum", "workload to inject into")
+	n := flag.Int("n", 200, "number of single-bit injections")
+	seed := flag.Int64("seed", 1, "sampling seed")
+	interference := flag.Bool("interference", false, "run the 2x1/3x1/4x1 ACE-interference study on SDC bits")
+	flag.Parse()
+
+	c, err := mbavf.NewInjectionCampaign(*workload)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mbavf-inject:", err)
+		os.Exit(1)
+	}
+	results, sum, err := c.RunSingleBit(*n, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mbavf-inject:", err)
+		os.Exit(1)
+	}
+	total := float64(len(results))
+	fmt.Printf("%s: %d single-bit injections\n", *workload, len(results))
+	fmt.Printf("  masked: %5d (%5.1f%%)\n", sum.Masked, 100*float64(sum.Masked)/total)
+	fmt.Printf("  sdc:    %5d (%5.1f%%)\n", sum.SDC, 100*float64(sum.SDC)/total)
+	fmt.Printf("  due:    %5d (%5.1f%%)\n", sum.DUE, 100*float64(sum.DUE)/total)
+
+	if *interference {
+		rows, err := c.RunInterference(results, []int{2, 3, 4})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mbavf-inject:", err)
+			os.Exit(1)
+		}
+		fmt.Println("\nACE-interference study (multi-bit groups around SDC ACE bits):")
+		for _, r := range rows {
+			fmt.Printf("  %dx1: %d groups, %d with interference\n", r.ModeSize, r.Groups, r.Interference)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module mbavf
+
+go 1.22

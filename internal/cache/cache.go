@@ -1,0 +1,372 @@
+// Package cache implements the APU's data cache hierarchy: a write-through
+// L1 per compute unit and a shared write-back, write-allocate L2, both
+// with 64-byte lines, LRU replacement, and byte-granularity access event
+// emission into lifetime trackers.
+//
+// The caches are timing and event models only: functional values and
+// dataflow versions always live in mem.Memory (stores write through to
+// memory state immediately), so cache state can never corrupt program
+// results. What the caches decide is (a) access latency and (b) the
+// occupancy history of every physical line slot — which data version each
+// byte of the SRAM held and when it was filled, read, written, and
+// evicted. That history is exactly the input the ACE analysis needs.
+package cache
+
+import (
+	"fmt"
+
+	"mbavf/internal/dataflow"
+	"mbavf/internal/lifetime"
+	"mbavf/internal/mem"
+)
+
+// Config describes one cache level.
+type Config struct {
+	// SizeBytes is the total data capacity.
+	SizeBytes int
+	// LineBytes is the line size (64 in the paper's APU).
+	LineBytes int
+	// Ways is the set associativity.
+	Ways int
+	// HitLatency is the access latency in cycles on a hit.
+	HitLatency uint64
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (c Config) Sets() int { return c.SizeBytes / c.LineBytes / c.Ways }
+
+func (c Config) validate(name string) error {
+	if c.LineBytes <= 0 || c.SizeBytes <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("cache: %s config has non-positive fields: %+v", name, c)
+	}
+	if c.SizeBytes%(c.LineBytes*c.Ways) != 0 {
+		return fmt.Errorf("cache: %s size %d not divisible by line*ways", name, c.SizeBytes)
+	}
+	return nil
+}
+
+type line struct {
+	valid, dirty bool
+	tag          uint32
+	lastUse      uint64
+}
+
+type level struct {
+	cfg     Config
+	sets    int
+	lines   []line
+	tracker *lifetime.Tracker // nil when untracked
+	hits    uint64
+	misses  uint64
+}
+
+func newLevel(cfg Config) *level {
+	sets := cfg.Sets()
+	return &level{cfg: cfg, sets: sets, lines: make([]line, sets*cfg.Ways)}
+}
+
+func (l *level) set(addr uint32) int { return int(addr/uint32(l.cfg.LineBytes)) % l.sets }
+func (l *level) tag(addr uint32) uint32 {
+	return addr / uint32(l.cfg.LineBytes) / uint32(l.sets)
+}
+func (l *level) lineBase(set int, tag uint32) uint32 {
+	return (tag*uint32(l.sets) + uint32(set)) * uint32(l.cfg.LineBytes)
+}
+
+// lookup returns the way holding addr, or -1.
+func (l *level) lookup(addr uint32) int {
+	set, tag := l.set(addr), l.tag(addr)
+	for w := 0; w < l.cfg.Ways; w++ {
+		ln := &l.lines[set*l.cfg.Ways+w]
+		if ln.valid && ln.tag == tag {
+			return w
+		}
+	}
+	return -1
+}
+
+// victim picks the replacement way in addr's set: an invalid way if any,
+// else the least recently used.
+func (l *level) victim(addr uint32) int {
+	set := l.set(addr)
+	best, bestUse := 0, ^uint64(0)
+	for w := 0; w < l.cfg.Ways; w++ {
+		ln := &l.lines[set*l.cfg.Ways+w]
+		if !ln.valid {
+			return w
+		}
+		if ln.lastUse < bestUse {
+			best, bestUse = w, ln.lastUse
+		}
+	}
+	return best
+}
+
+// slot returns the tracker word index of (set, way): the physical line
+// frame identity used by the interleave layouts.
+func (l *level) slot(set, way int) int { return set*l.cfg.Ways + way }
+
+// evict invalidates (set, way), emitting close events for every byte.
+func (l *level) evict(set, way int, cycle uint64) {
+	ln := &l.lines[set*l.cfg.Ways+way]
+	if !ln.valid {
+		return
+	}
+	if l.tracker != nil {
+		slot := l.slot(set, way)
+		for b := 0; b < l.cfg.LineBytes; b++ {
+			if ln.dirty {
+				l.tracker.CloseDirty(slot, b, cycle)
+			} else {
+				l.tracker.CloseClean(slot, b, cycle)
+			}
+		}
+	}
+	ln.valid = false
+	ln.dirty = false
+}
+
+// fill installs addr's line into (set, way) at cycle, opening every byte
+// with its current memory version.
+func (l *level) fill(addr uint32, way int, cycle uint64, memory *mem.Memory) {
+	set, tag := l.set(addr), l.tag(addr)
+	l.evict(set, way, cycle)
+	ln := &l.lines[set*l.cfg.Ways+way]
+	ln.valid = true
+	ln.dirty = false
+	ln.tag = tag
+	ln.lastUse = cycle
+	if l.tracker != nil {
+		slot := l.slot(set, way)
+		base := l.lineBase(set, tag)
+		for b := 0; b < l.cfg.LineBytes; b++ {
+			l.tracker.Open(slot, b, cycle, memory.VersionAt(base+uint32(b)))
+		}
+	}
+}
+
+// readBytes emits Read events for bytes [off, off+n) of the line holding
+// addr in the given way.
+func (l *level) readBytes(addr uint32, way, n int, cycle uint64) {
+	set := l.set(addr)
+	l.lines[set*l.cfg.Ways+way].lastUse = cycle
+	if l.tracker == nil {
+		return
+	}
+	slot := l.slot(set, way)
+	off := int(addr) % l.cfg.LineBytes
+	for b := 0; b < n; b++ {
+		l.tracker.Read(slot, off+b, cycle)
+	}
+}
+
+// readLine emits Read events for every byte of the line (used when a fill
+// at the level above consumes the whole line).
+func (l *level) readLine(addr uint32, way int, cycle uint64) {
+	set := l.set(addr)
+	l.lines[set*l.cfg.Ways+way].lastUse = cycle
+	if l.tracker == nil {
+		return
+	}
+	slot := l.slot(set, way)
+	for b := 0; b < l.cfg.LineBytes; b++ {
+		l.tracker.Read(slot, b, cycle)
+	}
+}
+
+// writeBytes emits Open events with new versions for bytes [off, off+n).
+func (l *level) writeBytes(addr uint32, way, n int, cycle uint64, vers []dataflow.VersionID, markDirty bool) {
+	set := l.set(addr)
+	ln := &l.lines[set*l.cfg.Ways+way]
+	ln.lastUse = cycle
+	if markDirty {
+		ln.dirty = true
+	}
+	if l.tracker == nil {
+		return
+	}
+	slot := l.slot(set, way)
+	off := int(addr) % l.cfg.LineBytes
+	for b := 0; b < n; b++ {
+		var v dataflow.VersionID
+		if b < len(vers) {
+			v = vers[b]
+		}
+		l.tracker.Open(slot, off+b, cycle, v)
+	}
+}
+
+// Hierarchy is the full data-cache system: one L1 per compute unit plus a
+// shared L2 in front of memory.
+type Hierarchy struct {
+	l1s        []*level
+	l2         *level
+	memory     *mem.Memory
+	memLatency uint64
+}
+
+// HierConfig configures a Hierarchy.
+type HierConfig struct {
+	NumCUs     int
+	L1, L2     Config
+	MemLatency uint64
+}
+
+// DefaultHierConfig mirrors the paper's APU: 4 CUs with 16KB 4-way L1s and
+// one 256KB 16-way shared L2, 64-byte lines throughout.
+func DefaultHierConfig() HierConfig {
+	return HierConfig{
+		NumCUs:     4,
+		L1:         Config{SizeBytes: 16 * 1024, LineBytes: 64, Ways: 4, HitLatency: 4},
+		L2:         Config{SizeBytes: 256 * 1024, LineBytes: 64, Ways: 16, HitLatency: 24},
+		MemLatency: 120,
+	}
+}
+
+// NewHierarchy builds the hierarchy over the given memory.
+func NewHierarchy(cfg HierConfig, memory *mem.Memory) (*Hierarchy, error) {
+	if cfg.NumCUs < 1 {
+		return nil, fmt.Errorf("cache: NumCUs %d must be >= 1", cfg.NumCUs)
+	}
+	if err := cfg.L1.validate("L1"); err != nil {
+		return nil, err
+	}
+	if err := cfg.L2.validate("L2"); err != nil {
+		return nil, err
+	}
+	if cfg.L1.LineBytes != cfg.L2.LineBytes {
+		return nil, fmt.Errorf("cache: L1 and L2 line sizes differ (%d vs %d)", cfg.L1.LineBytes, cfg.L2.LineBytes)
+	}
+	h := &Hierarchy{l2: newLevel(cfg.L2), memory: memory, memLatency: cfg.MemLatency}
+	for i := 0; i < cfg.NumCUs; i++ {
+		h.l1s = append(h.l1s, newLevel(cfg.L1))
+	}
+	return h, nil
+}
+
+// TrackL1 attaches a lifetime tracker to the given CU's L1. The tracker
+// must have Sets()*Ways words of LineBytes bytes.
+func (h *Hierarchy) TrackL1(cu int, t *lifetime.Tracker) { h.l1s[cu].tracker = t }
+
+// TrackL2 attaches a lifetime tracker to the shared L2.
+func (h *Hierarchy) TrackL2(t *lifetime.Tracker) { h.l2.tracker = t }
+
+// L1Slots returns (sets, ways) of the L1 caches, for building layouts and
+// trackers.
+func (h *Hierarchy) L1Slots() (sets, ways int) { return h.l1s[0].sets, h.l1s[0].cfg.Ways }
+
+// L2Slots returns (sets, ways) of the L2.
+func (h *Hierarchy) L2Slots() (sets, ways int) { return h.l2.sets, h.l2.cfg.Ways }
+
+// LineBytes returns the cache line size.
+func (h *Hierarchy) LineBytes() int { return h.l2.cfg.LineBytes }
+
+// accessL2Read brings addr's line into L2 (if missing) and emits whole-line
+// or partial read events. wholeLine selects whether the read consumes the
+// full line (an L1 fill) or only n bytes (uncached/partial semantics are
+// not used today but kept explicit). It returns the latency beyond L1.
+func (h *Hierarchy) accessL2Read(addr uint32, n int, cycle uint64, wholeLine bool) uint64 {
+	lat := h.l2.cfg.HitLatency
+	way := h.l2.lookup(addr)
+	if way < 0 {
+		h.l2.misses++
+		way = h.l2.victim(addr)
+		h.l2.fill(addr, way, cycle, h.memory)
+		lat += h.memLatency
+	} else {
+		h.l2.hits++
+	}
+	if wholeLine {
+		h.l2.readLine(addr, way, cycle)
+	} else {
+		h.l2.readBytes(addr, way, n, cycle)
+	}
+	return lat
+}
+
+// Load simulates a data load of size bytes at addr by compute unit cu,
+// returning the access latency. The access must not cross a line boundary.
+func (h *Hierarchy) Load(cu int, addr uint32, size int, cycle uint64) uint64 {
+	l1 := h.l1s[cu]
+	if way := l1.lookup(addr); way >= 0 {
+		l1.hits++
+		l1.readBytes(addr, way, size, cycle)
+		return l1.cfg.HitLatency
+	}
+	l1.misses++
+	lat := l1.cfg.HitLatency + h.accessL2Read(addr, size, cycle, true)
+	way := l1.victim(addr)
+	l1.fill(addr, way, cycle, h.memory)
+	l1.readBytes(addr, way, size, cycle)
+	return lat
+}
+
+// Store simulates a data store of size bytes at addr by compute unit cu.
+// vers supplies the new version of each stored byte. The L1 is
+// write-through (update on hit, no allocate on miss); the L2 is
+// write-back, write-allocate. The caller must update mem.Memory with the
+// stored values after Store returns, so that line fills performed here
+// observe pre-store memory versions.
+func (h *Hierarchy) Store(cu int, addr uint32, size int, cycle uint64, vers []dataflow.VersionID) uint64 {
+	l1 := h.l1s[cu]
+	if way := l1.lookup(addr); way >= 0 {
+		l1.hits++
+		l1.writeBytes(addr, way, size, cycle, vers, false)
+	} else {
+		l1.misses++
+	}
+	lat := h.l2.cfg.HitLatency
+	way := h.l2.lookup(addr)
+	if way < 0 {
+		h.l2.misses++
+		way = h.l2.victim(addr)
+		h.l2.fill(addr, way, cycle, h.memory)
+		lat += h.memLatency
+	} else {
+		h.l2.hits++
+	}
+	h.l2.writeBytes(addr, way, size, cycle, vers, true)
+	return lat
+}
+
+// FlushL1s invalidates every L1 line (kernel-boundary behavior on real
+// GPUs). L1s are write-through, so no data motion results.
+func (h *Hierarchy) FlushL1s(cycle uint64) {
+	for _, l1 := range h.l1s {
+		for set := 0; set < l1.sets; set++ {
+			for w := 0; w < l1.cfg.Ways; w++ {
+				l1.evict(set, w, cycle)
+			}
+		}
+	}
+}
+
+// FlushAll flushes the L1s and writes back / invalidates the entire L2.
+// Dirty L2 lines emit dirty-close (writeback) events. Call at end of
+// simulation so end-of-run cache state resolves correctly.
+func (h *Hierarchy) FlushAll(cycle uint64) {
+	h.FlushL1s(cycle)
+	for set := 0; set < h.l2.sets; set++ {
+		for w := 0; w < h.l2.cfg.Ways; w++ {
+			h.l2.evict(set, w, cycle)
+		}
+	}
+}
+
+// Stats reports aggregate hit/miss counts.
+type Stats struct {
+	L1Hits, L1Misses uint64
+	L2Hits, L2Misses uint64
+}
+
+// Stats returns hit/miss counters summed over all L1s plus the L2.
+func (h *Hierarchy) Stats() Stats {
+	var s Stats
+	for _, l1 := range h.l1s {
+		s.L1Hits += l1.hits
+		s.L1Misses += l1.misses
+	}
+	s.L2Hits = h.l2.hits
+	s.L2Misses = h.l2.misses
+	return s
+}

@@ -1,0 +1,206 @@
+package cache
+
+import (
+	"testing"
+
+	"mbavf/internal/dataflow"
+	"mbavf/internal/lifetime"
+	"mbavf/internal/mem"
+)
+
+func smallHier(t *testing.T) (*Hierarchy, *mem.Memory, *dataflow.Graph) {
+	t.Helper()
+	g := dataflow.NewGraph()
+	m := mem.New(1 << 16)
+	cfg := HierConfig{
+		NumCUs:     2,
+		L1:         Config{SizeBytes: 512, LineBytes: 64, Ways: 2, HitLatency: 4},
+		L2:         Config{SizeBytes: 2048, LineBytes: 64, Ways: 2, HitLatency: 24},
+		MemLatency: 120,
+	}
+	h, err := NewHierarchy(cfg, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, m, g
+}
+
+func TestConfigSets(t *testing.T) {
+	c := Config{SizeBytes: 16 * 1024, LineBytes: 64, Ways: 4}
+	if c.Sets() != 64 {
+		t.Errorf("16KB 4-way 64B: sets = %d, want 64", c.Sets())
+	}
+	d := DefaultHierConfig()
+	if d.L2.Sets() != 256 {
+		t.Errorf("256KB 16-way 64B: sets = %d, want 256", d.L2.Sets())
+	}
+}
+
+func TestInvalidConfigs(t *testing.T) {
+	m := mem.New(64)
+	bad := []HierConfig{
+		{NumCUs: 0, L1: Config{64, 64, 1, 1}, L2: Config{64, 64, 1, 1}},
+		{NumCUs: 1, L1: Config{0, 64, 1, 1}, L2: Config{64, 64, 1, 1}},
+		{NumCUs: 1, L1: Config{100, 64, 1, 1}, L2: Config{64, 64, 1, 1}},
+		{NumCUs: 1, L1: Config{64, 64, 1, 1}, L2: Config{128, 32, 1, 1}}, // line mismatch
+	}
+	for i, cfg := range bad {
+		if _, err := NewHierarchy(cfg, m); err == nil {
+			t.Errorf("config %d should be rejected", i)
+		}
+	}
+}
+
+func TestMissThenHitLatency(t *testing.T) {
+	h, _, _ := smallHier(t)
+	lat1 := h.Load(0, 0x1000, 4, 10)
+	if lat1 != 4+24+120 {
+		t.Errorf("cold miss latency = %d, want 148", lat1)
+	}
+	lat2 := h.Load(0, 0x1004, 4, 20)
+	if lat2 != 4 {
+		t.Errorf("hit latency = %d, want 4", lat2)
+	}
+	s := h.Stats()
+	if s.L1Hits != 1 || s.L1Misses != 1 || s.L2Misses != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestL2HitAfterOtherCU(t *testing.T) {
+	h, _, _ := smallHier(t)
+	h.Load(0, 0x2000, 4, 10)
+	lat := h.Load(1, 0x2000, 4, 20) // other CU: L1 miss, L2 hit
+	if lat != 4+24 {
+		t.Errorf("L2 hit latency = %d, want 28", lat)
+	}
+	if s := h.Stats(); s.L2Hits != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestL1TrackerEvents(t *testing.T) {
+	h, _, _ := smallHier(t)
+	sets, ways := h.L1Slots()
+	tr := lifetime.NewTracker(sets*ways, 64)
+	h.TrackL1(0, tr)
+
+	h.Load(0, 0x1000, 4, 10) // fill + read bytes 0..3
+	h.Load(0, 0x1004, 4, 30) // read bytes 4..7
+	h.FlushAll(100)          // clean evict
+
+	// Find the slot that was filled: set of 0x1000.
+	set := int(0x1000/64) % sets
+	slot := set * ways // way 0 (first fill)
+	segs := tr.Segments(slot, 4)
+	// Byte 4: fill@10 -> read@30 (ACE), read@30 -> evict@100 (dead).
+	if len(segs) != 2 || segs[0].Kind != lifetime.SegACE || segs[1].Kind != lifetime.SegDead {
+		t.Fatalf("byte 4 segments = %+v", segs)
+	}
+	if segs[0].Start != 10 || segs[0].End != 30 {
+		t.Errorf("byte 4 ACE span = [%d,%d), want [10,30)", segs[0].Start, segs[0].End)
+	}
+	// Byte 32 was never read: single dead segment.
+	segs = tr.Segments(slot, 32)
+	if len(segs) != 1 || segs[0].Kind != lifetime.SegDead {
+		t.Errorf("untouched byte segments = %+v", segs)
+	}
+}
+
+func TestStoreWriteThroughDirtyL2(t *testing.T) {
+	h, m, g := smallHier(t)
+	l2sets, l2ways := h.L2Slots()
+	tr2 := lifetime.NewTracker(l2sets*l2ways, 64)
+	h.TrackL2(tr2)
+
+	ver := g.New(dataflow.TransferNone, 0)
+	vers := []dataflow.VersionID{ver, ver, ver, ver}
+	h.Store(0, 0x3000, 4, 10, vers)
+	if err := m.StoreWord(0x3000, 0xABCD, [4]dataflow.VersionID{ver, ver, ver, ver}); err != nil {
+		t.Fatal(err)
+	}
+	h.FlushAll(200) // dirty L2 line writes back
+
+	set := int(0x3000/64) % l2sets
+	slot := set * l2ways
+	segs := tr2.Segments(slot, 0)
+	// fill@10 (zero-length before store) -> store opens v -> dirty evict@200: pending.
+	last := segs[len(segs)-1]
+	if last.Kind != lifetime.SegPending {
+		t.Errorf("stored byte should end pending, got %+v", segs)
+	}
+	if last.Version != ver {
+		t.Errorf("pending version = %d, want %d", last.Version, ver)
+	}
+	// An unstored byte of the same line is also written back (line-granular
+	// dirty): pending with its fill version (ground).
+	segs = tr2.Segments(slot, 8)
+	if len(segs) == 0 || segs[len(segs)-1].Kind != lifetime.SegPending {
+		t.Errorf("clean byte of dirty line should end pending, got %+v", segs)
+	}
+}
+
+func TestStoreMissDoesNotAllocateL1(t *testing.T) {
+	h, _, _ := smallHier(t)
+	h.Store(0, 0x4000, 4, 10, nil)
+	// A subsequent load must miss L1 (write-no-allocate) but hit L2.
+	lat := h.Load(0, 0x4000, 4, 20)
+	if lat != 4+24 {
+		t.Errorf("load after store-miss latency = %d, want 28 (L2 hit)", lat)
+	}
+}
+
+func TestStoreHitUpdatesL1(t *testing.T) {
+	h, _, _ := smallHier(t)
+	h.Load(0, 0x5000, 4, 10) // allocate in L1
+	h.Store(0, 0x5000, 4, 20, nil)
+	lat := h.Load(0, 0x5000, 4, 30)
+	if lat != 4 {
+		t.Errorf("load after store-hit latency = %d, want 4 (L1 hit)", lat)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	h, _, _ := smallHier(t)
+	// L1: 512B, 2-way, 64B lines -> 4 sets. Addresses mapping to set 0:
+	// line addresses 0, 256, 512. Fill two ways then a third evicts LRU.
+	h.Load(0, 0, 4, 10)
+	h.Load(0, 256, 4, 20)
+	h.Load(0, 0, 4, 30) // touch 0: now 256 is LRU
+	h.Load(0, 512, 4, 40)
+	// 0 should still hit; 256 should miss.
+	if lat := h.Load(0, 0, 4, 50); lat != 4 {
+		t.Errorf("line 0 evicted despite recent use (lat=%d)", lat)
+	}
+	if lat := h.Load(0, 256, 4, 60); lat == 4 {
+		t.Error("line 256 should have been evicted as LRU")
+	}
+}
+
+func TestFlushL1KeepsL2(t *testing.T) {
+	h, _, _ := smallHier(t)
+	h.Load(0, 0x6000, 4, 10)
+	h.FlushL1s(20)
+	lat := h.Load(0, 0x6000, 4, 30)
+	if lat != 4+24 {
+		t.Errorf("post-flush load latency = %d, want 28 (L2 hit)", lat)
+	}
+}
+
+func TestL2FillVersionsFromMemory(t *testing.T) {
+	h, m, g := smallHier(t)
+	l2sets, l2ways := h.L2Slots()
+	tr2 := lifetime.NewTracker(l2sets*l2ways, 64)
+	h.TrackL2(tr2)
+	if err := m.SetInput(g, 0x7000, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	wantVer := m.VersionAt(0x7001)
+	h.Load(0, 0x7000, 4, 10)
+	h.FlushAll(50)
+	set := int(0x7000/64) % l2sets
+	segs := tr2.Segments(set*l2ways, 1)
+	if len(segs) == 0 || segs[0].Version != wantVer {
+		t.Errorf("L2 fill version = %+v, want version %d", segs, wantVer)
+	}
+}

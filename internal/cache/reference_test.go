@@ -1,0 +1,193 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mbavf/internal/dataflow"
+	"mbavf/internal/lifetime"
+	"mbavf/internal/mem"
+)
+
+// refCache is an independent reference model of one cache level: a
+// map-based fully explicit LRU set-associative cache used to cross-check
+// hit/miss decisions.
+type refCache struct {
+	lineBytes, sets, ways int
+	// lines[set] is the LRU-ordered list of resident line addresses,
+	// most recent first.
+	lines map[int][]uint32
+	dirty map[uint32]bool
+}
+
+func newRefCache(cfg Config) *refCache {
+	return &refCache{
+		lineBytes: cfg.LineBytes,
+		sets:      cfg.Sets(),
+		ways:      cfg.Ways,
+		lines:     map[int][]uint32{},
+		dirty:     map[uint32]bool{},
+	}
+}
+
+func (r *refCache) lineAddr(addr uint32) uint32 { return addr / uint32(r.lineBytes) }
+func (r *refCache) set(addr uint32) int         { return int(r.lineAddr(addr)) % r.sets }
+
+// touch returns whether addr hit, inserting it MRU if insert is set.
+func (r *refCache) access(addr uint32, insert bool) bool {
+	set := r.set(addr)
+	la := r.lineAddr(addr)
+	lst := r.lines[set]
+	for i, l := range lst {
+		if l == la {
+			// Move to front.
+			copy(lst[1:i+1], lst[:i])
+			lst[0] = la
+			return true
+		}
+	}
+	if insert {
+		if len(lst) >= r.ways {
+			victim := lst[len(lst)-1]
+			lst = lst[:len(lst)-1]
+			delete(r.dirty, victim)
+		}
+		r.lines[set] = append([]uint32{la}, lst...)
+	}
+	return false
+}
+
+// TestQuickHitMissMatchesReference drives random loads/stores through one
+// CU and compares every hit/miss decision (via latency) with the
+// reference model.
+func TestQuickHitMissMatchesReference(t *testing.T) {
+	cfg := HierConfig{
+		NumCUs:     1,
+		L1:         Config{SizeBytes: 1024, LineBytes: 64, Ways: 2, HitLatency: 4},
+		L2:         Config{SizeBytes: 4096, LineBytes: 64, Ways: 4, HitLatency: 24},
+		MemLatency: 120,
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := mem.New(1 << 16)
+		h, err := NewHierarchy(cfg, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refL1 := newRefCache(cfg.L1)
+		refL2 := newRefCache(cfg.L2)
+		for i := 0; i < 300; i++ {
+			addr := uint32(r.Intn(1<<14)) &^ 3
+			cycle := uint64(i)
+			if r.Intn(3) == 0 {
+				// Store: write-through. L1 updates only on hit (no
+				// allocate); L2 allocates.
+				h.Store(0, addr, 4, cycle, nil)
+				refL1.access(addr, false)
+				refL2.access(addr, true)
+				refL2.dirty[refL2.lineAddr(addr)] = true
+				continue
+			}
+			lat := h.Load(0, addr, 4, cycle)
+			l1Hit := refL1.access(addr, true)
+			var want uint64
+			if l1Hit {
+				want = cfg.L1.HitLatency
+			} else if refL2.access(addr, true) {
+				want = cfg.L1.HitLatency + cfg.L2.HitLatency
+			} else {
+				want = cfg.L1.HitLatency + cfg.L2.HitLatency + cfg.MemLatency
+			}
+			if lat != want {
+				t.Logf("seed %d access %d addr %#x: latency %d, reference %d", seed, i, addr, lat, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTrackerSegmentsConsistent drives random traffic with trackers
+// attached and validates structural invariants of the produced lifetime
+// segments.
+func TestQuickTrackerSegmentsConsistent(t *testing.T) {
+	cfg := HierConfig{
+		NumCUs:     1,
+		L1:         Config{SizeBytes: 512, LineBytes: 64, Ways: 2, HitLatency: 4},
+		L2:         Config{SizeBytes: 2048, LineBytes: 64, Ways: 2, HitLatency: 24},
+		MemLatency: 120,
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := dataflow.NewGraph()
+		m := mem.New(1 << 14)
+		h, err := NewHierarchy(cfg, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l1sets, l1ways := h.L1Slots()
+		l2sets, l2ways := h.L2Slots()
+		tr1 := lifetime.NewTracker(l1sets*l1ways, 64)
+		tr2 := lifetime.NewTracker(l2sets*l2ways, 64)
+		h.TrackL1(0, tr1)
+		h.TrackL2(tr2)
+		var cycle uint64
+		for i := 0; i < 200; i++ {
+			addr := uint32(r.Intn(1<<12)) &^ 3
+			cycle += uint64(1 + r.Intn(5))
+			if r.Intn(3) == 0 {
+				v := g.New(dataflow.TransferNone, 0)
+				h.Store(0, addr, 4, cycle, []dataflow.VersionID{v, v, v, v})
+			} else {
+				h.Load(0, addr, 4, cycle)
+			}
+		}
+		cycle++
+		h.FlushAll(cycle)
+		tr1.Finish(cycle)
+		tr2.Finish(cycle)
+		for _, tr := range []*lifetime.Tracker{tr1, tr2} {
+			for w := 0; w < tr.Words(); w++ {
+				for by := 0; by < 64; by++ {
+					segs := tr.Segments(w, by)
+					var prevEnd uint64
+					for _, sg := range segs {
+						if sg.Start >= sg.End {
+							t.Logf("seed %d: empty segment %+v", seed, sg)
+							return false
+						}
+						if sg.Start < prevEnd {
+							t.Logf("seed %d: overlapping segments at (%d,%d)", seed, w, by)
+							return false
+						}
+						if sg.End > cycle {
+							t.Logf("seed %d: segment beyond horizon", seed)
+							return false
+						}
+						prevEnd = sg.End
+					}
+				}
+			}
+		}
+		// L1 is write-through: it must never produce pending (dirty
+		// writeback) segments.
+		for w := 0; w < tr1.Words(); w++ {
+			for by := 0; by < 64; by++ {
+				for _, sg := range tr1.Segments(w, by) {
+					if sg.Kind == lifetime.SegPending {
+						t.Logf("seed %d: write-through L1 produced a pending segment", seed)
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,411 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"mbavf/internal/bitgeom"
+	"mbavf/internal/dataflow"
+	"mbavf/internal/ecc"
+	"mbavf/internal/interleave"
+	"mbavf/internal/lifetime"
+)
+
+const horizon = 100
+
+// liveVer creates a version with the given root-live mask. Graphs in these
+// tests are built up-front and solved by mkAnalyzer.
+func liveVer(g *dataflow.Graph, mask uint32) dataflow.VersionID {
+	v := g.New(dataflow.TransferNone, 0)
+	g.MarkRootLive(v, mask)
+	return v
+}
+
+func mustLayout(l *interleave.Layout, err error) *interleave.Layout {
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+func mkAnalyzer(t *testing.T, l *interleave.Layout, tr *lifetime.Tracker, g *dataflow.Graph) *Analyzer {
+	t.Helper()
+	g.Solve()
+	a := &Analyzer{Layout: l, Tracker: tr, Graph: g, TotalCycles: horizon}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func approx(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("%s = %v, want %v", name, got, want)
+	}
+}
+
+// TestAllBitsACEGivesRatioOne encodes Section IV-D's first principle: if
+// all bits of a fault group are ACE at the same time, MB-AVF equals
+// SB-AVF (ratio 1x).
+func TestAllBitsACEGivesRatioOne(t *testing.T) {
+	// One 16-bit word split into 2 logically interleaved parity domains.
+	l := mustLayout(interleave.Logical(1, 16, 2))
+	tr := lifetime.NewTracker(1, 2)
+	g := dataflow.NewGraph()
+	v := liveVer(g, 0xFFFFFFFF)
+	for b := 0; b < 2; b++ {
+		tr.Open(0, b, 0, v)
+		tr.Read(0, b, horizon)
+	}
+	a := mkAnalyzer(t, l, tr, g)
+	r, err := a.Analyze(ecc.Parity{}, bitgeom.Mx1(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "BitAVF", r.BitAVF(), 1.0)
+	approx(t, "DUEMBAVF", r.DUEMBAVF(), 1.0)
+	if r.Groups != 15 {
+		t.Errorf("groups = %d, want 15", r.Groups)
+	}
+}
+
+// TestDisjointACEGivesRatioM encodes the other extreme of Section IV-D:
+// if only one bit of an M-bit group is ACE at any time, MB-AVF is M times
+// SB-AVF.
+func TestDisjointACEGivesRatioM(t *testing.T) {
+	// One 16-bit word; bits 0-7 (byte 0) ACE for the first half, bits
+	// 8-15 (byte 1) for the second half. A 2x1 group straddling the byte
+	// boundary is ACE the whole time.
+	l := mustLayout(interleave.Logical(1, 16, 2))
+	tr := lifetime.NewTracker(1, 2)
+	g := dataflow.NewGraph()
+	v := liveVer(g, 0xFFFFFFFF)
+	tr.Open(0, 0, 0, v)
+	tr.Read(0, 0, 50)
+	tr.CloseClean(0, 0, 50)
+	tr.Open(0, 1, 50, v)
+	tr.Read(0, 1, horizon)
+	a := mkAnalyzer(t, l, tr, g)
+	r, err := a.Analyze(ecc.Parity{}, bitgeom.Mx1(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "BitAVF", r.BitAVF(), 0.5)
+	// 15 groups: 14 fully inside one byte (ACE half the time), 1
+	// straddling (ACE all the time): (14*50 + 100) / (15*100).
+	approx(t, "DUEMBAVF", r.DUEMBAVF(), float64(14*50+100)/float64(15*horizon))
+	// The straddling group alone has MB-AVF = 2x SB-AVF; overall ratio
+	// must exceed 1x.
+	if ratio := r.DUEMBAVF() / r.BitAVF(); ratio <= 1.0 {
+		t.Errorf("MB/SB ratio = %v, want > 1", ratio)
+	}
+}
+
+// TestFigure3SECDED reproduces the paper's Figure 3: a 3x1 fault group
+// over two SEC-DED protection domains, two bits in PD0 and one in PD1.
+// The PD0 overlap (2 flips) is detected; the PD1 overlap (1 flip) is
+// corrected. DUE ACEness of the group equals PD0's ACE time.
+func TestFigure3SECDED(t *testing.T) {
+	// 1 set x 2 ways of 8-bit lines, x2 way-physical interleave:
+	// physical cols alternate way0, way1. 3x1 at anchor 0 = way0 bits
+	// {0,1} + way1 bit {0}.
+	l := mustLayout(interleave.WayPhysical(1, 2, 8, 2))
+	tr := lifetime.NewTracker(2, 1)
+	g := dataflow.NewGraph()
+	v := liveVer(g, 0xFFFFFFFF)
+	// Way 0 (PD0) ACE [0,30); way 1 (PD1) ACE [0,80).
+	tr.Open(0, 0, 0, v)
+	tr.Read(0, 0, 30)
+	tr.Open(1, 0, 0, v)
+	tr.Read(1, 0, 80)
+	a := mkAnalyzer(t, l, tr, g)
+
+	// Restrict to the single anchored group by using a custom 3-bit mode
+	// on the 16-col geometry: groups = 14, but we check totals match the
+	// analytical sum: every group has 2 bits in one way and 1 in the
+	// other; SEC-DED corrects the 1-bit region and detects the 2-bit one.
+	r, err := a.Analyze(ecc.SECDED{}, bitgeom.Mx1(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Groups anchored at even columns have 2 bits in way0 (ACE 30); odd
+	// anchors have 2 bits in way1 (ACE 80). Anchors 0..13: 7 even, 7 odd.
+	want := float64(7*30+7*80) / float64(14*horizon)
+	approx(t, "DUEMBAVF", r.DUEMBAVF(), want)
+	// Corrected single-bit regions contribute nothing: no SDC anywhere.
+	approx(t, "SDCMBAVF", r.SDCMBAVF(), 0)
+}
+
+// TestFigure7ParitySDCPrecedence reproduces Figure 7: a 3x1 fault over two
+// parity domains. The 2-bit overlap defeats parity (SDC when live); the
+// 1-bit overlap is detected (DUE when ACE). SDC takes precedence in the
+// group classification.
+func TestFigure7ParitySDCPrecedence(t *testing.T) {
+	l := mustLayout(interleave.WayPhysical(1, 2, 8, 2))
+	tr := lifetime.NewTracker(2, 1)
+	g := dataflow.NewGraph()
+	v := liveVer(g, 0xFFFFFFFF)
+	// Both ways ACE+live for [0,60).
+	tr.Open(0, 0, 0, v)
+	tr.Read(0, 0, 60)
+	tr.Open(1, 0, 0, v)
+	tr.Read(1, 0, 60)
+	a := mkAnalyzer(t, l, tr, g)
+	r, err := a.Analyze(ecc.Parity{}, bitgeom.Mx1(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every group: 2-bit region SDC-live and 1-bit region DUE-ACE during
+	// [0,60). Precedence: SDC. Four-class DUE must be zero; eq-7 DUE
+	// union is still 60 cycles per group.
+	approx(t, "SDCMBAVF", r.SDCMBAVF(), 0.6)
+	approx(t, "TrueDUE", r.TrueDUEMBAVF(), 0)
+	approx(t, "DUE union", r.DUEMBAVF(), 0.6)
+}
+
+// TestDetectionPreemptsSDC flips the case-study rule on: the same Figure 7
+// situation becomes a true DUE because the adjacent domain's detection
+// fires before the corruption propagates (Section VIII inter-thread
+// interleaving).
+func TestDetectionPreemptsSDC(t *testing.T) {
+	l := mustLayout(interleave.WayPhysical(1, 2, 8, 2))
+	tr := lifetime.NewTracker(2, 1)
+	g := dataflow.NewGraph()
+	v := liveVer(g, 0xFFFFFFFF)
+	tr.Open(0, 0, 0, v)
+	tr.Read(0, 0, 60)
+	tr.Open(1, 0, 0, v)
+	tr.Read(1, 0, 60)
+	a := mkAnalyzer(t, l, tr, g)
+	a.DetectionPreemptsSDC = true
+	r, err := a.Analyze(ecc.Parity{}, bitgeom.Mx1(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "SDCMBAVF", r.SDCMBAVF(), 0)
+	approx(t, "TrueDUE", r.TrueDUEMBAVF(), 0.6)
+}
+
+// TestFalseDUE: data that is uarch-ACE (it is read) but dynamically dead
+// (its value never reaches output) produces false DUEs when detected.
+func TestFalseDUE(t *testing.T) {
+	l := mustLayout(interleave.Logical(1, 8, 1))
+	tr := lifetime.NewTracker(1, 1)
+	g := dataflow.NewGraph()
+	dead := g.New(dataflow.TransferNone, 0) // never marked live
+	tr.Open(0, 0, 0, dead)
+	tr.Read(0, 0, 40)
+	a := mkAnalyzer(t, l, tr, g)
+	r, err := a.Analyze(ecc.Parity{}, bitgeom.Mx1(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "FalseDUE", r.FalseDUEMBAVF(), 0.4)
+	approx(t, "TrueDUE", r.TrueDUEMBAVF(), 0)
+	approx(t, "BitAVFLive", r.BitAVFLive(), 0)
+	approx(t, "BitAVF", r.BitAVF(), 0.4)
+}
+
+// TestPendingResolution: dirty-evicted data is ACE only when the evicted
+// version is consumed after the eviction.
+func TestPendingResolution(t *testing.T) {
+	l := mustLayout(interleave.Logical(2, 8, 1))
+	tr := lifetime.NewTracker(2, 1)
+	g := dataflow.NewGraph()
+	consumed := liveVer(g, 0xFF)
+	g.NoteRead(consumed, 90) // read after the eviction at 50
+	abandoned := liveVer(g, 0xFF)
+
+	tr.Open(0, 0, 0, consumed)
+	tr.CloseDirty(0, 0, 50)
+	tr.Open(1, 0, 0, abandoned)
+	tr.CloseDirty(1, 0, 50)
+
+	a := mkAnalyzer(t, l, tr, g)
+	r, err := a.Analyze(ecc.Parity{}, bitgeom.Mx1(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Word 0: pending resolved ACE (consumed later): 50 cycles x 8 bits.
+	// Word 1: pending unACE. SB DUE AVF = 50*8 / (16*100).
+	approx(t, "DUE", r.DUEMBAVF(), float64(50*8)/float64(16*horizon))
+}
+
+// TestPartialLiveMask: logic masking. Only the low nibble of the value is
+// live; detected faults on dead bits are false DUEs, on live bits true
+// DUEs; with no protection only live bits give SDC.
+func TestPartialLiveMask(t *testing.T) {
+	l := mustLayout(interleave.Logical(1, 8, 1))
+	tr := lifetime.NewTracker(1, 1)
+	g := dataflow.NewGraph()
+	v := liveVer(g, 0x0F)
+	tr.Open(0, 0, 0, v)
+	tr.Read(0, 0, horizon)
+	a := mkAnalyzer(t, l, tr, g)
+
+	r, err := a.Analyze(ecc.None{}, bitgeom.Mx1(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 of 8 bits live for all 100 cycles.
+	approx(t, "SDC", r.SDCMBAVF(), 0.5)
+	approx(t, "BitAVFLive", r.BitAVFLive(), 0.5)
+	approx(t, "BitAVF", r.BitAVF(), 1.0)
+
+	// A 2x1 fault group is SDC-live if either bit is live: groups
+	// 0-3 live (bits 0-4 involved), group 4 live (bits 4,5: bit 4 dead,
+	// bit 3... anchor 3 = bits {3,4}: bit 3 live). Anchors 0..6; anchor k
+	// covers bits k,k+1; live iff k <= 3.
+	r2, err := a.Analyze(ecc.None{}, bitgeom.Mx1(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, "SDC 2x1", r2.SDCMBAVF(), 4.0/7.0)
+}
+
+// TestWindowedSeriesSumsToTotal: windowed counters must partition the
+// totals exactly.
+func TestWindowedSeriesSumsToTotal(t *testing.T) {
+	l := mustLayout(interleave.Logical(2, 16, 2))
+	tr := lifetime.NewTracker(2, 2)
+	g := dataflow.NewGraph()
+	v := liveVer(g, 0xFFFFFFFF)
+	dead := g.New(dataflow.TransferNone, 0)
+	tr.Open(0, 0, 5, v)
+	tr.Read(0, 0, 42)
+	tr.Open(0, 1, 13, dead)
+	tr.Read(0, 1, 77)
+	tr.Open(1, 0, 30, v)
+	tr.CloseDirty(1, 0, 66)
+	g.NoteRead(v, 99)
+	a := mkAnalyzer(t, l, tr, g)
+	series, err := a.AnalyzeWindowed(ecc.Parity{}, bitgeom.Mx1(2), 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series.Windows) != (horizon+16)/17 {
+		t.Fatalf("windows = %d", len(series.Windows))
+	}
+	var sum Counters
+	var bitU, bitL uint64
+	var cyc uint64
+	for _, w := range series.Windows {
+		sum.add(w.Counters)
+		bitU += w.BitUarch
+		bitL += w.BitLive
+		cyc += w.TotalCycles
+	}
+	if sum != series.Total.Counters {
+		t.Errorf("window counters %+v != total %+v", sum, series.Total.Counters)
+	}
+	if bitU != series.Total.BitUarch || bitL != series.Total.BitLive {
+		t.Errorf("window bit cycles %d/%d != total %d/%d", bitU, bitL, series.Total.BitUarch, series.Total.BitLive)
+	}
+	if cyc != horizon {
+		t.Errorf("window cycle sum = %d, want %d", cyc, horizon)
+	}
+}
+
+// TestSECDEDEquivalenceToParity encodes the paper's Section VI-C finding:
+// Mx1 MB-AVF with SEC-DED equals (M/2)x1 MB-AVF with parity for x2
+// interleaving when ACEness is uniform, because both leave the same
+// number of affected-but-unprotected domains.
+func TestSECDEDEquivalence(t *testing.T) {
+	l := mustLayout(interleave.WayPhysical(2, 2, 32, 2))
+	tr := lifetime.NewTracker(4, 4)
+	g := dataflow.NewGraph()
+	v := liveVer(g, 0xFFFFFFFF)
+	// Make a patchwork of ACE times across lines.
+	spans := [][2]uint64{{0, 40}, {20, 90}, {50, 100}, {0, 100}}
+	for w := 0; w < 4; w++ {
+		for b := 0; b < 4; b++ {
+			tr.Open(w, b, spans[w][0], v)
+			tr.Read(w, b, spans[w][1])
+		}
+	}
+	a := mkAnalyzer(t, l, tr, g)
+	// 4x1 with SEC-DED x2: each domain sees 2 flips -> detected. 2x1 with
+	// parity x2: each domain sees 1 flip -> detected. Same domains pair
+	// (anchor parity aside); DUE AVFs should be very close. With aligned
+	// anchors they are identical for even anchors; compare averages
+	// loosely.
+	r4, err := a.Analyze(ecc.SECDED{}, bitgeom.Mx1(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := a.Analyze(ecc.Parity{}, bitgeom.Mx1(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4.DUEMBAVF() < r2.DUEMBAVF()*0.9 || r4.DUEMBAVF() > r2.DUEMBAVF()*1.1 {
+		t.Errorf("4x1 SEC-DED DUE %v vs 2x1 parity DUE %v: want within 10%%",
+			r4.DUEMBAVF(), r2.DUEMBAVF())
+	}
+}
+
+// TestMBAVFBounds: DUE MB-AVF must lie within [SB-AVF-ish, M x SB-AVF]
+// for parity with per-bit domains (every region detected).
+func TestMBAVFMonotoneInModeSize(t *testing.T) {
+	l := mustLayout(interleave.Logical(4, 32, 4))
+	tr := lifetime.NewTracker(4, 4)
+	g := dataflow.NewGraph()
+	v := liveVer(g, 0xFFFFFFFF)
+	spans := [][2]uint64{{0, 25}, {25, 50}, {50, 75}, {75, 100}}
+	for w := 0; w < 4; w++ {
+		for b := 0; b < 4; b++ {
+			tr.Open(w, b, spans[(w+b)%4][0], v)
+			tr.Read(w, b, spans[(w+b)%4][1])
+		}
+	}
+	a := mkAnalyzer(t, l, tr, g)
+	// With x4 logical interleave and parity, any Mx1 fault (M<=4) puts
+	// at most 1 bit per domain: all regions detected. MB-AVF must grow
+	// with M (larger groups more likely to contain an ACE bit).
+	prev := -1.0
+	for m := 1; m <= 4; m++ {
+		r, err := a.Analyze(ecc.Parity{}, bitgeom.Mx1(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := r.DUEMBAVF()
+		if v < prev {
+			t.Errorf("DUE MB-AVF decreased from %v to %v at %dx1", prev, v, m)
+		}
+		if sb := r.BitAVF(); v > float64(m)*sb+1e-9 {
+			t.Errorf("%dx1 MB-AVF %v exceeds M x SB-AVF %v", m, v, float64(m)*sb)
+		}
+		prev = v
+	}
+}
+
+func TestValidateRejectsMismatch(t *testing.T) {
+	l := mustLayout(interleave.Logical(2, 16, 1))
+	tr := lifetime.NewTracker(3, 2) // wrong word count
+	g := dataflow.NewGraph()
+	g.Solve()
+	a := &Analyzer{Layout: l, Tracker: tr, Graph: g, TotalCycles: 10}
+	if err := a.Validate(); err == nil {
+		t.Error("mismatched tracker should fail validation")
+	}
+	tr2 := lifetime.NewTracker(2, 4) // wrong word width
+	a.Tracker = tr2
+	if err := a.Validate(); err == nil {
+		t.Error("word width mismatch should fail validation")
+	}
+	a.Tracker = lifetime.NewTracker(2, 2)
+	a.TotalCycles = 0
+	if err := a.Validate(); err == nil {
+		t.Error("zero cycles should fail validation")
+	}
+}
+
+func TestModeTooLargeRejected(t *testing.T) {
+	l := mustLayout(interleave.Logical(1, 8, 1))
+	tr := lifetime.NewTracker(1, 1)
+	g := dataflow.NewGraph()
+	a := mkAnalyzer(t, l, tr, g)
+	if _, err := a.Analyze(ecc.Parity{}, bitgeom.Mx1(9)); err == nil {
+		t.Error("9x1 on an 8-bit row should be rejected")
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+
+	"mbavf/internal/bitgeom"
+	"mbavf/internal/dataflow"
+	"mbavf/internal/ecc"
+	"mbavf/internal/interleave"
+	"mbavf/internal/lifetime"
+)
+
+func TestACELocalityPerfectCorrelation(t *testing.T) {
+	// Both bytes of one word ACE at identical times: locality 1.
+	l := mustLayout(interleave.Logical(1, 16, 2))
+	tr := lifetime.NewTracker(1, 2)
+	g := dataflow.NewGraph()
+	v := liveVer(g, 0xFFFFFFFF)
+	for b := 0; b < 2; b++ {
+		tr.Open(0, b, 0, v)
+		tr.Read(0, b, 60)
+	}
+	a := mkAnalyzer(t, l, tr, g)
+	loc, err := a.ACELocality(bitgeom.Mx1(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc.Coefficient() != 1.0 {
+		t.Errorf("coefficient = %v, want 1", loc.Coefficient())
+	}
+	if loc.AnyACE != 15*60 {
+		t.Errorf("AnyACE = %d, want %d", loc.AnyACE, 15*60)
+	}
+}
+
+func TestACELocalityDisjointTimes(t *testing.T) {
+	// Byte 0 ACE in the first half, byte 1 in the second half: groups
+	// straddling the boundary never have both bits ACE.
+	l := mustLayout(interleave.Logical(1, 16, 2))
+	tr := lifetime.NewTracker(1, 2)
+	g := dataflow.NewGraph()
+	v := liveVer(g, 0xFFFFFFFF)
+	tr.Open(0, 0, 0, v)
+	tr.Read(0, 0, 50)
+	tr.CloseClean(0, 0, 50)
+	tr.Open(0, 1, 50, v)
+	tr.Read(0, 1, horizon)
+	a := mkAnalyzer(t, l, tr, g)
+	loc, err := a.ACELocality(bitgeom.Mx1(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 14 same-byte groups: all-ACE half the time. 1 straddling group:
+	// any-ACE always, all-ACE never.
+	wantAll := uint64(14 * 50)
+	wantAny := uint64(14*50 + 100)
+	if loc.AllACE != wantAll || loc.AnyACE != wantAny {
+		t.Errorf("locality = %+v, want all=%d any=%d", loc, wantAll, wantAny)
+	}
+	if c := loc.Coefficient(); c >= 1.0 {
+		t.Errorf("coefficient %v should be < 1", c)
+	}
+}
+
+func TestACELocalityEmptyStructure(t *testing.T) {
+	l := mustLayout(interleave.Logical(1, 8, 1))
+	tr := lifetime.NewTracker(1, 1)
+	g := dataflow.NewGraph()
+	a := mkAnalyzer(t, l, tr, g)
+	loc, err := a.ACELocality(bitgeom.Mx1(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc.Coefficient() != 0 || loc.AnyACE != 0 {
+		t.Errorf("empty structure locality = %+v", loc)
+	}
+}
+
+func TestACELocalityPredictsMBAVFRatio(t *testing.T) {
+	// With parity and per-bit domains, MB-AVF numerator == AnyACE: the
+	// locality sweep and the full analysis must agree exactly.
+	l := mustLayout(interleave.Logical(2, 16, 2))
+	tr := lifetime.NewTracker(2, 2)
+	g := dataflow.NewGraph()
+	v := liveVer(g, 0xFFFFFFFF)
+	tr.Open(0, 0, 3, v)
+	tr.Read(0, 0, 47)
+	tr.Open(0, 1, 20, v)
+	tr.Read(0, 1, 90)
+	tr.Open(1, 0, 10, v)
+	tr.Read(1, 0, 30)
+	a := mkAnalyzer(t, l, tr, g)
+	mode := bitgeom.Mx1(2)
+	loc, err := a.ACELocality(mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := a.Analyze(ecc.Parity{}, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Counters.DUE; got != loc.AnyACE {
+		t.Errorf("DUE cycles %d != AnyACE %d", got, loc.AnyACE)
+	}
+}

@@ -1,0 +1,285 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mbavf/internal/bitgeom"
+	"mbavf/internal/dataflow"
+	"mbavf/internal/ecc"
+	"mbavf/internal/interleave"
+	"mbavf/internal/lifetime"
+)
+
+// referenceAnalyze is a brute-force per-cycle implementation of the MB-AVF
+// classification (literally equation 2's cycle sum), used to cross-check
+// the interval-sweep engine on randomized inputs. It walks every cycle of
+// every fault group independently.
+func referenceAnalyze(a *Analyzer, scheme ecc.Scheme, mode bitgeom.FaultMode) Counters {
+	geom := a.Layout.Geom
+	var out Counters
+	groups := geom.GroupCount(mode)
+	for gi := 0; gi < groups; gi++ {
+		bits := geom.GroupBits(mode, gi, nil)
+		// Partition into regions by domain.
+		domains := map[int][]interleave.WordBit{}
+		for _, pos := range bits {
+			wb, dom := a.Layout.Map(pos)
+			domains[dom] = append(domains[dom], wb)
+		}
+		for c := uint64(0); c < a.TotalCycles; c++ {
+			var anyDetACE, anyTrueDUE, anySDC bool
+			for _, members := range domains {
+				react := scheme.React(len(members))
+				if react == ecc.ReactCorrected || react == ecc.ReactNone {
+					continue
+				}
+				var uarch, live bool
+				for _, wb := range members {
+					st := refBitState(a, wb, c)
+					uarch = uarch || st.uarch
+					live = live || st.live
+				}
+				switch react {
+				case ecc.ReactDetected:
+					if uarch {
+						anyDetACE = true
+						if live {
+							anyTrueDUE = true
+						}
+					}
+				case ecc.ReactUndetected:
+					if live {
+						anySDC = true
+					}
+				}
+			}
+			if anyDetACE {
+				out.DUE++
+			}
+			if a.DetectionPreemptsSDC && anyDetACE {
+				if anyTrueDUE || anySDC {
+					out.TrueDUE++
+				} else {
+					out.FalseDUE++
+				}
+				continue
+			}
+			switch {
+			case anySDC:
+				out.SDC++
+			case anyTrueDUE:
+				out.TrueDUE++
+			case anyDetACE:
+				out.FalseDUE++
+			}
+		}
+	}
+	return out
+}
+
+// refBitState evaluates one bit's state at one cycle by linear search over
+// its segments.
+func refBitState(a *Analyzer, wb interleave.WordBit, c uint64) bitState {
+	byteIdx := wb.Bit / 8
+	for _, seg := range a.Tracker.Segments(wb.Word, byteIdx) {
+		if c >= seg.Start && c < seg.End {
+			return a.segState(seg, byteIdx, wb.Bit%8)
+		}
+	}
+	return bitState{}
+}
+
+// randomAnalyzer builds a small random structure with random lifetime
+// events and liveness.
+func randomAnalyzer(r *rand.Rand, horizonC uint64, preempt bool) *Analyzer {
+	words := 2 * (1 + r.Intn(2)) // even, so x2 layouts always divide
+	var lay *interleave.Layout
+	var err error
+	switch r.Intn(3) {
+	case 0:
+		lay, err = interleave.Logical(words, 16, 1<<r.Intn(2))
+	case 1:
+		lay, err = interleave.WayPhysical(1, words, 16, 2)
+	default:
+		lay, err = interleave.IntraThread(1, words, 16, 2)
+	}
+	if err != nil {
+		panic(err)
+	}
+	tr := lifetime.NewTracker(words, 2)
+	g := dataflow.NewGraph()
+	for w := 0; w < words; w++ {
+		for b := 0; b < 2; b++ {
+			t := uint64(r.Intn(10))
+			nEvents := r.Intn(5)
+			held := false
+			for e := 0; e < nEvents && t < horizonC; e++ {
+				switch r.Intn(4) {
+				case 0:
+					v := g.New(dataflow.TransferNone, 0)
+					g.MarkRootLive(v, r.Uint32())
+					if r.Intn(2) == 0 {
+						g.NoteRead(v, t+uint64(r.Intn(int(horizonC))))
+					}
+					tr.Open(w, b, t, v)
+					held = true
+				case 1:
+					if held {
+						tr.Read(w, b, t)
+					}
+				case 2:
+					if held {
+						tr.CloseClean(w, b, t)
+						held = false
+					}
+				default:
+					if held {
+						tr.CloseDirty(w, b, t)
+						held = false
+					}
+				}
+				t += 1 + uint64(r.Intn(12))
+			}
+		}
+	}
+	tr.Finish(horizonC)
+	g.Solve()
+	return &Analyzer{
+		Layout:               lay,
+		Tracker:              tr,
+		Graph:                g,
+		TotalCycles:          horizonC,
+		DetectionPreemptsSDC: preempt,
+	}
+}
+
+// TestQuickSweepMatchesBruteForce cross-checks the production interval
+// sweep against the per-cycle reference on random structures, schemes,
+// modes, and lifetime histories.
+func TestQuickSweepMatchesBruteForce(t *testing.T) {
+	schemes := []ecc.Scheme{ecc.None{}, ecc.Parity{}, ecc.SECDED{}, ecc.DECTED{}}
+	f := func(seed int64, preempt bool) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomAnalyzer(r, 40, preempt)
+		scheme := schemes[r.Intn(len(schemes))]
+		mode := bitgeom.Mx1(1 + r.Intn(4))
+		got, err := a.Analyze(scheme, mode)
+		if err != nil {
+			// Mode may not fit tiny geometries; skip.
+			return true
+		}
+		want := referenceAnalyze(a, scheme, mode)
+		if got.Counters != want {
+			t.Logf("seed %d scheme %s mode %s preempt %v:\n got %+v\nwant %+v",
+				seed, scheme.Name(), mode.Name(), preempt, got.Counters, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickBitAVFMatchesBruteForce cross-checks the bit-level AVF
+// accumulation against per-cycle counting.
+func TestQuickBitAVFMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomAnalyzer(r, 40, false)
+		got, err := a.Analyze(ecc.Parity{}, bitgeom.Mx1(1))
+		if err != nil {
+			return true
+		}
+		var wantUarch, wantLive uint64
+		for w := 0; w < a.Tracker.Words(); w++ {
+			for byteIdx := 0; byteIdx < a.Tracker.BytesPerWord(); byteIdx++ {
+				for bit := 0; bit < 8; bit++ {
+					wb := interleave.WordBit{Word: w, Bit: byteIdx*8 + bit}
+					for c := uint64(0); c < a.TotalCycles; c++ {
+						st := refBitState(a, wb, c)
+						if st.uarch {
+							wantUarch++
+						}
+						if st.live {
+							wantLive++
+						}
+					}
+				}
+			}
+		}
+		if got.BitUarch != wantUarch || got.BitLive != wantLive {
+			t.Logf("seed %d: got %d/%d want %d/%d", seed, got.BitUarch, got.BitLive, wantUarch, wantLive)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickWindowedPartition checks on random inputs that windowed
+// counters always partition totals.
+func TestQuickWindowedPartition(t *testing.T) {
+	f := func(seed int64, winRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomAnalyzer(r, 60, false)
+		window := uint64(winRaw%17) + 3
+		series, err := a.AnalyzeWindowed(ecc.Parity{}, bitgeom.Mx1(2), window)
+		if err != nil {
+			return true
+		}
+		var sum Counters
+		var bu, bl, cyc uint64
+		for _, w := range series.Windows {
+			sum.add(w.Counters)
+			bu += w.BitUarch
+			bl += w.BitLive
+			cyc += w.TotalCycles
+		}
+		return sum == series.Total.Counters &&
+			bu == series.Total.BitUarch && bl == series.Total.BitLive &&
+			cyc == series.Total.TotalCycles
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickParallelMatchesSerial: sweeping with any worker count must give
+// identical results (groups are independent; shards merge losslessly).
+func TestQuickParallelMatchesSerial(t *testing.T) {
+	f := func(seed int64, workers uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomAnalyzer(r, 50, false)
+		mode := bitgeom.Mx1(1 + r.Intn(4))
+		a.Parallelism = 1
+		serial, err := a.AnalyzeWindowed(ecc.Parity{}, mode, 13)
+		if err != nil {
+			return true
+		}
+		a.Parallelism = int(workers%7) + 2
+		par, err := a.AnalyzeWindowed(ecc.Parity{}, mode, 13)
+		if err != nil {
+			t.Logf("parallel errored: %v", err)
+			return false
+		}
+		if serial.Total.Counters != par.Total.Counters {
+			t.Logf("totals differ: %+v vs %+v", serial.Total.Counters, par.Total.Counters)
+			return false
+		}
+		for i := range serial.Windows {
+			if serial.Windows[i].Counters != par.Windows[i].Counters {
+				t.Logf("window %d differs", i)
+				return false
+			}
+		}
+		return serial.Total.BitUarch == par.Total.BitUarch
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

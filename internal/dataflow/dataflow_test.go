@@ -1,0 +1,348 @@
+package dataflow
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGroundVersionNeverLive(t *testing.T) {
+	g := NewGraph()
+	g.MarkRootLive(0, 0xFFFFFFFF)
+	g.NoteRead(0, 10)
+	g.Solve()
+	if g.Live(0) != 0 {
+		t.Error("ground version must stay dead")
+	}
+	if g.EverRead(0) {
+		t.Error("ground version reads must be ignored")
+	}
+}
+
+func TestMoveChainPropagation(t *testing.T) {
+	g := NewGraph()
+	a := g.New(TransferNone, 0)
+	b := g.New(TransferMove, 0, a)
+	c := g.New(TransferMove, 0, b)
+	g.MarkRootLive(c, 0x00FF00FF)
+	g.Solve()
+	for _, id := range []VersionID{a, b, c} {
+		if g.Live(id) != 0x00FF00FF {
+			t.Errorf("version %d live = %#x, want 0x00FF00FF", id, g.Live(id))
+		}
+	}
+}
+
+func TestDeadValueStaysDead(t *testing.T) {
+	g := NewGraph()
+	a := g.New(TransferNone, 0)
+	b := g.New(TransferMove, 0, a) // b never consumed: first-level dead
+	c := g.New(TransferMove, 0, a)
+	g.MarkRootLive(c, 1)
+	g.Solve()
+	if !g.Dead(b) {
+		t.Error("unconsumed version should be dead")
+	}
+	if g.Dead(a) || g.Dead(c) {
+		t.Error("consumed chain should be live")
+	}
+}
+
+func TestTransitiveDeadness(t *testing.T) {
+	// a -> b -> c where only c is unconsumed: a and b are transitively
+	// dead (the paper's "transitive dynamic-dead instructions").
+	g := NewGraph()
+	a := g.New(TransferNone, 0)
+	b := g.New(TransferAll, 0, a)
+	c := g.New(TransferAll, 0, b)
+	g.Solve()
+	for _, id := range []VersionID{a, b, c} {
+		if !g.Dead(id) {
+			t.Errorf("version %d should be transitively dead", id)
+		}
+	}
+	if got := g.Stats().DeadCount; got != 3 {
+		t.Errorf("DeadCount = %d, want 3", got)
+	}
+}
+
+func TestAndLogicMasking(t *testing.T) {
+	// r = a AND 0x0000FFFF: upper bits of a cannot influence r.
+	g := NewGraph()
+	a := g.New(TransferNone, 0)
+	r := g.New(TransferAnd, 0x0000FFFF, a)
+	g.MarkRootLive(r, 0xFFFFFFFF)
+	g.Solve()
+	if g.Live(a) != 0x0000FFFF {
+		t.Errorf("AND-masked live = %#x, want 0x0000FFFF", g.Live(a))
+	}
+}
+
+func TestOrLogicMasking(t *testing.T) {
+	// r = a OR 0xFF000000: upper byte of a is masked (forced to 1).
+	g := NewGraph()
+	a := g.New(TransferNone, 0)
+	r := g.New(TransferOr, 0xFF000000, a)
+	g.MarkRootLive(r, 0xFFFFFFFF)
+	g.Solve()
+	if g.Live(a) != 0x00FFFFFF {
+		t.Errorf("OR-masked live = %#x, want 0x00FFFFFF", g.Live(a))
+	}
+}
+
+func TestShiftTransfers(t *testing.T) {
+	g := NewGraph()
+	a := g.New(TransferNone, 0)
+	shl := g.New(TransferShl, 8, a) // r = a << 8
+	g.MarkRootLive(shl, 0x0000FF00)
+	b := g.New(TransferNone, 0)
+	shr := g.New(TransferShr, 4, b) // r = b >> 4
+	g.MarkRootLive(shr, 0x000000F0)
+	g.Solve()
+	if g.Live(a) != 0x000000FF {
+		t.Errorf("shl dep live = %#x, want 0xFF", g.Live(a))
+	}
+	if g.Live(b) != 0x00000F00 {
+		t.Errorf("shr dep live = %#x, want 0xF00", g.Live(b))
+	}
+}
+
+func TestArithCarrySpread(t *testing.T) {
+	// r = a + b with only result bit 8 live: bits 0..8 of both operands
+	// can influence it via carries; bits above 8 cannot.
+	g := NewGraph()
+	a := g.New(TransferNone, 0)
+	b := g.New(TransferNone, 0)
+	r := g.New(TransferArith, 0, a, b)
+	g.MarkRootLive(r, 1<<8)
+	g.Solve()
+	want := uint32(1<<9 - 1)
+	if g.Live(a) != want || g.Live(b) != want {
+		t.Errorf("arith live = %#x/%#x, want %#x", g.Live(a), g.Live(b), want)
+	}
+}
+
+func TestArithTopBitLive(t *testing.T) {
+	g := NewGraph()
+	a := g.New(TransferNone, 0)
+	r := g.New(TransferArith, 0, a)
+	g.MarkRootLive(r, 1<<31)
+	g.Solve()
+	if g.Live(a) != ^uint32(0) {
+		t.Errorf("live = %#x, want all ones", g.Live(a))
+	}
+}
+
+func TestSelectTransfer(t *testing.T) {
+	g := NewGraph()
+	val := g.New(TransferNone, 0)
+	cond := g.New(TransferNone, 0)
+	r := g.New(TransferSelect, 0, val, cond)
+	g.MarkRootLive(r, 0xF0)
+	g.Solve()
+	if g.Live(val) != 0xF0 {
+		t.Errorf("selected value live = %#x, want 0xF0", g.Live(val))
+	}
+	if g.Live(cond) != 1 {
+		t.Errorf("condition live = %#x, want 1", g.Live(cond))
+	}
+}
+
+func TestByteStoreAndAssemble(t *testing.T) {
+	g := NewGraph()
+	word := g.New(TransferNone, 0)
+	// Store all four bytes of word.
+	bytes := make([]VersionID, 4)
+	for i := range bytes {
+		bytes[i] = g.New(TransferByte, uint32(i), word)
+	}
+	// Load a word back from bytes 0..3.
+	loaded := g.New(TransferAssemble, 0, bytes[0], bytes[1], bytes[2], bytes[3])
+	g.MarkRootLive(loaded, 0x00FF00FF) // bytes 0 and 2 matter
+	g.Solve()
+	if g.Live(bytes[0]) != 0xFF || g.Live(bytes[2]) != 0xFF {
+		t.Errorf("byte live = %#x,%#x, want 0xFF,0xFF", g.Live(bytes[0]), g.Live(bytes[2]))
+	}
+	if g.Live(bytes[1]) != 0 || g.Live(bytes[3]) != 0 {
+		t.Errorf("dead bytes live = %#x,%#x, want 0", g.Live(bytes[1]), g.Live(bytes[3]))
+	}
+	if g.Live(word) != 0x00FF00FF {
+		t.Errorf("source word live = %#x, want 0x00FF00FF", g.Live(word))
+	}
+	if g.LiveByte(word, 0) != 0xFF || g.LiveByte(word, 1) != 0 {
+		t.Error("LiveByte slicing wrong")
+	}
+}
+
+func TestXorCancellationIsNotModeled(t *testing.T) {
+	// The paper's ACE-interference example: r = a XOR b where a and b are
+	// both corrupted. Per-version liveness keeps both fully live — the
+	// model deliberately does not capture multi-fault interference; the
+	// injection study (Table II) quantifies that error instead.
+	g := NewGraph()
+	a := g.New(TransferNone, 0)
+	b := g.New(TransferNone, 0)
+	r := g.New(TransferMove, 0, a) // xor modeled as per-operand move
+	r2 := g.New(TransferMove, 0, b)
+	g.MarkRootLive(r, 1)
+	g.MarkRootLive(r2, 1)
+	g.Solve()
+	if g.Live(a) != 1 || g.Live(b) != 1 {
+		t.Error("xor operands should each be individually live")
+	}
+}
+
+func TestNoteReadTracking(t *testing.T) {
+	g := NewGraph()
+	a := g.New(TransferNone, 0)
+	if g.EverRead(a) {
+		t.Error("fresh version should be unread")
+	}
+	g.NoteRead(a, 100)
+	g.NoteRead(a, 50) // earlier read must not regress lastRead
+	if !g.EverRead(a) {
+		t.Error("EverRead after NoteRead")
+	}
+	if !g.ReadAfter(a, 99) {
+		t.Error("ReadAfter(99) should be true")
+	}
+	if g.ReadAfter(a, 100) {
+		t.Error("ReadAfter(100) should be false (strictly after)")
+	}
+}
+
+func TestSolveFreezesGraph(t *testing.T) {
+	g := NewGraph()
+	g.New(TransferNone, 0)
+	g.Solve()
+	g.Solve() // idempotent
+	defer func() {
+		if recover() == nil {
+			t.Error("New after Solve should panic")
+		}
+	}()
+	g.New(TransferNone, 0)
+}
+
+func TestDepOrderEnforced(t *testing.T) {
+	g := NewGraph()
+	defer func() {
+		if recover() == nil {
+			t.Error("forward dep should panic")
+		}
+	}()
+	g.New(TransferMove, 0, VersionID(5))
+}
+
+func TestQuickLivenessMonotonic(t *testing.T) {
+	// Adding root liveness can only grow live masks.
+	f := func(mask1, mask2 uint32) bool {
+		build := func(extra uint32) (uint32, uint32) {
+			g := NewGraph()
+			a := g.New(TransferNone, 0)
+			b := g.New(TransferArith, 0, a)
+			c := g.New(TransferAnd, 0x0F0F0F0F, b)
+			g.MarkRootLive(c, mask1)
+			g.MarkRootLive(c, extra)
+			g.Solve()
+			return g.Live(a), g.Live(b)
+		}
+		a1, b1 := build(0)
+		a2, b2 := build(mask2)
+		return a1&a2 == a1 && b1&b2 == b1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAndRefinesAll(t *testing.T) {
+	// TransferAnd must never claim more liveness than TransferAll would.
+	f := func(aux, root uint32) bool {
+		g1 := NewGraph()
+		a1 := g1.New(TransferNone, 0)
+		r1 := g1.New(TransferAnd, aux, a1)
+		g1.MarkRootLive(r1, root)
+		g1.Solve()
+
+		g2 := NewGraph()
+		a2 := g2.New(TransferNone, 0)
+		r2 := g2.New(TransferAll, 0, a2)
+		g2.MarkRootLive(r2, root)
+		g2.Solve()
+		return g1.Live(a1)&^g2.Live(a2) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAndTwoVariableOperands(t *testing.T) {
+	// r = a AND b with a=0x0F, b=0xF3 at runtime: a's live bits are where
+	// b is 1, b's live bits are where a is 1.
+	g := NewGraph()
+	a := g.New(TransferNone, 0)
+	b := g.New(TransferNone, 0)
+	r := g.New2(TransferAnd, 0xF3, 0x0F, a, b) // Aux = b's value, Aux2 = a's value
+	g.MarkRootLive(r, 0xFF)
+	g.Solve()
+	if g.Live(a) != 0xF3 {
+		t.Errorf("a live = %#x, want 0xF3", g.Live(a))
+	}
+	if g.Live(b) != 0x0F {
+		t.Errorf("b live = %#x, want 0x0F", g.Live(b))
+	}
+}
+
+func TestOrTwoVariableOperands(t *testing.T) {
+	g := NewGraph()
+	a := g.New(TransferNone, 0)
+	b := g.New(TransferNone, 0)
+	r := g.New2(TransferOr, 0xF0, 0x0C, a, b)
+	g.MarkRootLive(r, 0xFF)
+	g.Solve()
+	if g.Live(a) != 0x0F {
+		t.Errorf("a live = %#x, want 0x0F", g.Live(a))
+	}
+	if g.Live(b) != 0xF3 {
+		t.Errorf("b live = %#x, want 0xF3", g.Live(b))
+	}
+}
+
+func TestMoveMultipleDeps(t *testing.T) {
+	// XOR modeled as a two-dep move: both operands get the result mask.
+	g := NewGraph()
+	a := g.New(TransferNone, 0)
+	b := g.New(TransferNone, 0)
+	r := g.New(TransferMove, 0, a, b)
+	g.MarkRootLive(r, 0xA5)
+	g.Solve()
+	if g.Live(a) != 0xA5 || g.Live(b) != 0xA5 {
+		t.Errorf("xor deps live = %#x,%#x, want 0xA5", g.Live(a), g.Live(b))
+	}
+}
+
+func TestVariableShiftAmountLive(t *testing.T) {
+	g := NewGraph()
+	val := g.New(TransferNone, 0)
+	amt := g.New(TransferNone, 0)
+	r := g.New(TransferShl, 4, val, amt)
+	g.MarkRootLive(r, 0xF0)
+	g.Solve()
+	if g.Live(val) != 0x0F {
+		t.Errorf("shifted value live = %#x, want 0x0F", g.Live(val))
+	}
+	if g.Live(amt) != 31 {
+		t.Errorf("shift amount live = %#x, want 0x1F", g.Live(amt))
+	}
+}
+
+func TestDeadShiftDoesNotTouchAmount(t *testing.T) {
+	g := NewGraph()
+	val := g.New(TransferNone, 0)
+	amt := g.New(TransferNone, 0)
+	g.New(TransferShr, 2, val, amt) // result never consumed
+	g.Solve()
+	if g.Live(val) != 0 || g.Live(amt) != 0 {
+		t.Error("dead shift should leave operands dead")
+	}
+}

@@ -1,0 +1,45 @@
+package ecc
+
+// Working CRC codecs backing the CRC reaction model. CRC-8 uses the
+// polynomial x^8+x^2+x+1 (0x07) and CRC-16 the CCITT polynomial
+// x^16+x^12+x^5+1 (0x1021). A CRC of width w detects every error burst of
+// length <= w bits, which is the property the CRC reaction model relies on
+// for contiguous spatial multi-bit faults.
+
+// CRC8 computes the CRC-8 (poly 0x07, init 0) of data.
+func CRC8(data []byte) uint8 {
+	var crc uint8
+	for _, b := range data {
+		crc ^= b
+		for i := 0; i < 8; i++ {
+			if crc&0x80 != 0 {
+				crc = crc<<1 ^ 0x07
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return crc
+}
+
+// CRC16 computes the CRC-16/CCITT (poly 0x1021, init 0xFFFF) of data.
+func CRC16(data []byte) uint16 {
+	crc := uint16(0xFFFF)
+	for _, b := range data {
+		crc ^= uint16(b) << 8
+		for i := 0; i < 8; i++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ 0x1021
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return crc
+}
+
+// CheckCRC8 reports whether data still matches the stored checksum.
+func CheckCRC8(data []byte, sum uint8) bool { return CRC8(data) == sum }
+
+// CheckCRC16 reports whether data still matches the stored checksum.
+func CheckCRC16(data []byte, sum uint16) bool { return CRC16(data) == sum }

@@ -1,0 +1,190 @@
+// Package ecc models the error-protection schemes that guard SRAM
+// protection domains: even parity, SEC-DED and DEC-TED ECC, CRC, and
+// no protection.
+//
+// The MB-AVF engine only needs each scheme's reaction to k simultaneously
+// flipped bits within one protection domain (Section V-A of the paper):
+// corrected, detected-uncorrected, or undetected. This package provides
+// those reaction models plus real encoder/decoder implementations for
+// parity, Hamming SEC-DED, and CRC so the reaction models are validated
+// against working codecs rather than assumed.
+package ecc
+
+import "fmt"
+
+// Reaction is the action a protection domain takes upon observing a fault
+// while reading its word.
+type Reaction int
+
+const (
+	// ReactNone: no bits flipped; the read returns clean data.
+	ReactNone Reaction = iota
+	// ReactCorrected: the scheme corrects the fault; no error results.
+	ReactCorrected
+	// ReactDetected: the scheme detects but cannot correct the fault; a
+	// detected uncorrected error (DUE) results if the data mattered.
+	ReactDetected
+	// ReactUndetected: the fault defeats the scheme (possibly via
+	// miscorrection); silent data corruption results if the data mattered.
+	ReactUndetected
+)
+
+func (r Reaction) String() string {
+	switch r {
+	case ReactNone:
+		return "none"
+	case ReactCorrected:
+		return "corrected"
+	case ReactDetected:
+		return "detected"
+	case ReactUndetected:
+		return "undetected"
+	default:
+		return fmt.Sprintf("Reaction(%d)", int(r))
+	}
+}
+
+// Scheme describes the protection applied to each protection domain of a
+// hardware structure.
+type Scheme interface {
+	// Name returns a short display name ("parity", "sec-ded", ...).
+	Name() string
+	// React returns the scheme's reaction to flipped simultaneous bit
+	// flips within a single protection domain.
+	React(flipped int) Reaction
+	// CheckBits returns the number of check bits required to protect a
+	// word of dataBits data bits.
+	CheckBits(dataBits int) int
+}
+
+// Overhead returns the relative area overhead of scheme s protecting
+// dataBits-bit words: check bits divided by data bits.
+func Overhead(s Scheme, dataBits int) float64 {
+	return float64(s.CheckBits(dataBits)) / float64(dataBits)
+}
+
+// None is the absence of protection: every fault is undetected.
+type None struct{}
+
+func (None) Name() string { return "none" }
+
+func (None) React(flipped int) Reaction {
+	if flipped == 0 {
+		return ReactNone
+	}
+	return ReactUndetected
+}
+
+func (None) CheckBits(dataBits int) int { return 0 }
+
+// Parity is single-bit even parity over the protection domain. It detects
+// every fault flipping an odd number of bits and is defeated by every
+// even-sized fault. The paper (Section VIII) leans on this property:
+// parity guarantees detection of all odd-weight faults, so it can beat
+// SEC-DED on detection of large multi-bit faults.
+type Parity struct{}
+
+func (Parity) Name() string { return "parity" }
+
+func (Parity) React(flipped int) Reaction {
+	switch {
+	case flipped == 0:
+		return ReactNone
+	case flipped%2 == 1:
+		return ReactDetected
+	default:
+		return ReactUndetected
+	}
+}
+
+func (Parity) CheckBits(dataBits int) int { return 1 }
+
+// SECDED is single-error-correcting, double-error-detecting Hamming ECC.
+// One flipped bit is corrected, two are detected, and three or more defeat
+// the code (the decoder may even miscorrect, making the data worse); all
+// are undetected for AVF purposes.
+type SECDED struct{}
+
+func (SECDED) Name() string { return "sec-ded" }
+
+func (SECDED) React(flipped int) Reaction {
+	switch {
+	case flipped == 0:
+		return ReactNone
+	case flipped == 1:
+		return ReactCorrected
+	case flipped == 2:
+		return ReactDetected
+	default:
+		return ReactUndetected
+	}
+}
+
+// CheckBits returns the Hamming SEC-DED check-bit count: the smallest r
+// with 2^r >= dataBits + r + 1, plus one overall parity bit. For 32-bit
+// words this is 7 (21.9% overhead); for 64-bit words 8; for 128-bit words
+// 9 (the 7% the paper quotes).
+func (SECDED) CheckBits(dataBits int) int {
+	r := 0
+	for (1 << r) < dataBits+r+1 {
+		r++
+	}
+	return r + 1
+}
+
+// DECTED is double-error-correcting, triple-error-detecting ECC. Up to two
+// flipped bits are corrected, three are detected, four or more defeat the
+// code.
+type DECTED struct{}
+
+func (DECTED) Name() string { return "dec-ted" }
+
+func (DECTED) React(flipped int) Reaction {
+	switch {
+	case flipped == 0:
+		return ReactNone
+	case flipped <= 2:
+		return ReactCorrected
+	case flipped == 3:
+		return ReactDetected
+	default:
+		return ReactUndetected
+	}
+}
+
+// CheckBits returns the DEC-TED check-bit count, 2r+1 where r is the
+// single-error Hamming parameter. For 128-bit words this is 17, the 13%
+// overhead quoted in the paper's introduction.
+func (DECTED) CheckBits(dataBits int) int {
+	r := 0
+	for (1 << r) < dataBits+r+1 {
+		r++
+	}
+	return 2*r + 1
+}
+
+// CRC is a cyclic redundancy code of the given width used purely for
+// detection. Spatial multi-bit faults within one protection domain are
+// contiguous bursts, and a CRC of width w detects every burst of length
+// <= w, so the reaction model detects any fault of up to Width bits and is
+// conservatively defeated by larger ones.
+type CRC struct {
+	// Width is the CRC width in bits (8 or 16 for the real codecs in this
+	// package).
+	Width int
+}
+
+func (c CRC) Name() string { return fmt.Sprintf("crc-%d", c.Width) }
+
+func (c CRC) React(flipped int) Reaction {
+	switch {
+	case flipped == 0:
+		return ReactNone
+	case flipped <= c.Width:
+		return ReactDetected
+	default:
+		return ReactUndetected
+	}
+}
+
+func (c CRC) CheckBits(dataBits int) int { return c.Width }

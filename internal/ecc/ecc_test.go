@@ -1,0 +1,112 @@
+package ecc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestReactionStrings(t *testing.T) {
+	if ReactNone.String() != "none" || ReactCorrected.String() != "corrected" ||
+		ReactDetected.String() != "detected" || ReactUndetected.String() != "undetected" {
+		t.Error("reaction strings wrong")
+	}
+	if Reaction(99).String() != "Reaction(99)" {
+		t.Error("unknown reaction string wrong")
+	}
+}
+
+func TestParityReactions(t *testing.T) {
+	p := Parity{}
+	if p.React(0) != ReactNone {
+		t.Error("parity React(0)")
+	}
+	for k := 1; k <= 9; k += 2 {
+		if p.React(k) != ReactDetected {
+			t.Errorf("parity React(%d) = %v, want detected", k, p.React(k))
+		}
+	}
+	for k := 2; k <= 8; k += 2 {
+		if p.React(k) != ReactUndetected {
+			t.Errorf("parity React(%d) = %v, want undetected", k, p.React(k))
+		}
+	}
+}
+
+func TestSECDEDReactions(t *testing.T) {
+	s := SECDED{}
+	want := map[int]Reaction{0: ReactNone, 1: ReactCorrected, 2: ReactDetected, 3: ReactUndetected, 8: ReactUndetected}
+	for k, w := range want {
+		if got := s.React(k); got != w {
+			t.Errorf("secded React(%d) = %v, want %v", k, got, w)
+		}
+	}
+}
+
+func TestDECTEDReactions(t *testing.T) {
+	d := DECTED{}
+	want := map[int]Reaction{0: ReactNone, 1: ReactCorrected, 2: ReactCorrected, 3: ReactDetected, 4: ReactUndetected}
+	for k, w := range want {
+		if got := d.React(k); got != w {
+			t.Errorf("dected React(%d) = %v, want %v", k, got, w)
+		}
+	}
+}
+
+func TestNoneReactions(t *testing.T) {
+	n := None{}
+	if n.React(0) != ReactNone || n.React(1) != ReactUndetected || n.React(5) != ReactUndetected {
+		t.Error("none reactions wrong")
+	}
+	if n.CheckBits(64) != 0 {
+		t.Error("none should need no check bits")
+	}
+}
+
+func TestCRCReactions(t *testing.T) {
+	c := CRC{Width: 8}
+	if c.React(0) != ReactNone || c.React(1) != ReactDetected || c.React(8) != ReactDetected || c.React(9) != ReactUndetected {
+		t.Error("crc reactions wrong")
+	}
+	if c.Name() != "crc-8" {
+		t.Errorf("crc name = %q", c.Name())
+	}
+}
+
+// TestPaperOverheads checks the concrete overhead numbers quoted in the
+// paper: SEC-DED on 128-bit data needs 9 check bits (7%), DEC-TED needs 17
+// (13%), and on 32-bit registers SEC-DED is 21.9% and parity 3.1%.
+func TestPaperOverheads(t *testing.T) {
+	if got := (SECDED{}).CheckBits(128); got != 9 {
+		t.Errorf("SEC-DED 128-bit check bits = %d, want 9", got)
+	}
+	if got := (DECTED{}).CheckBits(128); got != 17 {
+		t.Errorf("DEC-TED 128-bit check bits = %d, want 17", got)
+	}
+	if got := (SECDED{}).CheckBits(32); got != 7 {
+		t.Errorf("SEC-DED 32-bit check bits = %d, want 7", got)
+	}
+	if got := Overhead(SECDED{}, 32); math.Abs(got-0.219) > 0.001 {
+		t.Errorf("SEC-DED 32-bit overhead = %.4f, want 0.219", got)
+	}
+	if got := Overhead(Parity{}, 32); math.Abs(got-0.031) > 0.001 {
+		t.Errorf("parity 32-bit overhead = %.4f, want 0.031", got)
+	}
+	if got := Overhead(DECTED{}, 128); math.Abs(got-0.133) > 0.001 {
+		t.Errorf("DEC-TED 128-bit overhead = %.4f, want 0.133", got)
+	}
+	if got := Overhead(SECDED{}, 128); math.Abs(got-0.070) > 0.001 {
+		t.Errorf("SEC-DED 128-bit overhead = %.4f, want 0.070", got)
+	}
+}
+
+func TestSchemeInterfaceConformance(t *testing.T) {
+	schemes := []Scheme{None{}, Parity{}, SECDED{}, DECTED{}, CRC{Width: 16}}
+	for _, s := range schemes {
+		if s.Name() == "" {
+			t.Errorf("%T has empty name", s)
+		}
+		if s.React(0) != ReactNone {
+			t.Errorf("%s React(0) != none", s.Name())
+		}
+	}
+}

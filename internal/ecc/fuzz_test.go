@@ -1,0 +1,31 @@
+package ecc
+
+import "testing"
+
+// FuzzHammingDecode checks the decoder never panics and never reports a
+// clean word for a corrupted codeword of weight 1 or 2.
+func FuzzHammingDecode(f *testing.F) {
+	f.Add([]byte{0xDE, 0xAD, 0xBE, 0xEF}, uint8(3), uint8(17))
+	f.Add([]byte{0, 0, 0, 0}, uint8(0), uint8(0))
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF}, uint8(38), uint8(38))
+	h := NewHamming(32)
+	f.Fuzz(func(t *testing.T, data []byte, i, j uint8) {
+		if len(data) < 4 {
+			return
+		}
+		cw := h.Encode(data[:4])
+		bi := int(i) % h.CodewordBits()
+		bj := int(j) % h.CodewordBits()
+		h.FlipCodewordBit(cw, bi)
+		if bj != bi {
+			h.FlipCodewordBit(cw, bj)
+		}
+		_, r := h.Decode(cw)
+		if bj == bi && r != ReactCorrected {
+			t.Fatalf("single flip at %d reacted %v", bi, r)
+		}
+		if bj != bi && r != ReactDetected {
+			t.Fatalf("double flip %d,%d reacted %v", bi, bj, r)
+		}
+	})
+}

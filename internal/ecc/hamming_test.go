@@ -1,0 +1,200 @@
+package ecc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func encode32(h *Hamming, v uint32) []byte {
+	var data [4]byte
+	binary.LittleEndian.PutUint32(data[:], v)
+	return h.Encode(data[:])
+}
+
+func TestHammingParameters(t *testing.T) {
+	cases := []struct {
+		dataBits, checkBits, codeBits int
+	}{
+		{8, 5, 13},
+		{32, 7, 39}, // the (39,32) code
+		{64, 8, 72}, // the (72,64) code
+		{128, 9, 137},
+	}
+	for _, c := range cases {
+		h := NewHamming(c.dataBits)
+		if h.CheckBits() != c.checkBits {
+			t.Errorf("Hamming(%d) check bits = %d, want %d", c.dataBits, h.CheckBits(), c.checkBits)
+		}
+		if h.CodewordBits() != c.codeBits {
+			t.Errorf("Hamming(%d) codeword bits = %d, want %d", c.dataBits, h.CodewordBits(), c.codeBits)
+		}
+		// Codec parameters must agree with the SECDED reaction model's
+		// overhead accounting.
+		if h.CheckBits() != (SECDED{}).CheckBits(c.dataBits) {
+			t.Errorf("Hamming(%d) check bits disagree with SECDED.CheckBits", c.dataBits)
+		}
+	}
+}
+
+func TestHammingRoundTripClean(t *testing.T) {
+	h := NewHamming(32)
+	for _, v := range []uint32{0, 1, 0xFFFFFFFF, 0xDEADBEEF, 0x80000001} {
+		cw := encode32(h, v)
+		data, r := h.Decode(cw)
+		if r != ReactNone {
+			t.Errorf("clean decode of %#x reacted %v", v, r)
+		}
+		if got := binary.LittleEndian.Uint32(data); got != v {
+			t.Errorf("round trip %#x -> %#x", v, got)
+		}
+	}
+}
+
+func TestHammingCorrectsEverySingleBitFlip(t *testing.T) {
+	h := NewHamming(32)
+	v := uint32(0xCAFEF00D)
+	for i := 0; i < h.CodewordBits(); i++ {
+		cw := encode32(h, v)
+		h.FlipCodewordBit(cw, i)
+		data, r := h.Decode(cw)
+		if r != ReactCorrected {
+			t.Fatalf("flip bit %d: reaction %v, want corrected", i, r)
+		}
+		if got := binary.LittleEndian.Uint32(data); got != v {
+			t.Fatalf("flip bit %d: data %#x, want %#x", i, got, v)
+		}
+	}
+}
+
+func TestHammingDetectsEveryDoubleBitFlip(t *testing.T) {
+	h := NewHamming(32)
+	v := uint32(0x12345678)
+	for i := 0; i < h.CodewordBits(); i++ {
+		for j := i + 1; j < h.CodewordBits(); j++ {
+			cw := encode32(h, v)
+			h.FlipCodewordBit(cw, i)
+			h.FlipCodewordBit(cw, j)
+			_, r := h.Decode(cw)
+			if r != ReactDetected {
+				t.Fatalf("flip bits %d,%d: reaction %v, want detected", i, j, r)
+			}
+		}
+	}
+}
+
+func TestHamming64SingleAndDouble(t *testing.T) {
+	h := NewHamming(64)
+	var data [8]byte
+	binary.LittleEndian.PutUint64(data[:], 0xA5A5_5A5A_0F0F_F0F0)
+	cw := h.Encode(data[:])
+	h.FlipCodewordBit(cw, 17)
+	out, r := h.Decode(cw)
+	if r != ReactCorrected || !bytes.Equal(out, data[:]) {
+		t.Fatalf("64-bit single-flip: r=%v data ok=%v", r, bytes.Equal(out, data[:]))
+	}
+	cw = h.Encode(data[:])
+	h.FlipCodewordBit(cw, 3)
+	h.FlipCodewordBit(cw, 70)
+	_, r = h.Decode(cw)
+	if r != ReactDetected {
+		t.Fatalf("64-bit double-flip: r=%v, want detected", r)
+	}
+}
+
+func TestHammingQuickRandomWords(t *testing.T) {
+	h := NewHamming(32)
+	f := func(v uint32, seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		cw := encode32(h, v)
+		switch r.Intn(3) {
+		case 0: // clean
+			data, react := h.Decode(cw)
+			return react == ReactNone && binary.LittleEndian.Uint32(data) == v
+		case 1: // single flip
+			h.FlipCodewordBit(cw, r.Intn(h.CodewordBits()))
+			data, react := h.Decode(cw)
+			return react == ReactCorrected && binary.LittleEndian.Uint32(data) == v
+		default: // double flip
+			i := r.Intn(h.CodewordBits())
+			j := (i + 1 + r.Intn(h.CodewordBits()-1)) % h.CodewordBits()
+			h.FlipCodewordBit(cw, i)
+			h.FlipCodewordBit(cw, j)
+			_, react := h.Decode(cw)
+			return react == ReactDetected
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHammingTripleFaultsAlias demonstrates why >=3-bit faults must be
+// modeled as undetected: contiguous triple flips frequently decode as
+// (mis)corrected clean-looking words.
+func TestHammingTripleFaultsAlias(t *testing.T) {
+	h := NewHamming(32)
+	v := uint32(0x0BADF00D)
+	miscorrected := 0
+	for i := 0; i+2 < h.CodewordBits(); i++ {
+		cw := encode32(h, v)
+		h.FlipCodewordBit(cw, i)
+		h.FlipCodewordBit(cw, i+1)
+		h.FlipCodewordBit(cw, i+2)
+		data, r := h.Decode(cw)
+		if r == ReactCorrected && binary.LittleEndian.Uint32(data) != v {
+			miscorrected++
+		}
+	}
+	if miscorrected == 0 {
+		t.Error("expected at least one miscorrection from 3x1 faults; SECDED undetected model would be vacuous")
+	}
+}
+
+func TestCRCCodecs(t *testing.T) {
+	data := []byte("multi-bit fault analysis")
+	s8, s16 := CRC8(data), CRC16(data)
+	if !CheckCRC8(data, s8) || !CheckCRC16(data, s16) {
+		t.Fatal("clean CRC check failed")
+	}
+	corrupt := append([]byte(nil), data...)
+	corrupt[3] ^= 0x18 // 2-bit burst
+	if CheckCRC8(corrupt, s8) {
+		t.Error("CRC8 missed a 2-bit burst")
+	}
+	if CheckCRC16(corrupt, s16) {
+		t.Error("CRC16 missed a 2-bit burst")
+	}
+}
+
+// TestCRCDetectsAllShortBursts validates the burst-detection property the
+// CRC reaction model depends on: every contiguous burst of length <= width
+// is detected.
+func TestCRCDetectsAllShortBursts(t *testing.T) {
+	data := make([]byte, 16)
+	for i := range data {
+		data[i] = byte(i*37 + 11)
+	}
+	s8, s16 := CRC8(data), CRC16(data)
+	totalBits := len(data) * 8
+	for burst := 1; burst <= 8; burst++ {
+		for start := 0; start+burst <= totalBits; start++ {
+			corrupt := append([]byte(nil), data...)
+			// Flip first and last bit of the burst plus alternating interior
+			// bits: a worst-ish case still within the burst window.
+			for b := 0; b < burst; b++ {
+				if b == 0 || b == burst-1 || b%2 == 0 {
+					corrupt[(start+b)/8] ^= 1 << ((start + b) % 8)
+				}
+			}
+			if CheckCRC8(corrupt, s8) {
+				t.Fatalf("CRC8 missed burst len %d at bit %d", burst, start)
+			}
+			if CheckCRC16(corrupt, s16) {
+				t.Fatalf("CRC16 missed burst len %d at bit %d", burst, start)
+			}
+		}
+	}
+}

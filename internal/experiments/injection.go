@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mbavf/internal/inject"
+	"mbavf/internal/report"
+	"mbavf/internal/sim"
+	"mbavf/internal/workloads"
+)
+
+// table2Workloads mirrors the paper's Table II benchmark list (the AMD
+// OpenCL sample suite).
+func table2Workloads() []string {
+	return []string{
+		"scanlargearrays", "dct", "dwthaar1d", "fastwalsh", "histogram",
+		"matrixtranspose", "prefixsum", "recursivegaussian", "matmul",
+	}
+}
+
+// table2 runs the ACE-interference fault-injection study (paper Table
+// II): single-bit campaigns identify SDC ACE bits, then 2x1/3x1/4x1
+// multi-bit groups containing those bits are injected and groups whose
+// outcome is masked are counted as ACE interference.
+func table2(o Options) ([]*report.Table, error) {
+	t := report.NewTable("Table II: ACE interference in multi-bit faults",
+		"benchmark", "injections", "SDC ACE bits", "2x1 interf", "3x1 interf", "4x1 interf")
+	t.Caption = fmt.Sprintf("Single-bit campaign of %d injections per benchmark (paper: 5000); interference = multi-bit group masked despite containing an SDC ACE bit.", o.Injections)
+	names := o.Workloads
+	if len(names) == 0 {
+		names = table2Workloads()
+	}
+	totalBits, totalInterf := 0, 0
+	for _, name := range names {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		c, err := inject.NewCampaign(w, sim.InjectionConfig())
+		if err != nil {
+			return nil, err
+		}
+		singles, err := c.SingleBitCampaign(o.Injections, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		sdc := inject.SDCBits(singles)
+		study, err := c.InterferenceStudy(sdc, []int{2, 3, 4})
+		if err != nil {
+			return nil, err
+		}
+		row := []any{name, o.Injections, len(sdc)}
+		for _, sres := range study {
+			row = append(row, sres.Interference)
+			totalInterf += sres.Interference
+		}
+		totalBits += len(sdc)
+		t.AddRowf(row...)
+	}
+	t.AddRowf("TOTAL", "", totalBits, "", "", "")
+	if totalBits > 0 {
+		t.Caption += fmt.Sprintf(" Overall interference: %d of %d group injections (%.2f%%).",
+			totalInterf, 3*totalBits, 100*float64(totalInterf)/float64(3*totalBits))
+	}
+	return []*report.Table{t}, nil
+}
+
+func init() {
+	registerExp("table2", "ACE interference injection study", table2)
+}

@@ -1,0 +1,99 @@
+// Package faultrate embeds the published spatial multi-bit fault-rate
+// data the paper builds on: the Ibe et al. technology-scaling study
+// (Table I) and the per-fault-mode rates used in the VGPR case study
+// (Table III), plus FIT arithmetic for rolling AVFs up into soft error
+// rates (equation 3).
+package faultrate
+
+import "fmt"
+
+// TableIRow is one process node's fault-width distribution: the
+// percentage of all SRAM faults whose multi-bit width along a wordline is
+// 2, 3, and so on. Width index 0 holds the total multi-bit percentage.
+type TableIRow struct {
+	// NodeNM is the design rule in nanometers.
+	NodeNM int
+	// TotalPct is the percentage of all faults that are multi-bit.
+	TotalPct float64
+	// WidthPct[w] is the percentage of all faults spanning exactly w+2
+	// bits (index 0 = 2-bit, 1 = 3-bit, ...); the last entry is ">8 bits".
+	WidthPct []float64
+}
+
+// TableI reproduces Ibe et al.'s measured ratio of multi-bit to total
+// faults by technology node (paper Table I). Multi-bit faults grow from
+// 0.5% of SRAM faults at 180nm to 3.9% at 22nm, with both rate and width
+// increasing as feature size shrinks.
+func TableI() []TableIRow {
+	return []TableIRow{
+		{NodeNM: 180, TotalPct: 0.5, WidthPct: []float64{0.5, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0}},
+		{NodeNM: 130, TotalPct: 1.0, WidthPct: []float64{0.9, 0.1, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0}},
+		{NodeNM: 90, TotalPct: 1.4, WidthPct: []float64{1.2, 0.1, 0.1, 0.0, 0.0, 0.0, 0.0, 0.0}},
+		{NodeNM: 65, TotalPct: 1.9, WidthPct: []float64{1.6, 0.2, 0.1, 0.0, 0.0, 0.0, 0.0, 0.0}},
+		{NodeNM: 45, TotalPct: 2.8, WidthPct: []float64{2.2, 0.3, 0.2, 0.1, 0.0, 0.0, 0.0, 0.0}},
+		{NodeNM: 32, TotalPct: 3.3, WidthPct: []float64{2.4, 0.4, 0.3, 0.1, 0.1, 0.0, 0.0, 0.0}},
+		{NodeNM: 22, TotalPct: 3.9, WidthPct: []float64{2.6, 0.5, 0.3, 0.2, 0.1, 0.1, 0.05, 0.05}},
+	}
+}
+
+// ModeRate is the raw fault rate of one spatial fault mode.
+type ModeRate struct {
+	// Width is the fault width in bits (1 = single-bit).
+	Width int
+	// FIT is the raw fault rate in failures per billion device-hours,
+	// normalized so that all modes sum to 100 as in Table III.
+	FIT float64
+}
+
+// TableIII returns the per-mode fault rates used in the paper's case
+// study (Table III): a total rate of 100 split across 1x1 through 8x1
+// using the 22nm distribution from Ibe et al.
+func TableIII() []ModeRate {
+	return []ModeRate{
+		{Width: 1, FIT: 96.1},
+		{Width: 2, FIT: 2.6},
+		{Width: 3, FIT: 0.5},
+		{Width: 4, FIT: 0.3},
+		{Width: 5, FIT: 0.2},
+		{Width: 6, FIT: 0.1},
+		{Width: 7, FIT: 0.1},
+		{Width: 8, FIT: 0.1},
+	}
+}
+
+// TotalFIT sums the rates of a mode set.
+func TotalFIT(rates []ModeRate) float64 {
+	var t float64
+	for _, r := range rates {
+		t += r.FIT
+	}
+	return t
+}
+
+// RateFor returns the FIT of the given fault width.
+func RateFor(rates []ModeRate, width int) (float64, error) {
+	for _, r := range rates {
+		if r.Width == width {
+			return r.FIT, nil
+		}
+	}
+	return 0, fmt.Errorf("faultrate: no rate for %d-bit faults", width)
+}
+
+// SER computes a structure's soft error rate contribution from one fault
+// mode (equation 3's inner term): the mode's raw FIT times its measured
+// AVF.
+func SER(fit, avf float64) float64 { return fit * avf }
+
+// TotalSER sums per-mode SER contributions: avfs[w] is the AVF measured
+// for the mode with matching index in rates.
+func TotalSER(rates []ModeRate, avfs []float64) (float64, error) {
+	if len(rates) != len(avfs) {
+		return 0, fmt.Errorf("faultrate: %d rates but %d AVFs", len(rates), len(avfs))
+	}
+	var total float64
+	for i, r := range rates {
+		total += SER(r.FIT, avfs[i])
+	}
+	return total, nil
+}

@@ -1,0 +1,80 @@
+package faultrate
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTableIMatchesPaperHeadlines(t *testing.T) {
+	rows := TableI()
+	if len(rows) != 7 {
+		t.Fatalf("Table I has %d rows, want 7", len(rows))
+	}
+	if rows[0].NodeNM != 180 || rows[0].TotalPct != 0.5 {
+		t.Errorf("180nm row wrong: %+v", rows[0])
+	}
+	last := rows[len(rows)-1]
+	if last.NodeNM != 22 || last.TotalPct != 3.9 {
+		t.Errorf("22nm row wrong: %+v", last)
+	}
+	// Monotone growth of multi-bit share as features shrink.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].TotalPct < rows[i-1].TotalPct {
+			t.Errorf("multi-bit fraction not monotone at %dnm", rows[i].NodeNM)
+		}
+	}
+	// Per-width percentages sum to the total.
+	for _, r := range rows {
+		var sum float64
+		for _, w := range r.WidthPct {
+			sum += w
+		}
+		if math.Abs(sum-r.TotalPct) > 0.01 {
+			t.Errorf("%dnm widths sum to %v, total is %v", r.NodeNM, sum, r.TotalPct)
+		}
+	}
+}
+
+func TestTableIIISumsTo100(t *testing.T) {
+	rates := TableIII()
+	if len(rates) != 8 {
+		t.Fatalf("Table III has %d modes, want 8", len(rates))
+	}
+	if got := TotalFIT(rates); math.Abs(got-100) > 1e-9 {
+		t.Errorf("total rate = %v, want 100", got)
+	}
+	if rates[0].Width != 1 || rates[0].FIT != 96.1 {
+		t.Errorf("single-bit rate wrong: %+v", rates[0])
+	}
+	// Rates fall with width.
+	for i := 2; i < len(rates); i++ {
+		if rates[i].FIT > rates[i-1].FIT {
+			t.Errorf("rate for %dx1 exceeds %dx1", rates[i].Width, rates[i-1].Width)
+		}
+	}
+}
+
+func TestRateFor(t *testing.T) {
+	rates := TableIII()
+	fit, err := RateFor(rates, 2)
+	if err != nil || fit != 2.6 {
+		t.Errorf("RateFor(2) = %v, %v", fit, err)
+	}
+	if _, err := RateFor(rates, 99); err == nil {
+		t.Error("unknown width should error")
+	}
+}
+
+func TestTotalSER(t *testing.T) {
+	rates := []ModeRate{{Width: 1, FIT: 90}, {Width: 2, FIT: 10}}
+	got, err := TotalSER(rates, []float64{0.5, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-55) > 1e-9 {
+		t.Errorf("TotalSER = %v, want 55", got)
+	}
+	if _, err := TotalSER(rates, []float64{0.5}); err == nil {
+		t.Error("length mismatch should error")
+	}
+}

@@ -1,0 +1,295 @@
+package gpu
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses a textual kernel into a Program. The syntax is one
+// instruction per line:
+//
+//	; per-thread offset
+//	v_mov   v0, tid
+//	v_shl   v0, v0, 2
+//	v_add   v1, v0, s0
+//	v_load  v2, [v1+0]
+//	v_fmad  v3, v2, 2.5f, v3
+//	loop:
+//	s_sub   s3, s3, 1
+//	s_brnz  s3, loop
+//	s_endpgm
+//
+// Operands are vN / sN registers, integer immediates (decimal or 0x hex),
+// float immediates with an f suffix or a decimal point, and the specials
+// tid, lane, wave. Loads and stores use [vN+offset] addresses. Labels end
+// with a colon; `;` and `#` start comments. A missing final s_endpgm is
+// appended, as with the Builder.
+func Assemble(name, src string) (*Program, error) {
+	b := NewBuilder(name)
+	var nameToOp = map[string]Opcode{}
+	for op, n := range opNames {
+		nameToOp[n] = op
+	}
+	for ln, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		lineNo := ln + 1
+		if strings.HasSuffix(line, ":") {
+			label := strings.TrimSpace(strings.TrimSuffix(line, ":"))
+			if label == "" {
+				return nil, fmt.Errorf("gpu: %s:%d: empty label", name, lineNo)
+			}
+			b.Label(label)
+			continue
+		}
+		fields := strings.SplitN(line, " ", 2)
+		mnemonic := strings.TrimSpace(fields[0])
+		op, ok := nameToOp[mnemonic]
+		if !ok {
+			return nil, fmt.Errorf("gpu: %s:%d: unknown mnemonic %q", name, lineNo, mnemonic)
+		}
+		var args []string
+		if len(fields) == 2 {
+			for _, a := range strings.Split(fields[1], ",") {
+				args = append(args, strings.TrimSpace(a))
+			}
+		}
+		if err := assembleOne(b, op, args); err != nil {
+			return nil, fmt.Errorf("gpu: %s:%d: %w", name, lineNo, err)
+		}
+	}
+	return b.Build()
+}
+
+func assembleOne(b *Builder, op Opcode, args []string) error {
+	want := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s wants %d operands, got %d", op, n, len(args))
+		}
+		return nil
+	}
+	switch op {
+	case OpNop, OpEndPgm, OpIfVCC, OpElse, OpEndIf:
+		if err := want(0); err != nil {
+			return err
+		}
+		b.emit(Instr{Op: op})
+	case OpBr:
+		if err := want(1); err != nil {
+			return err
+		}
+		b.branch(op, Operand{}, args[0])
+	case OpBrz, OpBrnz:
+		if err := want(2); err != nil {
+			return err
+		}
+		cond, err := parseOperand(args[0])
+		if err != nil {
+			return err
+		}
+		b.branch(op, cond, args[1])
+	case OpVLoad, OpVLoadB:
+		if err := want(2); err != nil {
+			return err
+		}
+		dst, err := parseOperand(args[0])
+		if err != nil {
+			return err
+		}
+		addr, off, err := parseMem(args[1])
+		if err != nil {
+			return err
+		}
+		b.emit(Instr{Op: op, Dst: dst, Src: [3]Operand{addr, Imm(off)}})
+	case OpVStore, OpVStoreB:
+		if err := want(2); err != nil {
+			return err
+		}
+		addr, off, err := parseMem(args[0])
+		if err != nil {
+			return err
+		}
+		val, err := parseOperand(args[1])
+		if err != nil {
+			return err
+		}
+		b.emit(Instr{Op: op, Src: [3]Operand{addr, Imm(off), val}})
+	case OpVCmpEQ, OpVCmpNE, OpVCmpLT, OpVCmpLE, OpVCmpGT, OpVCmpGE, OpVCmpFLT, OpVCmpFGE:
+		if err := want(2); err != nil {
+			return err
+		}
+		a, err := parseOperand(args[0])
+		if err != nil {
+			return err
+		}
+		c, err := parseOperand(args[1])
+		if err != nil {
+			return err
+		}
+		b.emit(Instr{Op: op, Src: [3]Operand{a, c}})
+	default:
+		// dst + 1..3 sources.
+		if len(args) < 2 || len(args) > 4 {
+			return fmt.Errorf("%s wants a destination and 1-3 sources, got %d operands", op, len(args))
+		}
+		ops := make([]Operand, len(args))
+		for i, a := range args {
+			o, err := parseOperand(a)
+			if err != nil {
+				return err
+			}
+			ops[i] = o
+		}
+		in := Instr{Op: op, Dst: ops[0]}
+		copy(in.Src[:], ops[1:])
+		b.emit(in)
+	}
+	return nil
+}
+
+// parseOperand parses a register, immediate, or special source.
+func parseOperand(s string) (Operand, error) {
+	switch s {
+	case "tid":
+		return Tid(), nil
+	case "lane":
+		return LaneID(), nil
+	case "wave":
+		return WaveID(), nil
+	case "":
+		return Operand{}, fmt.Errorf("empty operand")
+	}
+	if (s[0] == 'v' || s[0] == 's') && len(s) > 1 {
+		if idx, err := strconv.Atoi(s[1:]); err == nil {
+			if s[0] == 'v' {
+				return V(idx), nil
+			}
+			return S(idx), nil
+		}
+	}
+	if strings.HasSuffix(s, "f") || strings.ContainsAny(s, ".eE") && !strings.HasPrefix(s, "0x") {
+		fs := strings.TrimSuffix(s, "f")
+		f, err := strconv.ParseFloat(fs, 32)
+		if err != nil {
+			return Operand{}, fmt.Errorf("bad float immediate %q", s)
+		}
+		return ImmF(float32(f)), nil
+	}
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return Operand{}, fmt.Errorf("bad operand %q", s)
+	}
+	if v < math.MinInt32 || v > math.MaxUint32 {
+		return Operand{}, fmt.Errorf("immediate %q out of 32-bit range", s)
+	}
+	return Imm(int32(v)), nil
+}
+
+// parseMem parses a "[vN+off]" or "[vN]" address expression.
+func parseMem(s string) (Operand, int32, error) {
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return Operand{}, 0, fmt.Errorf("memory operand %q needs [reg+offset] form", s)
+	}
+	inner := s[1 : len(s)-1]
+	if inner == "" {
+		return Operand{}, 0, fmt.Errorf("empty memory operand %q", s)
+	}
+	regPart, offPart := inner, ""
+	if i := strings.IndexAny(inner[1:], "+-"); i >= 0 {
+		regPart, offPart = inner[:i+1], inner[i+1:]
+	}
+	reg, err := parseOperand(strings.TrimSpace(regPart))
+	if err != nil {
+		return Operand{}, 0, err
+	}
+	if reg.Kind != OpdVReg {
+		return Operand{}, 0, fmt.Errorf("memory address %q must use a vector register", s)
+	}
+	var off int64
+	if offPart != "" {
+		off, err = strconv.ParseInt(strings.TrimSpace(offPart), 0, 32)
+		if err != nil {
+			return Operand{}, 0, fmt.Errorf("bad address offset in %q", s)
+		}
+	}
+	return reg, int32(off), nil
+}
+
+// Disassemble renders a program back to assembler syntax accepted by
+// Assemble. Branch targets become generated labels.
+func Disassemble(p *Program) string {
+	labels := map[int]string{}
+	for _, in := range p.Code {
+		switch in.Op {
+		case OpBr, OpBrz, OpBrnz:
+			t := int(in.Target)
+			if _, ok := labels[t]; !ok {
+				labels[t] = fmt.Sprintf("L%d", t)
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "; kernel %s (%d vregs, %d sregs)\n", p.Name, p.NumVRegs, p.NumSRegs)
+	for i, in := range p.Code {
+		if l, ok := labels[i]; ok {
+			fmt.Fprintf(&sb, "%s:\n", l)
+		}
+		sb.WriteString("\t")
+		sb.WriteString(disasmInstr(in, labels))
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func fmtOperand(o Operand) string {
+	switch o.Kind {
+	case OpdVReg:
+		return fmt.Sprintf("v%d", o.Val)
+	case OpdSReg:
+		return fmt.Sprintf("s%d", o.Val)
+	case OpdImm:
+		return strconv.FormatInt(int64(o.Val), 10)
+	case OpdLane:
+		return "lane"
+	case OpdWave:
+		return "wave"
+	case OpdTid:
+		return "tid"
+	default:
+		return "?"
+	}
+}
+
+func disasmInstr(in Instr, labels map[int]string) string {
+	name := in.Op.String()
+	switch in.Op {
+	case OpNop, OpEndPgm, OpIfVCC, OpElse, OpEndIf:
+		return name
+	case OpBr:
+		return fmt.Sprintf("%s %s", name, labels[int(in.Target)])
+	case OpBrz, OpBrnz:
+		return fmt.Sprintf("%s %s, %s", name, fmtOperand(in.Src[0]), labels[int(in.Target)])
+	case OpVLoad, OpVLoadB:
+		return fmt.Sprintf("%s %s, [%s+%d]", name, fmtOperand(in.Dst), fmtOperand(in.Src[0]), in.Src[1].Val)
+	case OpVStore, OpVStoreB:
+		return fmt.Sprintf("%s [%s+%d], %s", name, fmtOperand(in.Src[0]), in.Src[1].Val, fmtOperand(in.Src[2]))
+	case OpVCmpEQ, OpVCmpNE, OpVCmpLT, OpVCmpLE, OpVCmpGT, OpVCmpGE, OpVCmpFLT, OpVCmpFGE:
+		return fmt.Sprintf("%s %s, %s", name, fmtOperand(in.Src[0]), fmtOperand(in.Src[1]))
+	default:
+		parts := []string{fmtOperand(in.Dst)}
+		for _, s := range in.Src {
+			if s.Kind != OpdNone {
+				parts = append(parts, fmtOperand(s))
+			}
+		}
+		return fmt.Sprintf("%s %s", name, strings.Join(parts, ", "))
+	}
+}

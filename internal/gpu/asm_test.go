@@ -1,0 +1,200 @@
+package gpu
+
+import (
+	"strings"
+	"testing"
+
+	"mbavf/internal/cache"
+	"mbavf/internal/mem"
+)
+
+const vecaddAsm = `
+; c[i] = a[i] + b[i]; s0=&a s1=&b s2=&c
+v_mov   v0, tid
+v_shl   v0, v0, 2
+v_add   v1, v0, s0
+v_load  v2, [v1+0]
+v_add   v1, v0, s1
+v_load  v3, [v1]
+v_add   v4, v2, v3
+v_add   v1, v0, s2
+v_store [v1+0], v4
+s_endpgm
+`
+
+func TestAssembleAndRun(t *testing.T) {
+	prog, err := Assemble("vecadd", vecaddAsm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memory := mem.New(1 << 16)
+	hier, err := cache.NewHierarchy(cache.DefaultHierConfig(), memory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(DefaultConfig(), memory, hier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := make([]uint32, Lanes)
+	bv := make([]uint32, Lanes)
+	for i := range a {
+		a[i] = uint32(10 * i)
+		bv[i] = uint32(i)
+	}
+	if err := memory.SetInputWords(nil, 0x1000, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := memory.SetInputWords(nil, 0x2000, bv); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunDispatch(Dispatch{Prog: prog, Waves: 1, Args: []uint32{0x1000, 0x2000, 0x3000}}); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := memory.Words(0x3000, Lanes)
+	for i, v := range out {
+		if v != uint32(11*i) {
+			t.Errorf("c[%d] = %d, want %d", i, v, 11*i)
+		}
+	}
+}
+
+func TestAssembleControlFlow(t *testing.T) {
+	src := `
+s_mov s1, 5
+s_mov s2, 0
+top:
+s_add s2, s2, s1
+s_sub s1, s1, 1
+s_brnz s1, top
+v_mov v14, s2
+v_shl v15, lane, 2
+v_add v15, v15, s0
+v_store [v15], v14
+`
+	prog, err := Assemble("loop", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memory := mem.New(1 << 12)
+	hier, _ := cache.NewHierarchy(cache.DefaultHierConfig(), memory)
+	m, _ := New(DefaultConfig(), memory, hier)
+	if err := m.RunDispatch(Dispatch{Prog: prog, Waves: 1, Args: []uint32{0x100}}); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := memory.Words(0x100, 1)
+	if out[0] != 15 {
+		t.Errorf("sum = %d, want 15", out[0])
+	}
+}
+
+func TestAssembleDivergenceAndFloats(t *testing.T) {
+	src := `
+v_mov v0, lane
+v_cmp_lt v0, 8
+s_if_vcc
+v_mov v14, 1.5f
+s_else
+v_mov v14, 2.5f
+s_endif
+v_shl v15, v0, 2
+v_add v15, v15, s0
+v_store [v15+0], v14
+`
+	prog, err := Assemble("diverge", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memory := mem.New(1 << 12)
+	hier, _ := cache.NewHierarchy(cache.DefaultHierConfig(), memory)
+	m, _ := New(DefaultConfig(), memory, hier)
+	if err := m.RunDispatch(Dispatch{Prog: prog, Waves: 1, Args: []uint32{0x100}}); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := memory.Words(0x100, Lanes)
+	for lane, v := range out {
+		want := float32(1.5)
+		if lane >= 8 {
+			want = 2.5
+		}
+		if f32from(v) != want {
+			t.Errorf("lane %d = %v, want %v", lane, f32from(v), want)
+		}
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"mnemonic", "v_bogus v0, v1", "unknown mnemonic"},
+		{"operand count", "v_add v0", "operands"},
+		{"bad operand", "v_add v0, v1, @", "bad operand"},
+		{"bad mem", "v_load v0, v1", "[reg+offset]"},
+		{"empty mem", "v_load v0, []", "empty memory operand"},
+		{"scalar addr", "v_load v0, [s1+0]", "vector register"},
+		{"empty label", ":", "empty label"},
+		{"bad float", "v_mov v0, 1.x5f", "bad float"},
+		{"undefined label", "s_branch nowhere", "undefined label"},
+		{"huge imm", "v_mov v0, 99999999999", "out of 32-bit range"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.name, c.src)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want contains %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestHexAndNegativeImmediates(t *testing.T) {
+	prog, err := Assemble("imm", `
+v_mov v14, 0xFF
+v_add v14, v14, -55
+v_shl v15, lane, 2
+v_add v15, v15, s0
+v_store [v15], v14
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memory := mem.New(1 << 12)
+	hier, _ := cache.NewHierarchy(cache.DefaultHierConfig(), memory)
+	m, _ := New(DefaultConfig(), memory, hier)
+	if err := m.RunDispatch(Dispatch{Prog: prog, Waves: 1, Args: []uint32{0x100}}); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := memory.Words(0x100, 1)
+	if out[0] != 200 {
+		t.Errorf("result = %d, want 200", out[0])
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	prog, err := Assemble("rt", vecaddAsm+`
+s_mov s3, 3
+again:
+v_cmp_eq v0, 0
+s_if_vcc
+v_loadb v5, [v1+2]
+v_storeb [v1+3], v5
+s_endif
+s_sub s3, s3, 1
+s_brnz s3, again
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Disassemble(prog)
+	prog2, err := Assemble("rt2", text)
+	if err != nil {
+		t.Fatalf("disassembly does not re-assemble: %v\n%s", err, text)
+	}
+	if len(prog2.Code) != len(prog.Code) {
+		t.Fatalf("instruction count changed: %d vs %d", len(prog2.Code), len(prog.Code))
+	}
+	for i := range prog.Code {
+		if prog.Code[i] != prog2.Code[i] {
+			t.Errorf("instr %d differs:\n %v\n %v", i, prog.Code[i], prog2.Code[i])
+		}
+	}
+}

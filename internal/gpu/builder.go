@@ -1,0 +1,358 @@
+package gpu
+
+import "fmt"
+
+// Builder assembles a Program: it records instructions, resolves branch
+// labels, and validates register indices and IF/ELSE/ENDIF structure.
+type Builder struct {
+	name     string
+	code     []Instr
+	labels   map[string]int
+	fixups   map[int]string // instruction index -> unresolved label
+	numVRegs int
+	numSRegs int
+	errs     []error
+}
+
+// NewBuilder starts a program named name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		name:   name,
+		labels: make(map[string]int),
+		fixups: make(map[int]string),
+	}
+}
+
+func (b *Builder) errf(format string, args ...any) {
+	b.errs = append(b.errs, fmt.Errorf("gpu: %s: %s", b.name, fmt.Sprintf(format, args...)))
+}
+
+func (b *Builder) noteOperand(o Operand) {
+	switch o.Kind {
+	case OpdVReg:
+		if o.Val < 0 {
+			b.errf("negative vector register v%d", o.Val)
+			return
+		}
+		if int(o.Val)+1 > b.numVRegs {
+			b.numVRegs = int(o.Val) + 1
+		}
+	case OpdSReg:
+		if o.Val < 0 {
+			b.errf("negative scalar register s%d", o.Val)
+			return
+		}
+		if int(o.Val)+1 > b.numSRegs {
+			b.numSRegs = int(o.Val) + 1
+		}
+	}
+}
+
+func (b *Builder) emit(in Instr) *Builder {
+	b.noteOperand(in.Dst)
+	for _, s := range in.Src {
+		b.noteOperand(s)
+	}
+	b.code = append(b.code, in)
+	return b
+}
+
+// Label binds name to the next emitted instruction.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.labels[name]; dup {
+		b.errf("duplicate label %q", name)
+	}
+	b.labels[name] = len(b.code)
+	return b
+}
+
+func (b *Builder) branch(op Opcode, cond Operand, label string) *Builder {
+	b.fixups[len(b.code)] = label
+	return b.emit(Instr{Op: op, Src: [3]Operand{cond}})
+}
+
+// Vector ALU.
+
+// VMov emits dst = src.
+func (b *Builder) VMov(dst, src Operand) *Builder {
+	return b.emit(Instr{Op: OpVMov, Dst: dst, Src: [3]Operand{src}})
+}
+
+// VAdd emits dst = a + b.
+func (b *Builder) VAdd(dst, a, c Operand) *Builder {
+	return b.emit(Instr{Op: OpVAdd, Dst: dst, Src: [3]Operand{a, c}})
+}
+
+// VSub emits dst = a - b.
+func (b *Builder) VSub(dst, a, c Operand) *Builder {
+	return b.emit(Instr{Op: OpVSub, Dst: dst, Src: [3]Operand{a, c}})
+}
+
+// VMul emits dst = a * b (low 32 bits).
+func (b *Builder) VMul(dst, a, c Operand) *Builder {
+	return b.emit(Instr{Op: OpVMul, Dst: dst, Src: [3]Operand{a, c}})
+}
+
+// VMad emits dst = a*b + c.
+func (b *Builder) VMad(dst, a, c, d Operand) *Builder {
+	return b.emit(Instr{Op: OpVMad, Dst: dst, Src: [3]Operand{a, c, d}})
+}
+
+// VAnd emits dst = a & b.
+func (b *Builder) VAnd(dst, a, c Operand) *Builder {
+	return b.emit(Instr{Op: OpVAnd, Dst: dst, Src: [3]Operand{a, c}})
+}
+
+// VOr emits dst = a | b.
+func (b *Builder) VOr(dst, a, c Operand) *Builder {
+	return b.emit(Instr{Op: OpVOr, Dst: dst, Src: [3]Operand{a, c}})
+}
+
+// VXor emits dst = a ^ b.
+func (b *Builder) VXor(dst, a, c Operand) *Builder {
+	return b.emit(Instr{Op: OpVXor, Dst: dst, Src: [3]Operand{a, c}})
+}
+
+// VNot emits dst = ^a.
+func (b *Builder) VNot(dst, a Operand) *Builder {
+	return b.emit(Instr{Op: OpVNot, Dst: dst, Src: [3]Operand{a}})
+}
+
+// VShl emits dst = a << (b & 31).
+func (b *Builder) VShl(dst, a, c Operand) *Builder {
+	return b.emit(Instr{Op: OpVShl, Dst: dst, Src: [3]Operand{a, c}})
+}
+
+// VShr emits dst = a >> (b & 31), logical.
+func (b *Builder) VShr(dst, a, c Operand) *Builder {
+	return b.emit(Instr{Op: OpVShr, Dst: dst, Src: [3]Operand{a, c}})
+}
+
+// VAshr emits dst = int32(a) >> (b & 31).
+func (b *Builder) VAshr(dst, a, c Operand) *Builder {
+	return b.emit(Instr{Op: OpVAshr, Dst: dst, Src: [3]Operand{a, c}})
+}
+
+// VMin emits dst = min(int32(a), int32(b)).
+func (b *Builder) VMin(dst, a, c Operand) *Builder {
+	return b.emit(Instr{Op: OpVMin, Dst: dst, Src: [3]Operand{a, c}})
+}
+
+// VMax emits dst = max(int32(a), int32(b)).
+func (b *Builder) VMax(dst, a, c Operand) *Builder {
+	return b.emit(Instr{Op: OpVMax, Dst: dst, Src: [3]Operand{a, c}})
+}
+
+// VCndMask emits dst = VCC[lane] ? a : b.
+func (b *Builder) VCndMask(dst, a, c Operand) *Builder {
+	return b.emit(Instr{Op: OpVCndMask, Dst: dst, Src: [3]Operand{a, c}})
+}
+
+// VCmp emits a vector compare writing VCC; op must be one of the OpVCmp*
+// opcodes.
+func (b *Builder) VCmp(op Opcode, a, c Operand) *Builder {
+	if op < OpVCmpEQ || op > OpVCmpFGE {
+		b.errf("VCmp with non-compare opcode %v", op)
+	}
+	return b.emit(Instr{Op: op, Src: [3]Operand{a, c}})
+}
+
+// Vector float.
+
+// VFAdd emits dst = a + b (float32).
+func (b *Builder) VFAdd(dst, a, c Operand) *Builder {
+	return b.emit(Instr{Op: OpVFAdd, Dst: dst, Src: [3]Operand{a, c}})
+}
+
+// VFSub emits dst = a - b (float32).
+func (b *Builder) VFSub(dst, a, c Operand) *Builder {
+	return b.emit(Instr{Op: OpVFSub, Dst: dst, Src: [3]Operand{a, c}})
+}
+
+// VFMul emits dst = a * b (float32).
+func (b *Builder) VFMul(dst, a, c Operand) *Builder {
+	return b.emit(Instr{Op: OpVFMul, Dst: dst, Src: [3]Operand{a, c}})
+}
+
+// VFMad emits dst = a*b + c (float32).
+func (b *Builder) VFMad(dst, a, c, d Operand) *Builder {
+	return b.emit(Instr{Op: OpVFMad, Dst: dst, Src: [3]Operand{a, c, d}})
+}
+
+// VFDiv emits dst = a / b (float32).
+func (b *Builder) VFDiv(dst, a, c Operand) *Builder {
+	return b.emit(Instr{Op: OpVFDiv, Dst: dst, Src: [3]Operand{a, c}})
+}
+
+// VFSqrt emits dst = sqrt(a) (float32).
+func (b *Builder) VFSqrt(dst, a Operand) *Builder {
+	return b.emit(Instr{Op: OpVFSqrt, Dst: dst, Src: [3]Operand{a}})
+}
+
+// VFExp emits dst = e^a (float32).
+func (b *Builder) VFExp(dst, a Operand) *Builder {
+	return b.emit(Instr{Op: OpVFExp, Dst: dst, Src: [3]Operand{a}})
+}
+
+// VFMin emits dst = min(a, b) (float32).
+func (b *Builder) VFMin(dst, a, c Operand) *Builder {
+	return b.emit(Instr{Op: OpVFMin, Dst: dst, Src: [3]Operand{a, c}})
+}
+
+// VFMax emits dst = max(a, b) (float32).
+func (b *Builder) VFMax(dst, a, c Operand) *Builder {
+	return b.emit(Instr{Op: OpVFMax, Dst: dst, Src: [3]Operand{a, c}})
+}
+
+// VI2F emits dst = float32(int32(a)).
+func (b *Builder) VI2F(dst, a Operand) *Builder {
+	return b.emit(Instr{Op: OpVI2F, Dst: dst, Src: [3]Operand{a}})
+}
+
+// VF2I emits dst = int32(trunc(float32(a))).
+func (b *Builder) VF2I(dst, a Operand) *Builder {
+	return b.emit(Instr{Op: OpVF2I, Dst: dst, Src: [3]Operand{a}})
+}
+
+// Memory.
+
+// VLoad emits dst = mem32[addr + off].
+func (b *Builder) VLoad(dst, addr Operand, off int32) *Builder {
+	return b.emit(Instr{Op: OpVLoad, Dst: dst, Src: [3]Operand{addr, Imm(off)}})
+}
+
+// VStore emits mem32[addr + off] = val.
+func (b *Builder) VStore(addr Operand, off int32, val Operand) *Builder {
+	return b.emit(Instr{Op: OpVStore, Src: [3]Operand{addr, Imm(off), val}})
+}
+
+// VLoadB emits dst = zext(mem8[addr + off]).
+func (b *Builder) VLoadB(dst, addr Operand, off int32) *Builder {
+	return b.emit(Instr{Op: OpVLoadB, Dst: dst, Src: [3]Operand{addr, Imm(off)}})
+}
+
+// VStoreB emits mem8[addr + off] = val & 0xFF.
+func (b *Builder) VStoreB(addr Operand, off int32, val Operand) *Builder {
+	return b.emit(Instr{Op: OpVStoreB, Src: [3]Operand{addr, Imm(off), val}})
+}
+
+// Control flow.
+
+// IfVCC begins a divergent region for lanes with their VCC bit set.
+func (b *Builder) IfVCC() *Builder { return b.emit(Instr{Op: OpIfVCC}) }
+
+// Else flips the active lane set of the innermost IfVCC region.
+func (b *Builder) Else() *Builder { return b.emit(Instr{Op: OpElse}) }
+
+// EndIf closes the innermost divergent region.
+func (b *Builder) EndIf() *Builder { return b.emit(Instr{Op: OpEndIf}) }
+
+// Br emits an unconditional branch to label.
+func (b *Builder) Br(label string) *Builder { return b.branch(OpBr, Operand{}, label) }
+
+// Brz branches to label when scalar cond is zero.
+func (b *Builder) Brz(cond Operand, label string) *Builder { return b.branch(OpBrz, cond, label) }
+
+// Brnz branches to label when scalar cond is non-zero.
+func (b *Builder) Brnz(cond Operand, label string) *Builder { return b.branch(OpBrnz, cond, label) }
+
+// Scalar ALU.
+
+// SMov emits sdst = src.
+func (b *Builder) SMov(dst, src Operand) *Builder {
+	return b.emit(Instr{Op: OpSMov, Dst: dst, Src: [3]Operand{src}})
+}
+
+// SAdd emits sdst = a + b.
+func (b *Builder) SAdd(dst, a, c Operand) *Builder {
+	return b.emit(Instr{Op: OpSAdd, Dst: dst, Src: [3]Operand{a, c}})
+}
+
+// SSub emits sdst = a - b.
+func (b *Builder) SSub(dst, a, c Operand) *Builder {
+	return b.emit(Instr{Op: OpSSub, Dst: dst, Src: [3]Operand{a, c}})
+}
+
+// SMul emits sdst = a * b.
+func (b *Builder) SMul(dst, a, c Operand) *Builder {
+	return b.emit(Instr{Op: OpSMul, Dst: dst, Src: [3]Operand{a, c}})
+}
+
+// SShl emits sdst = a << (b & 31).
+func (b *Builder) SShl(dst, a, c Operand) *Builder {
+	return b.emit(Instr{Op: OpSShl, Dst: dst, Src: [3]Operand{a, c}})
+}
+
+// SShr emits sdst = a >> (b & 31).
+func (b *Builder) SShr(dst, a, c Operand) *Builder {
+	return b.emit(Instr{Op: OpSShr, Dst: dst, Src: [3]Operand{a, c}})
+}
+
+// SAnd emits sdst = a & b.
+func (b *Builder) SAnd(dst, a, c Operand) *Builder {
+	return b.emit(Instr{Op: OpSAnd, Dst: dst, Src: [3]Operand{a, c}})
+}
+
+// SSlt emits sdst = (int32(a) < int32(b)) ? 1 : 0.
+func (b *Builder) SSlt(dst, a, c Operand) *Builder {
+	return b.emit(Instr{Op: OpSSlt, Dst: dst, Src: [3]Operand{a, c}})
+}
+
+// EndPgm terminates the wavefront.
+func (b *Builder) EndPgm() *Builder { return b.emit(Instr{Op: OpEndPgm}) }
+
+// Build resolves labels, validates structure, and returns the program.
+func (b *Builder) Build() (*Program, error) {
+	code := append([]Instr(nil), b.code...)
+	for idx, label := range b.fixups {
+		target, ok := b.labels[label]
+		if !ok {
+			b.errf("undefined label %q", label)
+			continue
+		}
+		code[idx].Target = int32(target)
+	}
+	depth := 0
+	sawElse := []bool{}
+	for i, in := range code {
+		switch in.Op {
+		case OpIfVCC:
+			depth++
+			sawElse = append(sawElse, false)
+		case OpElse:
+			if depth == 0 {
+				b.errf("ELSE outside IF at instruction %d", i)
+			} else if sawElse[len(sawElse)-1] {
+				b.errf("double ELSE at instruction %d", i)
+			} else {
+				sawElse[len(sawElse)-1] = true
+			}
+		case OpEndIf:
+			if depth == 0 {
+				b.errf("ENDIF outside IF at instruction %d", i)
+			} else {
+				depth--
+				sawElse = sawElse[:len(sawElse)-1]
+			}
+		case OpBrz, OpBrnz:
+			if in.Src[0].Kind != OpdSReg {
+				b.errf("conditional branch at %d needs a scalar register condition", i)
+			}
+		}
+	}
+	if depth != 0 {
+		b.errf("unbalanced IF/ENDIF (depth %d at end)", depth)
+	}
+	if len(code) == 0 || code[len(code)-1].Op != OpEndPgm {
+		code = append(code, Instr{Op: OpEndPgm})
+	}
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	return &Program{
+		Name:     b.name,
+		Code:     code,
+		NumVRegs: b.numVRegs,
+		NumSRegs: b.numSRegs,
+	}, nil
+}

@@ -1,0 +1,501 @@
+package gpu
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mbavf/internal/dataflow"
+)
+
+func f32bits(f float32) uint32 { return math.Float32bits(f) }
+func f32from(b uint32) float32 { return math.Float32frombits(b) }
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+var errScalarOperand = errors.New("vector register used in scalar context")
+
+// newVer records a dataflow version, or returns ground when no graph is
+// attached (injection runs disable dataflow).
+func (m *Machine) newVer(t dataflow.Transfer, aux, aux2 uint32, deps ...dataflow.VersionID) dataflow.VersionID {
+	if m.graph == nil {
+		return 0
+	}
+	return m.graph.New2(t, aux, aux2, deps...)
+}
+
+func (m *Machine) rootLive(v dataflow.VersionID, mask uint32) {
+	if m.graph != nil {
+		m.graph.MarkRootLive(v, mask)
+	}
+}
+
+func (m *Machine) noteRead(v dataflow.VersionID, t uint64) {
+	if m.graph != nil {
+		m.graph.NoteRead(v, t)
+	}
+}
+
+// readV fetches a vector-context operand for one lane.
+func (m *Machine) readV(w *wave, lane int, o Operand, t uint64) (uint32, dataflow.VersionID) {
+	switch o.Kind {
+	case OpdVReg:
+		idx := int(o.Val)*Lanes + lane
+		if m.vgprTracker != nil && w.cu == m.trackCU {
+			word := m.vgprWord(w.slot, lane, int(o.Val))
+			for b := 0; b < 4; b++ {
+				m.vgprTracker.Read(word, b, t)
+			}
+		}
+		return w.vreg[idx], w.vregVer[idx]
+	case OpdSReg:
+		return w.sreg[o.Val], 0
+	case OpdImm:
+		return uint32(o.Val), 0
+	case OpdLane:
+		return uint32(lane), 0
+	case OpdWave:
+		return uint32(w.id), 0
+	case OpdTid:
+		return uint32(w.id*Lanes + lane), 0
+	default:
+		return 0, 0
+	}
+}
+
+// writeV writes a vector register for one lane.
+func (m *Machine) writeV(w *wave, lane, reg int, val uint32, ver dataflow.VersionID, t uint64) {
+	idx := reg*Lanes + lane
+	w.vreg[idx] = val
+	w.vregVer[idx] = ver
+	if m.vgprTracker != nil && w.cu == m.trackCU {
+		word := m.vgprWord(w.slot, lane, reg)
+		for b := 0; b < 4; b++ {
+			m.vgprTracker.Open(word, b, t, ver)
+		}
+	}
+}
+
+// readS fetches a scalar-context operand.
+func (m *Machine) readS(w *wave, o Operand) (uint32, error) {
+	switch o.Kind {
+	case OpdSReg:
+		return w.sreg[o.Val], nil
+	case OpdImm:
+		return uint32(o.Val), nil
+	case OpdWave:
+		return uint32(w.id), nil
+	case OpdNone:
+		return 0, nil
+	default:
+		return 0, errScalarOperand
+	}
+}
+
+func latencyOf(op Opcode) uint64 {
+	switch op {
+	case OpVFDiv, OpVFSqrt, OpVFExp:
+		return 8
+	case OpVFAdd, OpVFSub, OpVFMul, OpVFMad, OpVFMin, OpVFMax, OpVI2F, OpVF2I:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// step executes one instruction of wave w issued at cycle t, returning its
+// latency.
+func (m *Machine) step(w *wave, t uint64) (uint64, error) {
+	in := w.prog.Code[w.pc]
+	next := w.pc + 1
+	lat := latencyOf(in.Op)
+	w.instrs++
+
+	switch in.Op {
+	case OpNop:
+
+	case OpEndPgm:
+		w.done = true
+
+	case OpVMov, OpVNot, OpVI2F, OpVF2I, OpVFSqrt, OpVFExp:
+		if err := needVDst(in); err != nil {
+			return 0, err
+		}
+		for lane := 0; lane < Lanes; lane++ {
+			if w.exec&(1<<lane) == 0 {
+				continue
+			}
+			a, av := m.readV(w, lane, in.Src[0], t)
+			var res uint32
+			var ver dataflow.VersionID
+			switch in.Op {
+			case OpVMov:
+				res = a
+				if av != 0 {
+					ver = m.newVer(dataflow.TransferMove, 0, 0, av)
+				} else {
+					ver = m.newVer(dataflow.TransferNone, 0, 0)
+				}
+			case OpVNot:
+				res = ^a
+				ver = m.newVer(dataflow.TransferMove, 0, 0, av)
+			case OpVI2F:
+				res = f32bits(float32(int32(a)))
+				ver = m.newVer(dataflow.TransferAll, 0, 0, av)
+			case OpVF2I:
+				f := f32from(a)
+				if f != f { // NaN
+					f = 0
+				}
+				res = uint32(int32(f))
+				ver = m.newVer(dataflow.TransferAll, 0, 0, av)
+			case OpVFSqrt:
+				res = f32bits(float32(math.Sqrt(float64(f32from(a)))))
+				ver = m.newVer(dataflow.TransferAll, 0, 0, av)
+			case OpVFExp:
+				res = f32bits(float32(math.Exp(float64(f32from(a)))))
+				ver = m.newVer(dataflow.TransferAll, 0, 0, av)
+			}
+			m.writeV(w, lane, int(in.Dst.Val), res, ver, t)
+		}
+
+	case OpVAdd, OpVSub, OpVMul, OpVAnd, OpVOr, OpVXor, OpVShl, OpVShr, OpVAshr,
+		OpVMin, OpVMax, OpVFAdd, OpVFSub, OpVFMul, OpVFDiv, OpVFMin, OpVFMax:
+		if err := needVDst(in); err != nil {
+			return 0, err
+		}
+		for lane := 0; lane < Lanes; lane++ {
+			if w.exec&(1<<lane) == 0 {
+				continue
+			}
+			a, av := m.readV(w, lane, in.Src[0], t)
+			b, bv := m.readV(w, lane, in.Src[1], t)
+			res, ver := m.execBinary(in.Op, a, b, av, bv)
+			m.writeV(w, lane, int(in.Dst.Val), res, ver, t)
+		}
+
+	case OpVMad, OpVFMad:
+		if err := needVDst(in); err != nil {
+			return 0, err
+		}
+		for lane := 0; lane < Lanes; lane++ {
+			if w.exec&(1<<lane) == 0 {
+				continue
+			}
+			a, av := m.readV(w, lane, in.Src[0], t)
+			b, bv := m.readV(w, lane, in.Src[1], t)
+			c, cv := m.readV(w, lane, in.Src[2], t)
+			var res uint32
+			if in.Op == OpVMad {
+				res = a*b + c
+			} else {
+				res = f32bits(f32from(a)*f32from(b) + f32from(c))
+			}
+			ver := m.newVer(dataflow.TransferAll, 0, 0, av, bv, cv)
+			m.writeV(w, lane, int(in.Dst.Val), res, ver, t)
+		}
+
+	case OpVCndMask:
+		if err := needVDst(in); err != nil {
+			return 0, err
+		}
+		for lane := 0; lane < Lanes; lane++ {
+			if w.exec&(1<<lane) == 0 {
+				continue
+			}
+			a, av := m.readV(w, lane, in.Src[0], t)
+			b, bv := m.readV(w, lane, in.Src[1], t)
+			res, chosen := b, bv
+			if w.vcc&(1<<lane) != 0 {
+				res, chosen = a, av
+			}
+			ver := m.newVer(dataflow.TransferSelect, 0, 0, chosen, w.vccVer[lane])
+			m.writeV(w, lane, int(in.Dst.Val), res, ver, t)
+		}
+
+	case OpVCmpEQ, OpVCmpNE, OpVCmpLT, OpVCmpLE, OpVCmpGT, OpVCmpGE, OpVCmpFLT, OpVCmpFGE:
+		for lane := 0; lane < Lanes; lane++ {
+			if w.exec&(1<<lane) == 0 {
+				continue
+			}
+			a, av := m.readV(w, lane, in.Src[0], t)
+			b, bv := m.readV(w, lane, in.Src[1], t)
+			var bit bool
+			switch in.Op {
+			case OpVCmpEQ:
+				bit = a == b
+			case OpVCmpNE:
+				bit = a != b
+			case OpVCmpLT:
+				bit = int32(a) < int32(b)
+			case OpVCmpLE:
+				bit = int32(a) <= int32(b)
+			case OpVCmpGT:
+				bit = int32(a) > int32(b)
+			case OpVCmpGE:
+				bit = int32(a) >= int32(b)
+			case OpVCmpFLT:
+				bit = f32from(a) < f32from(b)
+			case OpVCmpFGE:
+				bit = f32from(a) >= f32from(b)
+			}
+			if bit {
+				w.vcc |= 1 << lane
+			} else {
+				w.vcc &^= 1 << lane
+			}
+			w.vccVer[lane] = m.newVer(dataflow.TransferAll, 0, 0, av, bv)
+		}
+
+	case OpVLoad, OpVLoadB:
+		if err := needVDst(in); err != nil {
+			return 0, err
+		}
+		var err error
+		lat, err = m.execLoad(w, in, t)
+		if err != nil {
+			return 0, err
+		}
+
+	case OpVStore, OpVStoreB:
+		var err error
+		lat, err = m.execStore(w, in, t)
+		if err != nil {
+			return 0, err
+		}
+
+	case OpIfVCC:
+		entry := execEntry{saved: w.exec, thenMask: w.exec & w.vcc}
+		if m.graph != nil {
+			for lane := 0; lane < Lanes; lane++ {
+				if entry.saved&(1<<lane) != 0 {
+					m.graph.MarkRootLive(w.vccVer[lane], 1)
+				}
+			}
+		}
+		w.stack = append(w.stack, entry)
+		w.exec = entry.thenMask
+
+	case OpElse:
+		if len(w.stack) == 0 {
+			return 0, errors.New("ELSE with empty divergence stack")
+		}
+		top := w.stack[len(w.stack)-1]
+		w.exec = top.saved &^ top.thenMask
+
+	case OpEndIf:
+		if len(w.stack) == 0 {
+			return 0, errors.New("ENDIF with empty divergence stack")
+		}
+		w.exec = w.stack[len(w.stack)-1].saved
+		w.stack = w.stack[:len(w.stack)-1]
+
+	case OpSMov, OpSAdd, OpSSub, OpSMul, OpSShl, OpSShr, OpSAnd, OpSSlt:
+		if in.Dst.Kind != OpdSReg {
+			return 0, fmt.Errorf("scalar op %v needs scalar destination", in.Op)
+		}
+		a, err := m.readS(w, in.Src[0])
+		if err != nil {
+			return 0, err
+		}
+		b, err := m.readS(w, in.Src[1])
+		if err != nil {
+			return 0, err
+		}
+		var res uint32
+		switch in.Op {
+		case OpSMov:
+			res = a
+		case OpSAdd:
+			res = a + b
+		case OpSSub:
+			res = a - b
+		case OpSMul:
+			res = a * b
+		case OpSShl:
+			res = a << (b & 31)
+		case OpSShr:
+			res = a >> (b & 31)
+		case OpSAnd:
+			res = a & b
+		case OpSSlt:
+			res = b2u(int32(a) < int32(b))
+		}
+		w.sreg[in.Dst.Val] = res
+
+	case OpBr:
+		next = int(in.Target)
+
+	case OpBrz, OpBrnz:
+		c, err := m.readS(w, in.Src[0])
+		if err != nil {
+			return 0, err
+		}
+		if (in.Op == OpBrz) == (c == 0) {
+			next = int(in.Target)
+		}
+
+	default:
+		return 0, fmt.Errorf("unimplemented opcode %v", in.Op)
+	}
+
+	if next < 0 || next > len(w.prog.Code) {
+		return 0, fmt.Errorf("branch target %d out of program", next)
+	}
+	w.pc = next
+	return lat, nil
+}
+
+func needVDst(in Instr) error {
+	if in.Dst.Kind != OpdVReg {
+		return fmt.Errorf("op %v needs vector destination", in.Op)
+	}
+	return nil
+}
+
+// execBinary computes a two-source vector ALU op and its dataflow version.
+func (m *Machine) execBinary(op Opcode, a, b uint32, av, bv dataflow.VersionID) (uint32, dataflow.VersionID) {
+	var res uint32
+	var ver dataflow.VersionID
+	switch op {
+	case OpVAdd:
+		res = a + b
+		ver = m.newVer(dataflow.TransferArith, 0, 0, av, bv)
+	case OpVSub:
+		res = a - b
+		ver = m.newVer(dataflow.TransferArith, 0, 0, av, bv)
+	case OpVMul:
+		res = a * b
+		ver = m.newVer(dataflow.TransferAll, 0, 0, av, bv)
+	case OpVAnd:
+		res = a & b
+		ver = m.newVer(dataflow.TransferAnd, b, a, av, bv)
+	case OpVOr:
+		res = a | b
+		ver = m.newVer(dataflow.TransferOr, b, a, av, bv)
+	case OpVXor:
+		res = a ^ b
+		ver = m.newVer(dataflow.TransferMove, 0, 0, av, bv)
+	case OpVShl:
+		res = a << (b & 31)
+		ver = m.newVer(dataflow.TransferShl, b&31, 0, av, bv)
+	case OpVShr:
+		res = a >> (b & 31)
+		ver = m.newVer(dataflow.TransferShr, b&31, 0, av, bv)
+	case OpVAshr:
+		res = uint32(int32(a) >> (b & 31))
+		ver = m.newVer(dataflow.TransferAll, 0, 0, av, bv)
+	case OpVMin:
+		res = uint32(min(int32(a), int32(b)))
+		ver = m.newVer(dataflow.TransferAll, 0, 0, av, bv)
+	case OpVMax:
+		res = uint32(max(int32(a), int32(b)))
+		ver = m.newVer(dataflow.TransferAll, 0, 0, av, bv)
+	case OpVFAdd:
+		res = f32bits(f32from(a) + f32from(b))
+		ver = m.newVer(dataflow.TransferAll, 0, 0, av, bv)
+	case OpVFSub:
+		res = f32bits(f32from(a) - f32from(b))
+		ver = m.newVer(dataflow.TransferAll, 0, 0, av, bv)
+	case OpVFMul:
+		res = f32bits(f32from(a) * f32from(b))
+		ver = m.newVer(dataflow.TransferAll, 0, 0, av, bv)
+	case OpVFDiv:
+		res = f32bits(f32from(a) / f32from(b))
+		ver = m.newVer(dataflow.TransferAll, 0, 0, av, bv)
+	case OpVFMin:
+		res = f32bits(float32(math.Min(float64(f32from(a)), float64(f32from(b)))))
+		ver = m.newVer(dataflow.TransferAll, 0, 0, av, bv)
+	case OpVFMax:
+		res = f32bits(float32(math.Max(float64(f32from(a)), float64(f32from(b)))))
+		ver = m.newVer(dataflow.TransferAll, 0, 0, av, bv)
+	}
+	return res, ver
+}
+
+func (m *Machine) execLoad(w *wave, in Instr, t uint64) (uint64, error) {
+	size := 4
+	if in.Op == OpVLoadB {
+		size = 1
+	}
+	lat := uint64(1)
+	for lane := 0; lane < Lanes; lane++ {
+		if w.exec&(1<<lane) == 0 {
+			continue
+		}
+		base, bver := m.readV(w, lane, in.Src[0], t)
+		m.rootLive(bver, ^uint32(0)) // address bits are conservatively live
+		addr := base + uint32(in.Src[1].Val)
+		var val uint32
+		var ver dataflow.VersionID
+		if size == 4 {
+			if addr%4 != 0 {
+				return 0, fmt.Errorf("misaligned 32-bit load at %#x", addr)
+			}
+			v, vers, err := m.memory.LoadWord(addr)
+			if err != nil {
+				return 0, err
+			}
+			val = v
+			for _, bv := range vers {
+				m.noteRead(bv, t)
+			}
+			ver = m.newVer(dataflow.TransferAssemble, 0, 0, vers[0], vers[1], vers[2], vers[3])
+		} else {
+			bval, bv, err := m.memory.LoadByte(addr)
+			if err != nil {
+				return 0, err
+			}
+			val = uint32(bval)
+			m.noteRead(bv, t)
+			ver = m.newVer(dataflow.TransferAssemble, 0, 0, bv)
+		}
+		l := m.caches.Load(w.cu, addr, size, t)
+		lat = max(lat, l)
+		m.writeV(w, lane, int(in.Dst.Val), val, ver, t)
+	}
+	return lat, nil
+}
+
+func (m *Machine) execStore(w *wave, in Instr, t uint64) (uint64, error) {
+	size := 4
+	if in.Op == OpVStoreB {
+		size = 1
+	}
+	lat := uint64(1)
+	for lane := 0; lane < Lanes; lane++ {
+		if w.exec&(1<<lane) == 0 {
+			continue
+		}
+		base, bver := m.readV(w, lane, in.Src[0], t)
+		m.rootLive(bver, ^uint32(0))
+		addr := base + uint32(in.Src[1].Val)
+		val, vver := m.readV(w, lane, in.Src[2], t)
+		if size == 4 {
+			if addr%4 != 0 {
+				return 0, fmt.Errorf("misaligned 32-bit store at %#x", addr)
+			}
+			var bvers [4]dataflow.VersionID
+			for k := 0; k < 4; k++ {
+				bvers[k] = m.newVer(dataflow.TransferByte, uint32(k), 0, vver)
+			}
+			l := m.caches.Store(w.cu, addr, 4, t, bvers[:])
+			lat = max(lat, l)
+			if err := m.memory.StoreWord(addr, val, bvers); err != nil {
+				return 0, err
+			}
+		} else {
+			bver := m.newVer(dataflow.TransferByte, 0, 0, vver)
+			l := m.caches.Store(w.cu, addr, 1, t, []dataflow.VersionID{bver})
+			lat = max(lat, l)
+			if err := m.memory.StoreByte(addr, byte(val), bver); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return lat, nil
+}

@@ -1,0 +1,32 @@
+package gpu
+
+import (
+	"testing"
+)
+
+// FuzzAssemble checks that arbitrary source text never panics the
+// assembler: it must either produce a valid program or return an error.
+func FuzzAssemble(f *testing.F) {
+	f.Add(vecaddAsm)
+	f.Add("v_mov v0, tid\ns_endpgm")
+	f.Add("loop:\ns_branch loop")
+	f.Add("v_load v1, [v0+4]")
+	f.Add("v_cmp_lt v0, 3\ns_if_vcc\ns_endif")
+	f.Add("; comment only")
+	f.Add("v_mov v0, 1.5f\nv_mov v1, 0xFF\nv_mov v2, -12")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Assemble("fuzz", src)
+		if err != nil {
+			return
+		}
+		// Valid programs must round-trip through the disassembler.
+		text := Disassemble(prog)
+		prog2, err := Assemble("fuzz2", text)
+		if err != nil {
+			t.Fatalf("disassembly failed to re-assemble: %v\n%s", err, text)
+		}
+		if len(prog2.Code) != len(prog.Code) {
+			t.Fatalf("round trip changed instruction count %d -> %d", len(prog.Code), len(prog2.Code))
+		}
+	})
+}

@@ -1,0 +1,259 @@
+package gpu
+
+import (
+	"math"
+	"testing"
+)
+
+// runUnary executes "dst = op(a)" on lane 0 and returns the result.
+func runOp(t *testing.T, build func(b *Builder)) []uint32 {
+	t.Helper()
+	m, memory, _ := testRig(t, false)
+	b := NewBuilder("op")
+	build(b)
+	b.VShl(V(15), LaneID(), Imm(2))
+	b.VAdd(V(15), V(15), S(0))
+	b.VStore(V(15), 0, V(14)) // convention: result in v14
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunDispatch(Dispatch{Prog: prog, Waves: 1, Args: []uint32{0x400}}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := memory.Words(0x400, Lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestIntegerALUOps(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(*Builder)
+		want  uint32
+	}{
+		{"add", func(b *Builder) { b.VAdd(V(14), Imm(7), Imm(5)) }, 12},
+		{"add-wrap", func(b *Builder) { b.VAdd(V(14), Imm(-1), Imm(2)) }, 1},
+		{"sub", func(b *Builder) { b.VSub(V(14), Imm(7), Imm(5)) }, 2},
+		{"sub-borrow", func(b *Builder) { b.VSub(V(14), Imm(5), Imm(7)) }, 0xFFFFFFFE},
+		{"mul", func(b *Builder) { b.VMul(V(14), Imm(6), Imm(7)) }, 42},
+		{"mad", func(b *Builder) { b.VMad(V(14), Imm(6), Imm(7), Imm(100)) }, 142},
+		{"and", func(b *Builder) { b.VAnd(V(14), Imm(0xFF), Imm(0x0F0)) }, 0xF0},
+		{"or", func(b *Builder) { b.VOr(V(14), Imm(0xF0), Imm(0x0F)) }, 0xFF},
+		{"xor", func(b *Builder) { b.VXor(V(14), Imm(0xFF), Imm(0x0F)) }, 0xF0},
+		{"not", func(b *Builder) { b.VNot(V(14), Imm(0)) }, 0xFFFFFFFF},
+		{"shl", func(b *Builder) { b.VShl(V(14), Imm(1), Imm(4)) }, 16},
+		{"shl-mask", func(b *Builder) { b.VShl(V(14), Imm(1), Imm(33)) }, 2},
+		{"shr", func(b *Builder) { b.VShr(V(14), Imm(-1), Imm(28)) }, 0xF},
+		{"ashr", func(b *Builder) { b.VAshr(V(14), Imm(-16), Imm(2)) }, uint32(0xFFFFFFFC)},
+		{"min", func(b *Builder) { b.VMin(V(14), Imm(-3), Imm(2)) }, uint32(0xFFFFFFFD)},
+		{"max", func(b *Builder) { b.VMax(V(14), Imm(-3), Imm(2)) }, 2},
+	}
+	for _, c := range cases {
+		out := runOp(t, c.build)
+		for lane, v := range out {
+			if v != c.want {
+				t.Errorf("%s lane %d = %#x, want %#x", c.name, lane, v, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestFloatALUOps(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func(*Builder)
+		want  float32
+	}{
+		{"fadd", func(b *Builder) { b.VFAdd(V(14), ImmF(1.5), ImmF(2.25)) }, 3.75},
+		{"fsub", func(b *Builder) { b.VFSub(V(14), ImmF(1.5), ImmF(2.25)) }, -0.75},
+		{"fmul", func(b *Builder) { b.VFMul(V(14), ImmF(1.5), ImmF(2)) }, 3},
+		{"fmad", func(b *Builder) { b.VFMad(V(14), ImmF(2), ImmF(3), ImmF(1)) }, 7},
+		{"fdiv", func(b *Builder) { b.VFDiv(V(14), ImmF(7), ImmF(2)) }, 3.5},
+		{"fsqrt", func(b *Builder) { b.VFSqrt(V(14), ImmF(9)) }, 3},
+		{"fexp", func(b *Builder) { b.VFExp(V(14), ImmF(0)) }, 1},
+		{"fmin", func(b *Builder) { b.VFMin(V(14), ImmF(-1), ImmF(2)) }, -1},
+		{"fmax", func(b *Builder) { b.VFMax(V(14), ImmF(-1), ImmF(2)) }, 2},
+		{"i2f", func(b *Builder) { b.VI2F(V(14), Imm(-7)) }, -7},
+	}
+	for _, c := range cases {
+		out := runOp(t, c.build)
+		got := f32from(out[0])
+		if got != c.want {
+			t.Errorf("%s = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestF2ITruncationAndNaN(t *testing.T) {
+	out := runOp(t, func(b *Builder) { b.VF2I(V(14), ImmF(3.9)) })
+	if int32(out[0]) != 3 {
+		t.Errorf("f2i(3.9) = %d, want 3", int32(out[0]))
+	}
+	out = runOp(t, func(b *Builder) { b.VF2I(V(14), ImmF(-2.7)) })
+	if int32(out[0]) != -2 {
+		t.Errorf("f2i(-2.7) = %d, want -2", int32(out[0]))
+	}
+	nan := Operand{Kind: OpdImm, Val: int32(math.Float32bits(float32(math.NaN())))}
+	out = runOp(t, func(b *Builder) { b.VF2I(V(14), nan) })
+	if out[0] != 0 {
+		t.Errorf("f2i(NaN) = %d, want 0", out[0])
+	}
+}
+
+func TestCompareOpcodes(t *testing.T) {
+	// Each compare writes VCC; materialize via CndMask(1, 0).
+	check := func(name string, op Opcode, a, b int32, want uint32) {
+		t.Helper()
+		out := runOp(t, func(bd *Builder) {
+			bd.VCmp(op, Imm(a), Imm(b))
+			bd.VCndMask(V(14), Imm(1), Imm(0))
+		})
+		if out[0] != want {
+			t.Errorf("%s(%d,%d) = %d, want %d", name, a, b, out[0], want)
+		}
+	}
+	check("eq", OpVCmpEQ, 3, 3, 1)
+	check("eq", OpVCmpEQ, 3, 4, 0)
+	check("ne", OpVCmpNE, 3, 4, 1)
+	check("lt", OpVCmpLT, -5, 3, 1)
+	check("lt", OpVCmpLT, 3, -5, 0)
+	check("le", OpVCmpLE, 3, 3, 1)
+	check("gt", OpVCmpGT, 4, 3, 1)
+	check("ge", OpVCmpGE, 3, 3, 1)
+}
+
+func TestFloatCompares(t *testing.T) {
+	out := runOp(t, func(b *Builder) {
+		b.VCmp(OpVCmpFLT, ImmF(1.5), ImmF(2.5))
+		b.VCndMask(V(14), Imm(1), Imm(0))
+	})
+	if out[0] != 1 {
+		t.Error("1.5 < 2.5 should set VCC")
+	}
+	out = runOp(t, func(b *Builder) {
+		b.VCmp(OpVCmpFGE, ImmF(2.5), ImmF(2.5))
+		b.VCndMask(V(14), Imm(1), Imm(0))
+	})
+	if out[0] != 1 {
+		t.Error("2.5 >= 2.5 should set VCC")
+	}
+}
+
+func TestScalarOps(t *testing.T) {
+	m, memory, _ := testRig(t, false)
+	b := NewBuilder("scalar")
+	b.SMov(S(1), Imm(12))
+	b.SAdd(S(2), S(1), Imm(3)) // 15
+	b.SSub(S(3), S(2), Imm(5)) // 10
+	b.SMul(S(4), S(3), Imm(4)) // 40
+	b.SShl(S(5), S(4), Imm(1)) // 80
+	b.SShr(S(6), S(5), Imm(3)) // 10
+	b.SAnd(S(7), S(6), Imm(6)) // 2
+	b.SSlt(S(8), S(7), Imm(3)) // 1
+	b.SSlt(S(9), Imm(3), S(7)) // 0
+	// Pack: v14 = s8*10 + s9 + s7*100
+	b.VMov(V(1), S(8))
+	b.VMul(V(1), V(1), Imm(10))
+	b.VMov(V(2), S(9))
+	b.VAdd(V(1), V(1), V(2))
+	b.VMov(V(3), S(7))
+	b.VMad(V(14), V(3), Imm(100), V(1))
+	b.VShl(V(15), LaneID(), Imm(2))
+	b.VAdd(V(15), V(15), S(0))
+	b.VStore(V(15), 0, V(14))
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunDispatch(Dispatch{Prog: prog, Waves: 1, Args: []uint32{0x200}}); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := memory.Words(0x200, 1)
+	if out[0] != 210 {
+		t.Errorf("scalar chain = %d, want 210", out[0])
+	}
+}
+
+func TestNestedDivergence(t *testing.T) {
+	// Nested IF: lanes 0-7 outer, lanes 0-3 inner.
+	m, memory, _ := testRig(t, false)
+	b := NewBuilder("nested")
+	b.VMov(V(0), LaneID())
+	b.VMov(V(14), Imm(0))
+	b.VCmp(OpVCmpLT, V(0), Imm(8))
+	b.IfVCC()
+	b.VMov(V(14), Imm(1))
+	b.VCmp(OpVCmpLT, V(0), Imm(4))
+	b.IfVCC()
+	b.VMov(V(14), Imm(2))
+	b.Else()
+	b.VMov(V(14), Imm(3))
+	b.EndIf()
+	b.EndIf()
+	b.VShl(V(15), V(0), Imm(2))
+	b.VAdd(V(15), V(15), S(0))
+	b.VStore(V(15), 0, V(14))
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunDispatch(Dispatch{Prog: prog, Waves: 1, Args: []uint32{0x300}}); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := memory.Words(0x300, Lanes)
+	for lane, v := range out {
+		var want uint32
+		switch {
+		case lane < 4:
+			want = 2
+		case lane < 8:
+			want = 3
+		default:
+			want = 0
+		}
+		if v != want {
+			t.Errorf("lane %d = %d, want %d", lane, v, want)
+		}
+	}
+}
+
+func TestSpecialOperands(t *testing.T) {
+	m, memory, _ := testRig(t, false)
+	b := NewBuilder("specials")
+	b.VMov(V(1), WaveID())
+	b.VMul(V(1), V(1), Imm(1000))
+	b.VMov(V(2), Tid())
+	b.VMad(V(14), V(2), Imm(1), V(1)) // wave*1000 + tid
+	b.VShl(V(15), Tid(), Imm(2))
+	b.VAdd(V(15), V(15), S(0))
+	b.VStore(V(15), 0, V(14))
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunDispatch(Dispatch{Prog: prog, Waves: 2, Args: []uint32{0x500}}); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := memory.Words(0x500, 2*Lanes)
+	for tid, v := range out {
+		want := uint32(tid/Lanes)*1000 + uint32(tid)
+		if v != want {
+			t.Errorf("tid %d = %d, want %d", tid, v, want)
+		}
+	}
+}
+
+func TestOpcodeStrings(t *testing.T) {
+	for op := OpNop; op <= OpEndPgm; op++ {
+		if s := op.String(); s == "" || s[0] == 'O' && s[1] == 'p' {
+			t.Errorf("opcode %d has no name: %q", op, s)
+		}
+	}
+	if Opcode(200).String() != "Opcode(200)" {
+		t.Error("unknown opcode string wrong")
+	}
+}

@@ -1,0 +1,151 @@
+package gpu
+
+import (
+	"testing"
+
+	"mbavf/internal/cache"
+	"mbavf/internal/mem"
+)
+
+// buildMemBound returns a kernel whose lanes each load n strided words
+// (one distinct cache line per iteration), then store a checksum.
+func buildMemBound(t *testing.T, n int) *Program {
+	t.Helper()
+	b := NewBuilder("membound")
+	b.VMov(V(0), Tid())
+	b.VMul(V(1), V(0), Imm(int32(64*n))) // disjoint n-line block per thread
+	b.VAdd(V(1), V(1), S(0))
+	b.VMov(V(2), Imm(0))
+	b.SMov(S(2), Imm(int32(n)))
+	b.Label("loop")
+	b.VLoad(V(3), V(1), 0)
+	b.VAdd(V(2), V(2), V(3))
+	b.VAdd(V(1), V(1), Imm(64)) // next line within the thread's block
+	b.SSub(S(2), S(2), Imm(1))
+	b.Brnz(S(2), "loop")
+	b.VShl(V(4), V(0), Imm(2))
+	b.VAdd(V(4), V(4), S(1))
+	b.VStore(V(4), 0, V(2))
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func rigWithCfg(t *testing.T, cfg Config) (*Machine, *mem.Memory) {
+	t.Helper()
+	memory := mem.New(4 << 20)
+	hier, err := cache.NewHierarchy(cache.DefaultHierConfig(), memory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(cfg, memory, hier)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, memory
+}
+
+// TestMultiWaveOverlapsMemoryStalls: with several resident waves per CU,
+// memory stalls of one wave are hidden by issuing others, so cycles grow
+// sublinearly in the wave count.
+func TestMultiWaveOverlapsMemoryStalls(t *testing.T) {
+	run := func(waves int) uint64 {
+		cfg := DefaultConfig()
+		cfg.NumCUs = 1
+		cfg.WaveSlotsPerCU = 4
+		m, _ := rigWithCfg(t, cfg)
+		prog := buildMemBound(t, 8)
+		if err := m.RunDispatch(Dispatch{Prog: prog, Waves: waves, Args: []uint32{0, 1 << 20}}); err != nil {
+			t.Fatal(err)
+		}
+		return m.Cycles()
+	}
+	one := run(1)
+	four := run(4)
+	if four >= 4*one {
+		t.Errorf("4 resident waves took %d cycles vs %d for 1: no latency hiding", four, one)
+	}
+	if four <= one {
+		t.Errorf("4 waves (%d cycles) cannot be faster than 1 (%d)", four, one)
+	}
+}
+
+// TestMoreCUsReduceCycles: the same dispatch across more compute units
+// finishes sooner.
+func TestMoreCUsReduceCycles(t *testing.T) {
+	run := func(cus int) uint64 {
+		cfg := DefaultConfig()
+		cfg.NumCUs = cus
+		cfg.WaveSlotsPerCU = 1
+		m, _ := rigWithCfg(t, cfg)
+		prog := buildMemBound(t, 4)
+		if err := m.RunDispatch(Dispatch{Prog: prog, Waves: 8, Args: []uint32{0, 1 << 20}}); err != nil {
+			t.Fatal(err)
+		}
+		return m.Cycles()
+	}
+	c1 := run(1)
+	c4 := run(4)
+	if c4 >= c1 {
+		t.Errorf("4 CUs (%d cycles) should beat 1 CU (%d)", c4, c1)
+	}
+}
+
+// TestCacheHitsShortenRuns: a second pass over the same data (warm L2)
+// takes fewer cycles than the cold pass.
+func TestCacheHitsShortenRuns(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumCUs = 1
+	m, _ := rigWithCfg(t, cfg)
+	prog := buildMemBound(t, 8)
+	if err := m.RunDispatch(Dispatch{Prog: prog, Waves: 1, Args: []uint32{0, 1 << 20}}); err != nil {
+		t.Fatal(err)
+	}
+	cold := m.Cycles()
+	if err := m.RunDispatch(Dispatch{Prog: prog, Waves: 1, Args: []uint32{0, 1 << 20}}); err != nil {
+		t.Fatal(err)
+	}
+	warm := m.Cycles() - cold
+	if warm >= cold {
+		t.Errorf("warm pass (%d cycles) should beat cold pass (%d)", warm, cold)
+	}
+}
+
+// TestCyclesMonotonicAcrossDispatches: the cycle counter never rewinds at
+// dispatch boundaries.
+func TestCyclesMonotonicAcrossDispatches(t *testing.T) {
+	cfg := DefaultConfig()
+	m, _ := rigWithCfg(t, cfg)
+	prog := buildMemBound(t, 2)
+	var prev uint64
+	for i := 0; i < 3; i++ {
+		if err := m.RunDispatch(Dispatch{Prog: prog, Waves: 2, Args: []uint32{0, 1 << 20}}); err != nil {
+			t.Fatal(err)
+		}
+		if m.Cycles() <= prev {
+			t.Fatalf("cycles did not advance: %d then %d", prev, m.Cycles())
+		}
+		prev = m.Cycles()
+	}
+}
+
+// TestDeterministicCycles: identical runs produce identical cycle counts
+// and instruction counts.
+func TestDeterministicCycles(t *testing.T) {
+	run := func() (uint64, uint64) {
+		cfg := DefaultConfig()
+		m, _ := rigWithCfg(t, cfg)
+		prog := buildMemBound(t, 6)
+		if err := m.RunDispatch(Dispatch{Prog: prog, Waves: 6, Args: []uint32{0, 1 << 20}}); err != nil {
+			t.Fatal(err)
+		}
+		return m.Cycles(), m.Instructions()
+	}
+	c1, i1 := run()
+	c2, i2 := run()
+	if c1 != c2 || i1 != i2 {
+		t.Errorf("nondeterministic simulation: %d/%d vs %d/%d", c1, i1, c2, i2)
+	}
+}

@@ -1,0 +1,235 @@
+// Package inject implements architectural fault-injection campaigns into
+// the GPU vector register file, the paper's Section VII-A methodology for
+// validating the SDC MB-AVF model.
+//
+// A campaign first records a golden (fault-free) run of a workload, then
+// repeatedly re-simulates it with single- or multi-bit register flips at
+// random times and targets, classifying each run's outcome by comparing
+// the final program output with the golden output. The ACE-interference
+// study builds multi-bit fault groups around the SDC ACE bits found by
+// single-bit injection and counts groups whose multi-bit outcome is
+// masked even though they contain an SDC ACE bit — the program-level
+// interaction (e.g. XOR cancellation, control-flow reconvergence) that
+// the analytical MB-AVF model deliberately ignores.
+package inject
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	"mbavf/internal/gpu"
+	"mbavf/internal/sim"
+)
+
+// Outcome classifies one injected run.
+type Outcome int
+
+const (
+	// OutcomeMasked: program output matched the golden run.
+	OutcomeMasked Outcome = iota
+	// OutcomeSDC: the program completed with corrupted output.
+	OutcomeSDC
+	// OutcomeDUE: the fault was detected by a machine-level mechanism
+	// (bad address trap, instruction-budget livelock guard).
+	OutcomeDUE
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeMasked:
+		return "masked"
+	case OutcomeSDC:
+		return "sdc"
+	case OutcomeDUE:
+		return "due"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Target selects where and when a fault lands: bit Bit of 32-bit register
+// Reg of VGPR thread Thread on compute unit 0, at the first issue at or
+// after Cycle.
+type Target struct {
+	Cycle  uint64
+	Thread int
+	Reg    int
+	Bit    int
+}
+
+// Result is one injected run.
+type Result struct {
+	Target  Target
+	Outcome Outcome
+}
+
+// Campaign drives repeated injected runs of one workload.
+type Campaign struct {
+	workload sim.Workload
+	cfg      sim.Config
+	golden   []byte
+	cycles   uint64
+}
+
+// NewCampaign performs the fault-free reference run.
+func NewCampaign(w sim.Workload, cfg sim.Config) (*Campaign, error) {
+	s, err := sim.Execute(w, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("inject: golden run: %w", err)
+	}
+	golden, err := s.OutputData()
+	if err != nil {
+		return nil, err
+	}
+	if len(golden) == 0 {
+		return nil, fmt.Errorf("inject: workload %s declares no output", w.Name)
+	}
+	return &Campaign{workload: w, cfg: cfg, golden: golden, cycles: s.Cycles()}, nil
+}
+
+// Cycles returns the golden run's duration, the sampling range for
+// injection times.
+func (c *Campaign) Cycles() uint64 { return c.cycles }
+
+// Golden returns the fault-free output.
+func (c *Campaign) Golden() []byte { return c.golden }
+
+// RunMask injects a multi-bit flip (mask) into one register and classifies
+// the outcome.
+func (c *Campaign) RunMask(tgt Target, mask uint32) (Outcome, error) {
+	s, err := sim.NewSession(c.cfg)
+	if err != nil {
+		return OutcomeMasked, err
+	}
+	s.Machine.AddInjection(gpu.Injection{
+		Cycle:  tgt.Cycle,
+		CU:     0,
+		Thread: tgt.Thread,
+		Reg:    tgt.Reg,
+		Mask:   mask,
+	})
+	if err := c.workload.Run(s); err != nil {
+		return OutcomeDUE, nil // trap: detected error
+	}
+	if err := s.Finalize(); err != nil {
+		return OutcomeMasked, err
+	}
+	out, err := s.OutputData()
+	if err != nil {
+		return OutcomeMasked, err
+	}
+	if bytes.Equal(out, c.golden) {
+		return OutcomeMasked, nil
+	}
+	return OutcomeSDC, nil
+}
+
+// RunSingle injects a single-bit flip.
+func (c *Campaign) RunSingle(tgt Target) (Outcome, error) {
+	return c.RunMask(tgt, 1<<uint(tgt.Bit&31))
+}
+
+// SingleBitCampaign performs n random single-bit injections and returns
+// every result. Targets are drawn uniformly over compute unit 0's VGPR
+// file and the golden run's duration.
+func (c *Campaign) SingleBitCampaign(n int, seed int64) ([]Result, error) {
+	r := rand.New(rand.NewSource(seed))
+	threads := c.cfg.GPU.VGPRThreads()
+	out := make([]Result, 0, n)
+	for i := 0; i < n; i++ {
+		tgt := Target{
+			Cycle:  uint64(r.Int63n(int64(c.cycles + 1))),
+			Thread: r.Intn(threads),
+			Reg:    r.Intn(c.cfg.GPU.NumVRegs),
+			Bit:    r.Intn(32),
+		}
+		o, err := c.RunSingle(tgt)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Result{Target: tgt, Outcome: o})
+	}
+	return out, nil
+}
+
+// SDCBits filters a campaign's results to the SDC ACE targets.
+func SDCBits(results []Result) []Result {
+	var out []Result
+	for _, r := range results {
+		if r.Outcome == OutcomeSDC {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Counts summarizes outcomes.
+type Counts struct {
+	Masked, SDC, DUE int
+}
+
+// Count tallies outcome classes.
+func Count(results []Result) Counts {
+	var c Counts
+	for _, r := range results {
+		switch r.Outcome {
+		case OutcomeMasked:
+			c.Masked++
+		case OutcomeSDC:
+			c.SDC++
+		case OutcomeDUE:
+			c.DUE++
+		}
+	}
+	return c
+}
+
+// groupMask returns an m-bit contiguous flip mask containing bit, clamped
+// to the 32-bit register (the anchor shifts down near bit 31), plus the
+// anchor bit.
+func groupMask(bit, m int) uint32 {
+	anchor := bit
+	if anchor+m > 32 {
+		anchor = 32 - m
+	}
+	return ((uint32(1) << m) - 1) << uint(anchor)
+}
+
+// InterferenceResult counts the Table II study for one fault-mode size.
+type InterferenceResult struct {
+	ModeSize     int
+	Groups       int // multi-bit fault groups injected (one per SDC ACE bit)
+	Interference int // groups masked despite containing an SDC ACE bit
+	DUE          int // groups converted to a detected outcome
+}
+
+// InterferenceStudy injects, for every SDC ACE bit found by single-bit
+// injection, the multi-bit fault group of each mode size containing it
+// (same cycle, same register, adjacent bits), and counts ACE
+// interference: groups whose multi-bit outcome is masked although the
+// single-bit model predicts SDC.
+func (c *Campaign) InterferenceStudy(sdcBits []Result, modeSizes []int) ([]InterferenceResult, error) {
+	out := make([]InterferenceResult, 0, len(modeSizes))
+	for _, m := range modeSizes {
+		if m < 2 || m > 32 {
+			return nil, fmt.Errorf("inject: mode size %d out of range [2,32]", m)
+		}
+		res := InterferenceResult{ModeSize: m}
+		for _, sb := range sdcBits {
+			o, err := c.RunMask(sb.Target, groupMask(sb.Target.Bit, m))
+			if err != nil {
+				return nil, err
+			}
+			res.Groups++
+			switch o {
+			case OutcomeMasked:
+				res.Interference++
+			case OutcomeDUE:
+				res.DUE++
+			}
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

@@ -1,0 +1,147 @@
+package inject
+
+import (
+	"testing"
+
+	"mbavf/internal/sim"
+	"mbavf/internal/workloads"
+)
+
+func vecaddCampaign(t *testing.T) *Campaign {
+	t.Helper()
+	w, err := workloads.ByName("vecadd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCampaign(w, sim.InjectionConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestGoldenRunMatchesWorkloadGolden(t *testing.T) {
+	c := vecaddCampaign(t)
+	want, err := workloads.Golden("vecadd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(c.Golden()) != string(want) {
+		t.Fatal("campaign golden differs from host golden")
+	}
+	if c.Cycles() == 0 {
+		t.Fatal("golden run has zero cycles")
+	}
+}
+
+func TestSingleBitCampaignOutcomes(t *testing.T) {
+	c := vecaddCampaign(t)
+	results, err := c.SingleBitCampaign(40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 40 {
+		t.Fatalf("got %d results", len(results))
+	}
+	counts := Count(results)
+	if counts.Masked+counts.SDC+counts.DUE != 40 {
+		t.Errorf("counts don't sum: %+v", counts)
+	}
+	// vecadd consumes registers immediately and writes output from them:
+	// both masked and SDC outcomes must occur in a 40-shot campaign.
+	if counts.Masked == 0 {
+		t.Error("expected some masked injections")
+	}
+	if counts.SDC == 0 {
+		t.Error("expected some SDC injections")
+	}
+}
+
+func TestCampaignDeterminism(t *testing.T) {
+	c := vecaddCampaign(t)
+	a, err := c.SingleBitCampaign(10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.SingleBitCampaign(10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSDCBitsFilter(t *testing.T) {
+	rs := []Result{
+		{Outcome: OutcomeMasked},
+		{Outcome: OutcomeSDC},
+		{Outcome: OutcomeDUE},
+		{Outcome: OutcomeSDC},
+	}
+	if got := len(SDCBits(rs)); got != 2 {
+		t.Errorf("SDCBits = %d, want 2", got)
+	}
+}
+
+func TestGroupMask(t *testing.T) {
+	cases := []struct {
+		bit, m int
+		want   uint32
+	}{
+		{0, 2, 0b11},
+		{5, 3, 0b111 << 5},
+		{31, 2, 0b11 << 30},
+		{30, 4, 0b1111 << 28},
+	}
+	for _, c := range cases {
+		if got := groupMask(c.bit, c.m); got != c.want {
+			t.Errorf("groupMask(%d,%d) = %#x, want %#x", c.bit, c.m, got, c.want)
+		}
+	}
+}
+
+func TestInterferenceStudySmall(t *testing.T) {
+	c := vecaddCampaign(t)
+	singles, err := c.SingleBitCampaign(30, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdc := SDCBits(singles)
+	if len(sdc) == 0 {
+		t.Skip("no SDC bits found in small campaign")
+	}
+	study, err := c.InterferenceStudy(sdc[:min(len(sdc), 4)], []int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(study) != 2 {
+		t.Fatalf("study rows = %d", len(study))
+	}
+	for _, row := range study {
+		if row.Groups == 0 {
+			t.Errorf("mode %d: no groups injected", row.ModeSize)
+		}
+		if row.Interference > row.Groups {
+			t.Errorf("mode %d: interference exceeds groups", row.ModeSize)
+		}
+	}
+}
+
+func TestInterferenceRejectsBadModeSize(t *testing.T) {
+	c := vecaddCampaign(t)
+	if _, err := c.InterferenceStudy(nil, []int{1}); err == nil {
+		t.Error("mode size 1 should be rejected")
+	}
+	if _, err := c.InterferenceStudy(nil, []int{33}); err == nil {
+		t.Error("mode size 33 should be rejected")
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	if OutcomeMasked.String() != "masked" || OutcomeSDC.String() != "sdc" || OutcomeDUE.String() != "due" {
+		t.Error("outcome strings wrong")
+	}
+}

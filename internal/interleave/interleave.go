@@ -1,0 +1,210 @@
+// Package interleave describes how a hardware structure's logical data
+// words are laid out across a physical SRAM bit array, and which protection
+// domain each physical bit belongs to.
+//
+// Bit interleaving determines how a spatial multi-bit fault — a run of
+// physically adjacent flipped bits — is split across protection domains,
+// which in turn decides whether protection schemes see one large fault or
+// several small ones. The paper studies:
+//
+//   - logical interleaving: each data word is split into I interleaved
+//     check words, so adjacent bits of the same word are protected by
+//     different codes (extra check-bit area, highest ACE locality);
+//   - way-physical interleaving: bits from I different ways of the same
+//     cache set are interleaved;
+//   - index-physical interleaving: bits from lines at I adjacent set
+//     indices are interleaved;
+//   - intra-thread (rx) interleaving: different registers of the same GPU
+//     thread are interleaved;
+//   - inter-thread (tx) interleaving: the same register of I adjacent GPU
+//     threads is interleaved.
+package interleave
+
+import (
+	"fmt"
+
+	"mbavf/internal/bitgeom"
+)
+
+// WordBit identifies one bit of one logical data word: Word is the word
+// index in the structure (cache line, 32-bit register instance, ...) and
+// Bit its bit offset within that word.
+type WordBit struct {
+	Word, Bit int
+}
+
+// Layout couples a physical bit-array geometry with the mapping from each
+// physical bit to its logical word bit and its protection domain.
+type Layout struct {
+	name string
+	// Geom is the physical array shape whose rows are wordlines.
+	Geom bitgeom.Geometry
+	// Words is the number of logical data words stored in the array.
+	Words int
+	// WordBits is the size of each logical data word in bits.
+	WordBits int
+	// Domains is the number of protection domains (one code word each).
+	Domains int
+	// DomainBits is the number of data bits protected by one domain.
+	DomainBits int
+	// Factor is the interleaving degree I (1 = no interleaving).
+	Factor int
+	mapFn  func(p bitgeom.BitPos) (WordBit, int)
+}
+
+// Name returns the layout's display name, e.g. "way-physical-x2".
+func (l *Layout) Name() string { return l.name }
+
+// Map returns the logical word bit and protection domain of physical bit p.
+func (l *Layout) Map(p bitgeom.BitPos) (WordBit, int) { return l.mapFn(p) }
+
+func validate(kind string, groups, factor int) error {
+	if factor < 1 {
+		return fmt.Errorf("interleave: %s factor %d must be >= 1", kind, factor)
+	}
+	if groups%factor != 0 {
+		return fmt.Errorf("interleave: %s factor %d must divide %d", kind, factor, groups)
+	}
+	return nil
+}
+
+// Logical returns a layout in which each physical row holds one data word
+// and the word is split into factor interleaved check words: physical
+// column c of word w is logical bit c, protected by domain w*factor +
+// c%factor. With factor 1 this is the un-interleaved baseline layout.
+func Logical(words, wordBits, factor int) (*Layout, error) {
+	if err := validate("logical", wordBits, factor); err != nil {
+		return nil, err
+	}
+	name := "logical"
+	if factor > 1 {
+		name = fmt.Sprintf("logical-x%d", factor)
+	}
+	return &Layout{
+		name:       name,
+		Geom:       bitgeom.Geometry{Rows: words, Cols: wordBits},
+		Words:      words,
+		WordBits:   wordBits,
+		Domains:    words * factor,
+		DomainBits: wordBits / factor,
+		Factor:     factor,
+		mapFn: func(p bitgeom.BitPos) (WordBit, int) {
+			return WordBit{Word: p.Row, Bit: p.Col}, p.Row*factor + p.Col%factor
+		},
+	}, nil
+}
+
+// WayPhysical returns a cache-data-array layout interleaving lines from
+// factor different ways of the same set. Lines are indexed set*ways + way.
+// Each physical row holds factor complete lines: the row for (set, way
+// group g) places bit b of way g*factor+k at column b*factor+k. Each line
+// is one protection domain.
+func WayPhysical(sets, ways, lineBits, factor int) (*Layout, error) {
+	if err := validate("way-physical", ways, factor); err != nil {
+		return nil, err
+	}
+	words := sets * ways
+	return &Layout{
+		name:       fmt.Sprintf("way-physical-x%d", factor),
+		Geom:       bitgeom.Geometry{Rows: words / factor, Cols: lineBits * factor},
+		Words:      words,
+		WordBits:   lineBits,
+		Domains:    words,
+		DomainBits: lineBits,
+		Factor:     factor,
+		mapFn: func(p bitgeom.BitPos) (WordBit, int) {
+			groupsPerSet := ways / factor
+			set := p.Row / groupsPerSet
+			group := p.Row % groupsPerSet
+			way := group*factor + p.Col%factor
+			word := set*ways + way
+			return WordBit{Word: word, Bit: p.Col / factor}, word
+		},
+	}, nil
+}
+
+// IndexPhysical returns a cache-data-array layout interleaving lines from
+// factor adjacent set indices (same way). The row for (set group g, way)
+// places bit b of set g*factor+k at column b*factor+k. Each line is one
+// protection domain.
+func IndexPhysical(sets, ways, lineBits, factor int) (*Layout, error) {
+	if err := validate("index-physical", sets, factor); err != nil {
+		return nil, err
+	}
+	words := sets * ways
+	return &Layout{
+		name:       fmt.Sprintf("index-physical-x%d", factor),
+		Geom:       bitgeom.Geometry{Rows: words / factor, Cols: lineBits * factor},
+		Words:      words,
+		WordBits:   lineBits,
+		Domains:    words,
+		DomainBits: lineBits,
+		Factor:     factor,
+		mapFn: func(p bitgeom.BitPos) (WordBit, int) {
+			groupsPerWay := sets / factor
+			way := p.Row / groupsPerWay
+			group := p.Row % groupsPerWay
+			set := group*factor + p.Col%factor
+			word := set*ways + way
+			return WordBit{Word: word, Bit: p.Col / factor}, word
+		},
+	}, nil
+}
+
+// IntraThread returns a register-file layout ("rx" interleaving in the
+// paper's case study) interleaving factor different registers of the same
+// thread. Register instances are indexed thread*regs + reg and each is one
+// protection domain. The row for (thread, reg group g) places bit b of
+// register g*factor+k at column b*factor+k.
+func IntraThread(threads, regs, regBits, factor int) (*Layout, error) {
+	if err := validate("intra-thread", regs, factor); err != nil {
+		return nil, err
+	}
+	words := threads * regs
+	return &Layout{
+		name:       fmt.Sprintf("intra-thread-x%d", factor),
+		Geom:       bitgeom.Geometry{Rows: words / factor, Cols: regBits * factor},
+		Words:      words,
+		WordBits:   regBits,
+		Domains:    words,
+		DomainBits: regBits,
+		Factor:     factor,
+		mapFn: func(p bitgeom.BitPos) (WordBit, int) {
+			groupsPerThread := regs / factor
+			thread := p.Row / groupsPerThread
+			group := p.Row % groupsPerThread
+			reg := group*factor + p.Col%factor
+			word := thread*regs + reg
+			return WordBit{Word: word, Bit: p.Col / factor}, word
+		},
+	}, nil
+}
+
+// InterThread returns a register-file layout ("tx" interleaving in the
+// paper's case study) interleaving the same register of factor adjacent
+// threads. The row for (thread group g, reg) places bit b of thread
+// g*factor+k at column b*factor+k. Register instances are indexed
+// thread*regs + reg and each is one protection domain.
+func InterThread(threads, regs, regBits, factor int) (*Layout, error) {
+	if err := validate("inter-thread", threads, factor); err != nil {
+		return nil, err
+	}
+	words := threads * regs
+	return &Layout{
+		name:       fmt.Sprintf("inter-thread-x%d", factor),
+		Geom:       bitgeom.Geometry{Rows: words / factor, Cols: regBits * factor},
+		Words:      words,
+		WordBits:   regBits,
+		Domains:    words,
+		DomainBits: regBits,
+		Factor:     factor,
+		mapFn: func(p bitgeom.BitPos) (WordBit, int) {
+			groupsPerReg := threads / factor
+			reg := p.Row / groupsPerReg
+			group := p.Row % groupsPerReg
+			thread := group*factor + p.Col%factor
+			word := thread*regs + reg
+			return WordBit{Word: word, Bit: p.Col / factor}, word
+		},
+	}, nil
+}

@@ -1,0 +1,228 @@
+package interleave
+
+import (
+	"testing"
+
+	"mbavf/internal/bitgeom"
+)
+
+// checkBijection verifies that the layout maps physical bits one-to-one
+// onto (word, bit) pairs, that every domain is non-empty and equally
+// sized, and that any Factor consecutive bits in a row hit Factor distinct
+// domains.
+func checkBijection(t *testing.T, l *Layout) {
+	t.Helper()
+	if l.Geom.Bits() != l.Words*l.WordBits {
+		t.Fatalf("%s: geometry %dx%d holds %d bits, want %d words x %d bits",
+			l.Name(), l.Geom.Rows, l.Geom.Cols, l.Geom.Bits(), l.Words, l.WordBits)
+	}
+	seen := make(map[WordBit]bool, l.Geom.Bits())
+	domainSize := make(map[int]int)
+	for r := 0; r < l.Geom.Rows; r++ {
+		var prevDomains []int
+		for c := 0; c < l.Geom.Cols; c++ {
+			wb, dom := l.Map(bitgeom.BitPos{Row: r, Col: c})
+			if wb.Word < 0 || wb.Word >= l.Words || wb.Bit < 0 || wb.Bit >= l.WordBits {
+				t.Fatalf("%s: bit (%d,%d) maps out of range: %+v", l.Name(), r, c, wb)
+			}
+			if dom < 0 || dom >= l.Domains {
+				t.Fatalf("%s: bit (%d,%d) domain %d out of range", l.Name(), r, c, dom)
+			}
+			if seen[wb] {
+				t.Fatalf("%s: logical bit %+v mapped twice", l.Name(), wb)
+			}
+			seen[wb] = true
+			domainSize[dom]++
+			prevDomains = append(prevDomains, dom)
+			if len(prevDomains) >= l.Factor {
+				window := prevDomains[len(prevDomains)-l.Factor:]
+				uniq := make(map[int]bool, l.Factor)
+				for _, d := range window {
+					uniq[d] = true
+				}
+				if len(uniq) != l.Factor {
+					t.Fatalf("%s: row %d cols ending %d: %d consecutive bits map to %d domains, want %d",
+						l.Name(), r, c, l.Factor, len(uniq), l.Factor)
+				}
+			}
+		}
+	}
+	if len(domainSize) != l.Domains {
+		t.Fatalf("%s: %d domains populated, want %d", l.Name(), len(domainSize), l.Domains)
+	}
+	for dom, sz := range domainSize {
+		if sz != l.DomainBits {
+			t.Fatalf("%s: domain %d has %d bits, want %d", l.Name(), dom, sz, l.DomainBits)
+		}
+	}
+}
+
+func TestLogicalLayouts(t *testing.T) {
+	for _, factor := range []int{1, 2, 4} {
+		l, err := Logical(8, 64, factor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkBijection(t, l)
+		if factor > 1 && l.Domains != 8*factor {
+			t.Errorf("logical x%d domains = %d, want %d", factor, l.Domains, 8*factor)
+		}
+	}
+}
+
+func TestLogicalSameWordDifferentDomains(t *testing.T) {
+	l, err := Logical(4, 32, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb0, d0 := l.Map(bitgeom.BitPos{Row: 1, Col: 0})
+	wb1, d1 := l.Map(bitgeom.BitPos{Row: 1, Col: 1})
+	if wb0.Word != wb1.Word {
+		t.Fatalf("adjacent bits should stay in the same logical word: %v %v", wb0, wb1)
+	}
+	if d0 == d1 {
+		t.Fatal("adjacent bits of a logically interleaved word must be in different domains")
+	}
+}
+
+func TestWayPhysicalAdjacencyCrossesWays(t *testing.T) {
+	const sets, ways, lineBits = 4, 4, 64
+	l, err := WayPhysical(sets, ways, lineBits, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBijection(t, l)
+	// Adjacent physical bits belong to different lines in the same set.
+	wb0, _ := l.Map(bitgeom.BitPos{Row: 0, Col: 0})
+	wb1, _ := l.Map(bitgeom.BitPos{Row: 0, Col: 1})
+	set0, way0 := wb0.Word/ways, wb0.Word%ways
+	set1, way1 := wb1.Word/ways, wb1.Word%ways
+	if set0 != set1 {
+		t.Errorf("way-physical adjacent bits changed set: %d vs %d", set0, set1)
+	}
+	if way0 == way1 {
+		t.Error("way-physical adjacent bits stayed in the same way")
+	}
+}
+
+func TestIndexPhysicalAdjacencyCrossesSets(t *testing.T) {
+	const sets, ways, lineBits = 8, 2, 64
+	l, err := IndexPhysical(sets, ways, lineBits, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBijection(t, l)
+	wb0, _ := l.Map(bitgeom.BitPos{Row: 0, Col: 0})
+	wb1, _ := l.Map(bitgeom.BitPos{Row: 0, Col: 1})
+	set0, way0 := wb0.Word/ways, wb0.Word%ways
+	set1, way1 := wb1.Word/ways, wb1.Word%ways
+	if way0 != way1 {
+		t.Errorf("index-physical adjacent bits changed way: %d vs %d", way0, way1)
+	}
+	if set0 == set1 {
+		t.Error("index-physical adjacent bits stayed in the same set")
+	}
+	if set1 != set0+1 {
+		t.Errorf("index-physical should interleave adjacent indices, got sets %d,%d", set0, set1)
+	}
+}
+
+func TestIntraThreadAdjacency(t *testing.T) {
+	const threads, regs, regBits = 4, 8, 32
+	l, err := IntraThread(threads, regs, regBits, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBijection(t, l)
+	wb0, _ := l.Map(bitgeom.BitPos{Row: 0, Col: 0})
+	wb1, _ := l.Map(bitgeom.BitPos{Row: 0, Col: 1})
+	t0, r0 := wb0.Word/regs, wb0.Word%regs
+	t1, r1 := wb1.Word/regs, wb1.Word%regs
+	if t0 != t1 {
+		t.Error("intra-thread adjacent bits changed thread")
+	}
+	if r0 == r1 {
+		t.Error("intra-thread adjacent bits stayed in the same register")
+	}
+}
+
+func TestInterThreadAdjacency(t *testing.T) {
+	const threads, regs, regBits = 16, 4, 32
+	for _, factor := range []int{2, 4} {
+		l, err := InterThread(threads, regs, regBits, factor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkBijection(t, l)
+		wb0, _ := l.Map(bitgeom.BitPos{Row: 0, Col: 0})
+		wb1, _ := l.Map(bitgeom.BitPos{Row: 0, Col: 1})
+		t0, r0 := wb0.Word/regs, wb0.Word%regs
+		t1, r1 := wb1.Word/regs, wb1.Word%regs
+		if r0 != r1 {
+			t.Error("inter-thread adjacent bits changed register index")
+		}
+		if t0 == t1 {
+			t.Error("inter-thread adjacent bits stayed in the same thread")
+		}
+		if t1 != t0+1 {
+			t.Errorf("inter-thread x%d should interleave adjacent threads, got %d,%d", factor, t0, t1)
+		}
+	}
+}
+
+func TestInvalidFactors(t *testing.T) {
+	if _, err := Logical(4, 32, 3); err == nil {
+		t.Error("logical x3 over 32 bits should fail")
+	}
+	if _, err := Logical(4, 32, 0); err == nil {
+		t.Error("factor 0 should fail")
+	}
+	if _, err := WayPhysical(4, 4, 64, 8); err == nil {
+		t.Error("way factor 8 with 4 ways should fail")
+	}
+	if _, err := IndexPhysical(4, 2, 64, 8); err == nil {
+		t.Error("index factor 8 with 4 sets should fail")
+	}
+	if _, err := IntraThread(4, 4, 32, 8); err == nil {
+		t.Error("intra-thread factor 8 with 4 regs should fail")
+	}
+	if _, err := InterThread(4, 4, 32, 8); err == nil {
+		t.Error("inter-thread factor 8 with 4 threads should fail")
+	}
+}
+
+func TestNames(t *testing.T) {
+	l1, _ := Logical(2, 32, 1)
+	if l1.Name() != "logical" {
+		t.Errorf("name = %q", l1.Name())
+	}
+	l2, _ := Logical(2, 32, 2)
+	if l2.Name() != "logical-x2" {
+		t.Errorf("name = %q", l2.Name())
+	}
+	w, _ := WayPhysical(2, 2, 32, 2)
+	if w.Name() != "way-physical-x2" {
+		t.Errorf("name = %q", w.Name())
+	}
+}
+
+func TestAllLayoutsBijective(t *testing.T) {
+	mk := func(f func() (*Layout, error)) *Layout {
+		t.Helper()
+		l, err := f()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	layouts := []*Layout{
+		mk(func() (*Layout, error) { return Logical(16, 64, 4) }),
+		mk(func() (*Layout, error) { return WayPhysical(8, 4, 64, 4) }),
+		mk(func() (*Layout, error) { return IndexPhysical(16, 2, 64, 4) }),
+		mk(func() (*Layout, error) { return IntraThread(8, 8, 32, 4) }),
+		mk(func() (*Layout, error) { return InterThread(16, 4, 32, 4) }),
+	}
+	for _, l := range layouts {
+		checkBijection(t, l)
+	}
+}

@@ -1,0 +1,246 @@
+package interval
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSegmentLen(t *testing.T) {
+	cases := []struct {
+		seg  Segment
+		want Cycle
+	}{
+		{Segment{0, 0}, 0},
+		{Segment{5, 5}, 0},
+		{Segment{5, 4}, 0},
+		{Segment{0, 10}, 10},
+		{Segment{3, 7}, 4},
+	}
+	for _, c := range cases {
+		if got := c.seg.Len(); got != c.want {
+			t.Errorf("%v.Len() = %d, want %d", c.seg, got, c.want)
+		}
+	}
+}
+
+func TestSegmentOverlapIntersect(t *testing.T) {
+	a := Segment{2, 8}
+	b := Segment{6, 12}
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Fatalf("%v and %v should overlap", a, b)
+	}
+	if got := a.Intersect(b); got != (Segment{6, 8}) {
+		t.Errorf("Intersect = %v, want [6,8)", got)
+	}
+	c := Segment{8, 10} // touching, half-open: no overlap
+	if a.Overlaps(c) {
+		t.Errorf("%v and %v should not overlap", a, c)
+	}
+	if !a.Intersect(c).Empty() {
+		t.Errorf("touching intersect should be empty, got %v", a.Intersect(c))
+	}
+}
+
+func TestSetAddCoalesce(t *testing.T) {
+	var s Set
+	s.AddRange(10, 20)
+	s.AddRange(30, 40)
+	s.AddRange(20, 30) // bridges the two
+	if len(s.Segments()) != 1 {
+		t.Fatalf("expected 1 coalesced segment, got %v", s.String())
+	}
+	if s.Len() != 30 {
+		t.Errorf("Len = %d, want 30", s.Len())
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetAddOverlapping(t *testing.T) {
+	var s Set
+	s.AddRange(0, 5)
+	s.AddRange(3, 10)
+	s.AddRange(100, 110)
+	s.AddRange(8, 99)                 // overlaps first group, touches nothing on right... 99 < 100 so separate
+	if got := s.Len(); got != 99+10 { // [0,99) plus [100,110)
+		t.Errorf("Len = %d, want 109 (%v)", got, s.String())
+	}
+	s.AddRange(99, 100) // bridge
+	if len(s.Segments()) != 1 {
+		t.Errorf("expected single segment after bridge, got %v", s.String())
+	}
+}
+
+func TestSetAddEmptyIgnored(t *testing.T) {
+	var s Set
+	s.AddRange(7, 7)
+	s.Add(Segment{9, 3})
+	if !s.Empty() {
+		t.Errorf("adding empty segments should leave set empty, got %v", s.String())
+	}
+}
+
+func TestSetContains(t *testing.T) {
+	s := NewSet(Segment{2, 4}, Segment{10, 12})
+	for _, c := range []Cycle{2, 3, 10, 11} {
+		if !s.Contains(c) {
+			t.Errorf("Contains(%d) = false, want true", c)
+		}
+	}
+	for _, c := range []Cycle{0, 1, 4, 9, 12, 100} {
+		if s.Contains(c) {
+			t.Errorf("Contains(%d) = true, want false", c)
+		}
+	}
+}
+
+func TestUnionIntersectSubtract(t *testing.T) {
+	a := NewSet(Segment{0, 10}, Segment{20, 30})
+	b := NewSet(Segment{5, 25})
+	u := Union(a, b)
+	if u.Len() != 30 {
+		t.Errorf("Union len = %d, want 30 (%v)", u.Len(), u.String())
+	}
+	in := Intersect(a, b)
+	if in.Len() != 10 { // [5,10) + [20,25)
+		t.Errorf("Intersect len = %d, want 10 (%v)", in.Len(), in.String())
+	}
+	d := Subtract(a, b)
+	if d.Len() != 10 { // [0,5) + [25,30)
+		t.Errorf("Subtract len = %d, want 10 (%v)", d.Len(), d.String())
+	}
+	if err := u.Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := in.Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubtractSplitsSegment(t *testing.T) {
+	a := NewSet(Segment{0, 100})
+	b := NewSet(Segment{10, 20}, Segment{30, 40})
+	d := Subtract(a, b)
+	want := NewSet(Segment{0, 10}, Segment{20, 30}, Segment{40, 100})
+	if d.String() != want.String() {
+		t.Errorf("Subtract = %v, want %v", d.String(), want.String())
+	}
+}
+
+func TestComplement(t *testing.T) {
+	s := NewSet(Segment{2, 4})
+	c := Complement(s, 10)
+	if c.Len() != 8 {
+		t.Errorf("Complement len = %d, want 8", c.Len())
+	}
+	if c.Contains(2) || c.Contains(3) || !c.Contains(0) || !c.Contains(9) {
+		t.Errorf("Complement membership wrong: %v", c.String())
+	}
+}
+
+func TestOverlapLen(t *testing.T) {
+	s := NewSet(Segment{0, 10}, Segment{20, 30}, Segment{40, 50})
+	if got := s.OverlapLen(Segment{5, 45}); got != 5+10+5 {
+		t.Errorf("OverlapLen = %d, want 20", got)
+	}
+	if got := s.OverlapLen(Segment{10, 20}); got != 0 {
+		t.Errorf("OverlapLen over gap = %d, want 0", got)
+	}
+}
+
+// randomSet builds a random set from r with cycles bounded by horizon.
+func randomSet(r *rand.Rand, horizon Cycle) Set {
+	var s Set
+	n := r.Intn(8)
+	for i := 0; i < n; i++ {
+		start := Cycle(r.Int63n(int64(horizon)))
+		end := start + Cycle(r.Int63n(20))
+		s.Add(Segment{start, end})
+	}
+	return s
+}
+
+func TestQuickSetInvariants(t *testing.T) {
+	const horizon = 200
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomSet(r, horizon)
+		b := randomSet(r, horizon)
+		u := Union(a, b)
+		in := Intersect(a, b)
+		d := Subtract(a, b)
+		for _, s := range []*Set{&a, &b, &u, &in, &d} {
+			if err := s.Validate(); err != nil {
+				t.Logf("invariant violated: %v", err)
+				return false
+			}
+		}
+		// |A ∪ B| = |A| + |B| - |A ∩ B|
+		if u.Len() != a.Len()+b.Len()-in.Len() {
+			t.Logf("inclusion-exclusion failed: |u|=%d |a|=%d |b|=%d |i|=%d", u.Len(), a.Len(), b.Len(), in.Len())
+			return false
+		}
+		// |A \ B| = |A| - |A ∩ B|
+		if d.Len() != a.Len()-in.Len() {
+			t.Logf("subtract size failed")
+			return false
+		}
+		// A \ B and A ∩ B partition A.
+		if Union(d, in).Len() != a.Len() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMembershipAgreement(t *testing.T) {
+	const horizon = 100
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomSet(r, horizon)
+		b := randomSet(r, horizon)
+		u := Union(a, b)
+		in := Intersect(a, b)
+		d := Subtract(a, b)
+		comp := Complement(a, horizon+30)
+		for c := Cycle(0); c < horizon+30; c++ {
+			ina, inb := a.Contains(c), b.Contains(c)
+			if u.Contains(c) != (ina || inb) {
+				return false
+			}
+			if in.Contains(c) != (ina && inb) {
+				return false
+			}
+			if d.Contains(c) != (ina && !inb) {
+				return false
+			}
+			if comp.Contains(c) != !ina {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickOverlapLenMatchesIntersect(t *testing.T) {
+	f := func(seed int64, start uint16, length uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randomSet(r, 300)
+		seg := Segment{Cycle(start % 300), Cycle(start%300) + Cycle(length)}
+		return s.OverlapLen(seg) == Intersect(s, NewSet(seg)).Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

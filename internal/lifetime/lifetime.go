@@ -1,0 +1,210 @@
+// Package lifetime tracks the occupancy and access history of every byte
+// slot in a hardware structure (a cache data array, a register file) and
+// reduces it to per-byte ACE lifetime segments.
+//
+// The classification follows standard ACE lifetime analysis (Biswas et
+// al.), extended with deferred resolution for dirty evictions:
+//
+//   - a segment ending in a read is ACE: a flip during it corrupts the
+//     value consumed by that read;
+//   - a segment ending in an overwrite or a clean eviction is unACE: the
+//     flipped copy is discarded;
+//   - a segment ending in a dirty eviction is Pending: the flip escapes to
+//     the next memory level, so it is ACE exactly when the evicted value
+//     (version) is consumed after the eviction — resolved later against
+//     the dataflow graph.
+//
+// Slots are identified by (word, byte): word is a physical slot index
+// (cache line frame = set*ways+way, or register instance = thread*regs +
+// reg), not a memory address — the structure under analysis is the SRAM,
+// whose content changes over time.
+package lifetime
+
+import (
+	"fmt"
+
+	"mbavf/internal/dataflow"
+	"mbavf/internal/interval"
+)
+
+// SegKind classifies a lifetime segment's microarchitectural ACEness.
+type SegKind uint8
+
+const (
+	// SegDead marks time when a flip in the byte cannot propagate: the
+	// value is overwritten, discarded on clean eviction, or never touched
+	// again.
+	SegDead SegKind = iota
+	// SegACE marks time ending in an architectural read of the byte.
+	SegACE
+	// SegPending marks time ending in a dirty eviction; ACEness depends
+	// on whether the evicted version is consumed after the eviction.
+	SegPending
+)
+
+func (k SegKind) String() string {
+	switch k {
+	case SegDead:
+		return "dead"
+	case SegACE:
+		return "ace"
+	case SegPending:
+		return "pending"
+	default:
+		return fmt.Sprintf("SegKind(%d)", uint8(k))
+	}
+}
+
+// Seg is one lifetime segment of one byte slot: during [Start, End) the
+// slot held Version and the segment's ACEness is Kind (Pending resolved
+// later).
+type Seg struct {
+	Start, End interval.Cycle
+	Kind       SegKind
+	Version    dataflow.VersionID
+}
+
+// Tracker accumulates lifetime segments for a words x bytesPerWord
+// structure.
+type Tracker struct {
+	words, bytesPerWord int
+	segs                [][]Seg
+	held                []bool
+	version             []dataflow.VersionID
+	start               []interval.Cycle
+}
+
+// NewTracker returns a tracker for a structure of words logical words of
+// bytesPerWord bytes each.
+func NewTracker(words, bytesPerWord int) *Tracker {
+	n := words * bytesPerWord
+	return &Tracker{
+		words:        words,
+		bytesPerWord: bytesPerWord,
+		segs:         make([][]Seg, n),
+		held:         make([]bool, n),
+		version:      make([]dataflow.VersionID, n),
+		start:        make([]interval.Cycle, n),
+	}
+}
+
+// Words returns the number of word slots tracked.
+func (t *Tracker) Words() int { return t.words }
+
+// BytesPerWord returns the byte width of each word slot.
+func (t *Tracker) BytesPerWord() int { return t.bytesPerWord }
+
+func (t *Tracker) idx(word, b int) int {
+	if word < 0 || word >= t.words || b < 0 || b >= t.bytesPerWord {
+		panic(fmt.Sprintf("lifetime: slot (%d,%d) out of range %dx%d", word, b, t.words, t.bytesPerWord))
+	}
+	return word*t.bytesPerWord + b
+}
+
+func (t *Tracker) close(i int, cycle interval.Cycle, kind SegKind) {
+	if !t.held[i] {
+		return
+	}
+	if cycle > t.start[i] {
+		t.segs[i] = append(t.segs[i], Seg{Start: t.start[i], End: cycle, Kind: kind, Version: t.version[i]})
+	}
+	t.start[i] = cycle
+}
+
+// Open records that the byte slot starts holding version ver at cycle
+// (a cache fill or a write). Any value previously held is closed as dead:
+// an overwrite discards flips.
+func (t *Tracker) Open(word, b int, cycle interval.Cycle, ver dataflow.VersionID) {
+	i := t.idx(word, b)
+	t.close(i, cycle, SegDead)
+	t.held[i] = true
+	t.version[i] = ver
+	t.start[i] = cycle
+}
+
+// Read records an architectural read of the byte slot at cycle: the time
+// since the previous event is ACE.
+func (t *Tracker) Read(word, b int, cycle interval.Cycle) {
+	i := t.idx(word, b)
+	if !t.held[i] {
+		return
+	}
+	t.close(i, cycle, SegACE)
+}
+
+// CloseClean records that the slot's value is discarded at cycle (clean
+// eviction or invalidation): the tail time is dead.
+func (t *Tracker) CloseClean(word, b int, cycle interval.Cycle) {
+	i := t.idx(word, b)
+	t.close(i, cycle, SegDead)
+	t.held[i] = false
+}
+
+// CloseDirty records that the slot's value escapes to the next level at
+// cycle (dirty eviction / writeback): the tail time is pending on later
+// consumption of the version.
+func (t *Tracker) CloseDirty(word, b int, cycle interval.Cycle) {
+	i := t.idx(word, b)
+	t.close(i, cycle, SegPending)
+	t.held[i] = false
+}
+
+// Finish closes every still-open slot as dead at the end cycle. Callers
+// that need dirty end-of-run state to stay visible should flush their
+// structures (producing CloseDirty events) before calling Finish.
+func (t *Tracker) Finish(end interval.Cycle) {
+	for i := range t.held {
+		if t.held[i] {
+			t.close(i, end, SegDead)
+			t.held[i] = false
+		}
+	}
+}
+
+// Segments returns the lifetime segments of byte b of word. The slice is
+// owned by the tracker.
+func (t *Tracker) Segments(word, b int) []Seg {
+	return t.segs[t.idx(word, b)]
+}
+
+// SegmentCount returns the total number of segments recorded, for
+// reporting and memory budgeting.
+func (t *Tracker) SegmentCount() int {
+	n := 0
+	for _, s := range t.segs {
+		n += len(s)
+	}
+	return n
+}
+
+// Snapshot is a serializable copy of a tracker's recorded segments, used
+// to persist measurement artifacts (gob/JSON friendly: exported fields
+// only).
+type Snapshot struct {
+	Words        int
+	BytesPerWord int
+	Segs         [][]Seg
+}
+
+// Snapshot copies the tracker's segments. Call after Finish; open slots
+// are not captured.
+func (t *Tracker) Snapshot() Snapshot {
+	s := Snapshot{Words: t.words, BytesPerWord: t.bytesPerWord, Segs: make([][]Seg, len(t.segs))}
+	for i, segs := range t.segs {
+		s.Segs[i] = append([]Seg(nil), segs...)
+	}
+	return s
+}
+
+// FromSnapshot reconstructs a finished tracker from a snapshot.
+func FromSnapshot(s Snapshot) (*Tracker, error) {
+	if s.Words <= 0 || s.BytesPerWord <= 0 || len(s.Segs) != s.Words*s.BytesPerWord {
+		return nil, fmt.Errorf("lifetime: inconsistent snapshot (%d words x %d bytes, %d slots)",
+			s.Words, s.BytesPerWord, len(s.Segs))
+	}
+	t := NewTracker(s.Words, s.BytesPerWord)
+	for i, segs := range s.Segs {
+		t.segs[i] = append([]Seg(nil), segs...)
+	}
+	return t, nil
+}

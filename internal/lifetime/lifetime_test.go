@@ -1,0 +1,173 @@
+package lifetime
+
+import (
+	"testing"
+
+	"mbavf/internal/dataflow"
+)
+
+func TestFillReadEvictClean(t *testing.T) {
+	tr := NewTracker(2, 4)
+	tr.Open(0, 0, 10, 1)
+	tr.Read(0, 0, 20)
+	tr.CloseClean(0, 0, 35)
+	tr.Finish(100)
+	segs := tr.Segments(0, 0)
+	if len(segs) != 2 {
+		t.Fatalf("got %d segments, want 2: %+v", len(segs), segs)
+	}
+	if segs[0] != (Seg{10, 20, SegACE, 1}) {
+		t.Errorf("seg0 = %+v, want fill->read ACE", segs[0])
+	}
+	if segs[1] != (Seg{20, 35, SegDead, 1}) {
+		t.Errorf("seg1 = %+v, want read->clean-evict dead", segs[1])
+	}
+}
+
+func TestMultipleReadsChainACE(t *testing.T) {
+	tr := NewTracker(1, 1)
+	tr.Open(0, 0, 0, 7)
+	tr.Read(0, 0, 5)
+	tr.Read(0, 0, 9)
+	tr.CloseClean(0, 0, 12)
+	segs := tr.Segments(0, 0)
+	if len(segs) != 3 {
+		t.Fatalf("got %d segments: %+v", len(segs), segs)
+	}
+	if segs[0].Kind != SegACE || segs[1].Kind != SegACE || segs[2].Kind != SegDead {
+		t.Errorf("kinds = %v %v %v, want ace ace dead", segs[0].Kind, segs[1].Kind, segs[2].Kind)
+	}
+	if segs[1].Start != 5 || segs[1].End != 9 {
+		t.Errorf("seg1 span = [%d,%d), want [5,9)", segs[1].Start, segs[1].End)
+	}
+}
+
+func TestOverwriteClosesDead(t *testing.T) {
+	tr := NewTracker(1, 1)
+	tr.Open(0, 0, 0, 1)
+	tr.Open(0, 0, 8, 2) // overwrite without read: first value dead
+	tr.Read(0, 0, 15)
+	tr.Finish(20)
+	segs := tr.Segments(0, 0)
+	if len(segs) != 3 {
+		t.Fatalf("got %d segments: %+v", len(segs), segs)
+	}
+	if segs[0].Kind != SegDead || segs[0].Version != 1 {
+		t.Errorf("overwritten value segment = %+v, want dead v1", segs[0])
+	}
+	if segs[1].Kind != SegACE || segs[1].Version != 2 {
+		t.Errorf("read segment = %+v, want ace v2", segs[1])
+	}
+	if segs[2].Kind != SegDead {
+		t.Errorf("tail segment = %+v, want dead", segs[2])
+	}
+}
+
+func TestDirtyEvictionPending(t *testing.T) {
+	tr := NewTracker(1, 1)
+	tr.Open(0, 0, 0, 9)
+	tr.Read(0, 0, 4)
+	tr.CloseDirty(0, 0, 30)
+	segs := tr.Segments(0, 0)
+	if len(segs) != 2 {
+		t.Fatalf("got %d segments: %+v", len(segs), segs)
+	}
+	if segs[1] != (Seg{4, 30, SegPending, 9}) {
+		t.Errorf("dirty tail = %+v, want pending v9 [4,30)", segs[1])
+	}
+}
+
+func TestZeroLengthSegmentsDropped(t *testing.T) {
+	tr := NewTracker(1, 1)
+	tr.Open(0, 0, 10, 1)
+	tr.Read(0, 0, 10) // same-cycle fill+read
+	tr.CloseClean(0, 0, 10)
+	if n := len(tr.Segments(0, 0)); n != 0 {
+		t.Errorf("got %d segments, want 0 (all zero-length)", n)
+	}
+}
+
+func TestReadWithoutOpenIgnored(t *testing.T) {
+	tr := NewTracker(1, 1)
+	tr.Read(0, 0, 5)
+	tr.CloseClean(0, 0, 8)
+	if n := len(tr.Segments(0, 0)); n != 0 {
+		t.Errorf("events on empty slot must not create segments, got %d", n)
+	}
+}
+
+func TestFinishClosesOpenSlots(t *testing.T) {
+	tr := NewTracker(2, 2)
+	tr.Open(1, 1, 3, 4)
+	tr.Finish(50)
+	segs := tr.Segments(1, 1)
+	if len(segs) != 1 || segs[0] != (Seg{3, 50, SegDead, 4}) {
+		t.Errorf("finish segment = %+v", segs)
+	}
+	// Finish is terminal for held state: another Finish adds nothing.
+	tr.Finish(60)
+	if len(tr.Segments(1, 1)) != 1 {
+		t.Error("double Finish added segments")
+	}
+}
+
+func TestSegmentCount(t *testing.T) {
+	tr := NewTracker(2, 2)
+	tr.Open(0, 0, 0, 1)
+	tr.Read(0, 0, 5)
+	tr.Open(1, 1, 2, 2)
+	tr.Finish(10)
+	if got := tr.SegmentCount(); got != 3 {
+		t.Errorf("SegmentCount = %d, want 3", got)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	tr := NewTracker(1, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	tr.Open(0, 4, 0, 1)
+}
+
+func TestSlotIsolation(t *testing.T) {
+	tr := NewTracker(2, 2)
+	tr.Open(0, 0, 0, 1)
+	tr.Open(0, 1, 0, 2)
+	tr.Read(0, 0, 10)
+	tr.CloseClean(0, 1, 10)
+	tr.Finish(20)
+	if tr.Segments(0, 0)[0].Kind != SegACE {
+		t.Error("slot (0,0) should have ACE first segment")
+	}
+	if tr.Segments(0, 1)[0].Kind != SegDead {
+		t.Error("slot (0,1) should have dead segment")
+	}
+	if len(tr.Segments(1, 0)) != 0 || len(tr.Segments(1, 1)) != 0 {
+		t.Error("untouched word has segments")
+	}
+}
+
+func TestVersionsCarriedThrough(t *testing.T) {
+	tr := NewTracker(1, 1)
+	vers := []dataflow.VersionID{11, 22, 33}
+	c := uint64(0)
+	for _, v := range vers {
+		tr.Open(0, 0, c, v)
+		tr.Read(0, 0, c+3)
+		c += 10
+	}
+	tr.Finish(c)
+	segs := tr.Segments(0, 0)
+	want := []dataflow.VersionID{11, 11, 22, 22, 33, 33}
+	if len(segs) != len(want) {
+		t.Fatalf("got %d segments: %+v", len(segs), segs)
+	}
+	for i, s := range segs {
+		if s.Version != want[i] {
+			t.Errorf("seg %d version = %d, want %d", i, s.Version, want[i])
+		}
+	}
+}

@@ -1,0 +1,150 @@
+// Package mem provides the flat, byte-addressable memory backing the APU
+// simulator. Memory holds the functional state (values) plus the dynamic
+// dataflow version of every byte, so caches and the AVF infrastructure can
+// associate the data resident in any SRAM slot with its liveness.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"mbavf/internal/dataflow"
+)
+
+// Memory is the simulated physical memory.
+type Memory struct {
+	data    []byte
+	version []dataflow.VersionID
+}
+
+// New returns a zeroed memory of size bytes. All bytes start at the ground
+// version (0).
+func New(size int) *Memory {
+	return &Memory{
+		data:    make([]byte, size),
+		version: make([]dataflow.VersionID, size),
+	}
+}
+
+// Size returns the memory size in bytes.
+func (m *Memory) Size() int { return len(m.data) }
+
+func (m *Memory) check(addr uint32, n int) error {
+	if int(addr)+n > len(m.data) {
+		return fmt.Errorf("mem: access [%#x,%#x) beyond size %#x", addr, int(addr)+n, len(m.data))
+	}
+	return nil
+}
+
+// LoadByte returns the value and version of the byte at addr.
+func (m *Memory) LoadByte(addr uint32) (byte, dataflow.VersionID, error) {
+	if err := m.check(addr, 1); err != nil {
+		return 0, 0, err
+	}
+	return m.data[addr], m.version[addr], nil
+}
+
+// StoreByte stores value v with version ver at addr.
+func (m *Memory) StoreByte(addr uint32, v byte, ver dataflow.VersionID) error {
+	if err := m.check(addr, 1); err != nil {
+		return err
+	}
+	m.data[addr] = v
+	m.version[addr] = ver
+	return nil
+}
+
+// LoadWord returns the little-endian 32-bit value at addr and the versions
+// of its four bytes.
+func (m *Memory) LoadWord(addr uint32) (uint32, [4]dataflow.VersionID, error) {
+	var vers [4]dataflow.VersionID
+	if err := m.check(addr, 4); err != nil {
+		return 0, vers, err
+	}
+	copy(vers[:], m.version[addr:addr+4])
+	return binary.LittleEndian.Uint32(m.data[addr : addr+4]), vers, nil
+}
+
+// StoreWord stores a little-endian 32-bit value at addr; vers supplies the
+// version of each byte.
+func (m *Memory) StoreWord(addr uint32, v uint32, vers [4]dataflow.VersionID) error {
+	if err := m.check(addr, 4); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(m.data[addr:addr+4], v)
+	copy(m.version[addr:addr+4], vers[:])
+	return nil
+}
+
+// VersionAt returns the version of the byte at addr without bounds checks
+// beyond the slice's own; it is used by caches when filling lines.
+func (m *Memory) VersionAt(addr uint32) dataflow.VersionID { return m.version[addr] }
+
+// ByteAt returns the value of the byte at addr.
+func (m *Memory) ByteAt(addr uint32) byte { return m.data[addr] }
+
+// SetInput writes host-provided input data starting at addr, creating one
+// fresh TransferNone version per byte in g so that input data flowing
+// through caches participates in liveness analysis. If g is nil the bytes
+// keep the ground version.
+func (m *Memory) SetInput(g *dataflow.Graph, addr uint32, data []byte) error {
+	if err := m.check(addr, len(data)); err != nil {
+		return err
+	}
+	copy(m.data[addr:], data)
+	for i := range data {
+		if g != nil {
+			m.version[addr+uint32(i)] = g.New(dataflow.TransferNone, 0)
+		} else {
+			m.version[addr+uint32(i)] = 0
+		}
+	}
+	return nil
+}
+
+// SetInputWords writes host-provided 32-bit values starting at addr, with
+// per-byte input versions as in SetInput.
+func (m *Memory) SetInputWords(g *dataflow.Graph, addr uint32, words []uint32) error {
+	buf := make([]byte, 4*len(words))
+	for i, w := range words {
+		binary.LittleEndian.PutUint32(buf[4*i:], w)
+	}
+	return m.SetInput(g, addr, buf)
+}
+
+// Bytes returns a copy of the byte range [addr, addr+n); it is the host
+// view used to compare program output against a golden result.
+func (m *Memory) Bytes(addr uint32, n int) ([]byte, error) {
+	if err := m.check(addr, n); err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), m.data[addr:int(addr)+n]...), nil
+}
+
+// Words returns n little-endian 32-bit values starting at addr.
+func (m *Memory) Words(addr uint32, n int) ([]uint32, error) {
+	b, err := m.Bytes(addr, 4*n)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(b[4*i:])
+	}
+	return out, nil
+}
+
+// MarkOutput marks the byte range [addr, addr+n) as final program output:
+// the current version of every byte is root-live and counts as consumed at
+// cycle end for uarch purposes.
+func (m *Memory) MarkOutput(g *dataflow.Graph, addr uint32, n int, end uint64) error {
+	if err := m.check(addr, n); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		v := m.version[addr+uint32(i)]
+		g.MarkRootLive(v, 0xFF)
+		g.NoteRead(v, end+1)
+	}
+	return nil
+}

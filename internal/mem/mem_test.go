@@ -1,0 +1,111 @@
+package mem
+
+import (
+	"testing"
+
+	"mbavf/internal/dataflow"
+)
+
+func TestLoadStoreWordRoundTrip(t *testing.T) {
+	m := New(64)
+	vers := [4]dataflow.VersionID{1, 2, 3, 4}
+	if err := m.StoreWord(8, 0xDEADBEEF, vers); err != nil {
+		t.Fatal(err)
+	}
+	v, gotVers, err := m.LoadWord(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xDEADBEEF {
+		t.Errorf("value = %#x", v)
+	}
+	if gotVers != vers {
+		t.Errorf("versions = %v, want %v", gotVers, vers)
+	}
+	// Little-endian byte order.
+	if b, _, _ := m.LoadByte(8); b != 0xEF {
+		t.Errorf("byte 0 = %#x, want 0xEF", b)
+	}
+	if b, _, _ := m.LoadByte(11); b != 0xDE {
+		t.Errorf("byte 3 = %#x, want 0xDE", b)
+	}
+}
+
+func TestBoundsChecks(t *testing.T) {
+	m := New(8)
+	if _, _, err := m.LoadWord(6); err == nil {
+		t.Error("LoadWord straddling the end should fail")
+	}
+	if err := m.StoreByte(8, 1, 0); err == nil {
+		t.Error("StoreByte past the end should fail")
+	}
+	if _, err := m.Bytes(4, 5); err == nil {
+		t.Error("Bytes past the end should fail")
+	}
+}
+
+func TestSetInputCreatesVersions(t *testing.T) {
+	g := dataflow.NewGraph()
+	m := New(16)
+	if err := m.SetInput(g, 4, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	v0 := m.VersionAt(4)
+	v1 := m.VersionAt(5)
+	if v0 == 0 || v1 == 0 || v0 == v1 {
+		t.Errorf("input versions = %d,%d, want distinct non-ground", v0, v1)
+	}
+	if m.VersionAt(7) != 0 {
+		t.Error("untouched byte should keep ground version")
+	}
+	if m.ByteAt(5) != 2 {
+		t.Errorf("value = %d, want 2", m.ByteAt(5))
+	}
+}
+
+func TestSetInputNilGraph(t *testing.T) {
+	m := New(8)
+	if err := m.SetInput(nil, 0, []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	if m.VersionAt(0) != 0 {
+		t.Error("nil graph input should use ground version")
+	}
+}
+
+func TestSetInputWordsAndWords(t *testing.T) {
+	g := dataflow.NewGraph()
+	m := New(64)
+	in := []uint32{10, 20, 30}
+	if err := m.SetInputWords(g, 16, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := m.Words(16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("word %d = %d, want %d", i, out[i], in[i])
+		}
+	}
+}
+
+func TestMarkOutputMarksLiveAndConsumed(t *testing.T) {
+	g := dataflow.NewGraph()
+	m := New(16)
+	ver := g.New(dataflow.TransferNone, 0)
+	if err := m.StoreByte(3, 0xAB, ver); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.MarkOutput(g, 3, 1, 100); err != nil {
+		t.Fatal(err)
+	}
+	g.Solve()
+	if g.Live(ver) != 0xFF {
+		t.Errorf("output byte live = %#x, want 0xFF", g.Live(ver))
+	}
+	if !g.ReadAfter(ver, 100) {
+		t.Error("output version should count as consumed after end")
+	}
+}

@@ -1,0 +1,137 @@
+// Package mttf models the mean time to failure of a large cache from
+// temporal and spatial multi-bit faults, reproducing the analysis behind
+// the paper's Figure 2 (built on the methodology of Saleh et al. for
+// temporal accumulation).
+//
+// A temporal multi-bit fault (tMBF) needs two independent strikes to land
+// in the same protection word before the word's data is replaced: its
+// failure rate scales with the square of the raw fault rate and with the
+// data lifetime. A spatial multi-bit fault (sMBF) needs a single strike:
+// its rate is the raw rate times the multi-bit fraction measured in
+// accelerated testing. This asymmetry is the paper's justification for
+// focusing on spatial faults: at realistic raw rates the sMBF MTTF is
+// orders of magnitude below the tMBF MTTF.
+package mttf
+
+import (
+	"fmt"
+	"math"
+)
+
+// HoursPerYear converts lifetimes for reporting.
+const HoursPerYear = 24 * 365.25
+
+// CacheParams describes the SRAM under analysis.
+type CacheParams struct {
+	// Bits is the total cache capacity in bits (the paper uses 32MB).
+	Bits float64
+	// WordBits is the protection-domain size in bits (one ECC word).
+	WordBits float64
+	// RawFITPerBit is the raw per-bit transient fault rate in FIT
+	// (failures per 10^9 device-hours).
+	RawFITPerBit float64
+	// SMBFFraction is the fraction of strikes that flip multiple bits
+	// spatially (e.g. 0.001 for the 0.1% >8-bit rate, 0.05 for 5%).
+	SMBFFraction float64
+	// LifetimeHours is how long a word's data lives before being
+	// overwritten or scrubbed; 0 means infinite (data never replaced).
+	LifetimeHours float64
+}
+
+// Default32MB returns the paper's Figure 2 structure: a 32MB cache with
+// 64-bit protection words.
+func Default32MB() CacheParams {
+	return CacheParams{
+		Bits:     32 * 8 * 1024 * 1024,
+		WordBits: 64,
+	}
+}
+
+func (p CacheParams) validate() error {
+	if p.Bits <= 0 || p.WordBits <= 0 || p.RawFITPerBit <= 0 {
+		return fmt.Errorf("mttf: non-positive parameters: %+v", p)
+	}
+	return nil
+}
+
+// perBitRate returns the per-bit fault rate in events per hour.
+func (p CacheParams) perBitRate() float64 { return p.RawFITPerBit / 1e9 }
+
+// SpatialMTTF returns the cache's MTTF in hours from spatial multi-bit
+// faults: a single strike whose spatial extent defeats the protection.
+func SpatialMTTF(p CacheParams) (float64, error) {
+	if err := p.validate(); err != nil {
+		return 0, err
+	}
+	if p.SMBFFraction <= 0 {
+		return math.Inf(1), nil
+	}
+	rate := p.Bits * p.perBitRate() * p.SMBFFraction
+	return 1 / rate, nil
+}
+
+// TemporalMTTF returns the cache's MTTF in hours from temporal multi-bit
+// faults: two strikes accumulating in one protection word while the data
+// lives there.
+//
+// With a finite lifetime T, each word independently fails in an interval
+// with probability ~ (mu*T)^2/2 (mu = per-word strike rate), giving a
+// failure rate of W*mu^2*T/2 and MTTF = 2/(W*mu^2*T).
+//
+// With an infinite lifetime, strikes accumulate forever and the MTTF is
+// the expected time until any of W words collects two strikes — the
+// birthday bound sqrt(pi/(2W))/mu.
+func TemporalMTTF(p CacheParams) (float64, error) {
+	if err := p.validate(); err != nil {
+		return 0, err
+	}
+	words := p.Bits / p.WordBits
+	mu := p.WordBits * p.perBitRate()
+	if p.LifetimeHours <= 0 {
+		return math.Sqrt(math.Pi/(2*words)) / mu, nil
+	}
+	rate := words * mu * mu * p.LifetimeHours / 2
+	return 1 / rate, nil
+}
+
+// Point is one sweep sample for Figure 2.
+type Point struct {
+	RawFITPerBit float64
+	// MTTF in hours per scenario.
+	SMBF01    float64 // spatial, 0.1% multi-bit fraction
+	SMBF5     float64 // spatial, 5% multi-bit fraction
+	TMBFInf   float64 // temporal, infinite data lifetime
+	TMBF100yr float64 // temporal, 100-year data lifetime
+}
+
+// Sweep evaluates the four Figure 2 scenarios for each raw fault rate.
+func Sweep(base CacheParams, rawFITs []float64) ([]Point, error) {
+	out := make([]Point, 0, len(rawFITs))
+	for _, fit := range rawFITs {
+		p := base
+		p.RawFITPerBit = fit
+
+		p.SMBFFraction = 0.001
+		s01, err := SpatialMTTF(p)
+		if err != nil {
+			return nil, err
+		}
+		p.SMBFFraction = 0.05
+		s5, err := SpatialMTTF(p)
+		if err != nil {
+			return nil, err
+		}
+		p.LifetimeHours = 0
+		tInf, err := TemporalMTTF(p)
+		if err != nil {
+			return nil, err
+		}
+		p.LifetimeHours = 100 * HoursPerYear
+		t100, err := TemporalMTTF(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Point{RawFITPerBit: fit, SMBF01: s01, SMBF5: s5, TMBFInf: tInf, TMBF100yr: t100})
+	}
+	return out, nil
+}

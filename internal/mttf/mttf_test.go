@@ -1,0 +1,139 @@
+package mttf
+
+import (
+	"math"
+	"testing"
+)
+
+func params(fit float64) CacheParams {
+	p := Default32MB()
+	p.RawFITPerBit = fit
+	p.SMBFFraction = 0.001
+	return p
+}
+
+func TestSpatialScalesInverselyWithRate(t *testing.T) {
+	a, err := SpatialMTTF(params(1e-4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SpatialMTTF(params(1e-3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := a / b; math.Abs(ratio-10) > 1e-9 {
+		t.Errorf("10x rate should give 10x lower MTTF, got ratio %v", ratio)
+	}
+}
+
+func TestTemporalScalesQuadratically(t *testing.T) {
+	pa := params(1e-4)
+	pa.LifetimeHours = 1000
+	pb := params(1e-3)
+	pb.LifetimeHours = 1000
+	a, err := TemporalMTTF(pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TemporalMTTF(pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := a / b; math.Abs(ratio-100) > 1e-6 {
+		t.Errorf("10x rate should give 100x lower temporal MTTF, got ratio %v", ratio)
+	}
+}
+
+func TestSMBFFractionScalesLinearly(t *testing.T) {
+	// The paper: a 5% sMBF rate decreases MTTF by ~2 orders of magnitude
+	// relative to 0.1%.
+	p := params(1e-4)
+	p.SMBFFraction = 0.001
+	a, _ := SpatialMTTF(p)
+	p.SMBFFraction = 0.05
+	b, _ := SpatialMTTF(p)
+	if ratio := a / b; math.Abs(ratio-50) > 1e-9 {
+		t.Errorf("5%% vs 0.1%% should differ 50x, got %v", ratio)
+	}
+}
+
+func TestFiniteLifetimeRaisesTemporalMTTF(t *testing.T) {
+	// The paper: limiting lifetime to 100 years raises tMBF MTTFs by
+	// several orders of magnitude versus infinite lifetime.
+	p := params(1e-4)
+	p.LifetimeHours = 0
+	inf, err := TemporalMTTF(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.LifetimeHours = 100 * HoursPerYear
+	fin, err := TemporalMTTF(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin < inf*100 {
+		t.Errorf("100-year lifetime should raise MTTF by orders of magnitude: inf=%g fin=%g", inf, fin)
+	}
+}
+
+func TestSpatialDominatesAtRealisticRates(t *testing.T) {
+	// The paper's core Figure 2 claim: sMBF MTTF is far below tMBF MTTF
+	// across realistic raw rates, so spatial faults are the threat.
+	for _, fit := range []float64{1e-6, 1e-5, 1e-4, 1e-3} {
+		p := params(fit)
+		s, err := SpatialMTTF(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.LifetimeHours = 100 * HoursPerYear
+		tm, err := TemporalMTTF(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s >= tm {
+			t.Errorf("rate %g: spatial MTTF %g should be below temporal %g", fit, s, tm)
+		}
+	}
+}
+
+func TestGapGrowsAsRateFalls(t *testing.T) {
+	pts, err := Sweep(Default32MB(), []float64{1e-3, 1e-4, 1e-5, 1e-6, 1e-7, 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevGap := 0.0
+	for _, pt := range pts {
+		gap := pt.TMBF100yr / pt.SMBF01
+		if gap <= prevGap {
+			t.Errorf("temporal/spatial MTTF gap should grow as raw rate falls: %v then %v", prevGap, gap)
+		}
+		prevGap = gap
+	}
+	// At the low-rate end the gap reaches the many-orders-of-magnitude
+	// regime the paper reports.
+	if last := pts[len(pts)-1]; last.TMBF100yr/last.SMBF01 < 1e6 {
+		t.Errorf("gap at 1e-8 FIT/bit = %g, want >= 1e6", last.TMBF100yr/last.SMBF01)
+	}
+}
+
+func TestZeroFractionGivesInfiniteMTTF(t *testing.T) {
+	p := params(1e-4)
+	p.SMBFFraction = 0
+	mttf, err := SpatialMTTF(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(mttf, 1) {
+		t.Errorf("zero multi-bit fraction should give infinite MTTF, got %g", mttf)
+	}
+}
+
+func TestInvalidParams(t *testing.T) {
+	var p CacheParams
+	if _, err := SpatialMTTF(p); err == nil {
+		t.Error("zero params should error")
+	}
+	if _, err := TemporalMTTF(p); err == nil {
+		t.Error("zero params should error")
+	}
+}

@@ -1,0 +1,54 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Fig X", "workload", "avf")
+	tb.Caption = "example"
+	tb.AddRowf("minife", 0.4321)
+	tb.AddRowf("comd", 123456.0)
+	tb.AddRowf("srad", 0.0)
+	out := tb.String()
+	for _, want := range []string{"== Fig X ==", "example", "workload", "minife", "0.4321", "1.235e+05", "srad"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		0.5:     "0.5000",
+		0.0001:  "1.000e-04",
+		12345.6: "1.235e+04",
+	}
+	for v, want := range cases {
+		if got := FormatFloat(v); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestAddRowfTypes(t *testing.T) {
+	tb := NewTable("types", "a", "b", "c", "d")
+	tb.AddRowf("s", 7, uint64(9), 0.25)
+	if tb.Rows[0][1] != "7" || tb.Rows[0][2] != "9" || tb.Rows[0][3] != "0.2500" {
+		t.Errorf("row = %v", tb.Rows[0])
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("x,y", `quo"te`)
+	tb.AddRow("plain", "2")
+	var sb strings.Builder
+	tb.CSV(&sb)
+	want := "a,b\n\"x,y\",\"quo\"\"te\"\nplain,2\n"
+	if sb.String() != want {
+		t.Errorf("CSV = %q, want %q", sb.String(), want)
+	}
+}

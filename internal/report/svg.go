@@ -1,0 +1,348 @@
+package report
+
+// SVG figure rendering for experiment results: grouped bars for
+// per-workload comparisons, lines for time series, log-scale lines for
+// MTTF sweeps. Every chart ships with the rendered table (the "table
+// view"), uses a fixed, CVD-validated categorical palette in slot order,
+// one y-axis, thin marks with rounded data ends, a recessive grid, a
+// legend whenever there are two or more series, and per-mark <title>
+// tooltips.
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// chartPalette is the validated categorical palette (light mode, surface
+// #fcfcfb), assigned to series in fixed slot order.
+var chartPalette = []string{
+	"#2a78d6", // blue
+	"#1baf7a", // aqua
+	"#eda100", // yellow
+	"#4a3aa7", // violet
+	"#e34948", // red
+	"#e87ba4", // magenta
+	"#eb6834", // orange
+	"#008300", // green
+}
+
+const (
+	chartSurface   = "#fcfcfb"
+	chartTextMain  = "#0b0b0b"
+	chartTextSub   = "#52514e"
+	chartGrid      = "#e4e3df"
+	chartAxis      = "#b5b4ad"
+	chartFont      = "system-ui, -apple-system, 'Segoe UI', sans-serif"
+	chartW         = 880.0
+	chartH         = 440.0
+	chartMarginL   = 70.0
+	chartMarginR   = 24.0
+	chartMarginTop = 76.0
+	chartMarginBot = 78.0
+)
+
+// ChartKind selects the mark form.
+type ChartKind int
+
+const (
+	// ChartBars renders grouped vertical bars: one group per x tick, one
+	// bar per series. For categorical comparisons (per-workload AVFs).
+	ChartBars ChartKind = iota
+	// ChartLines renders one polyline per series with point markers. For
+	// time series (windowed AVF profiles).
+	ChartLines
+)
+
+// ChartSeries is one named series of y values aligned with the chart's
+// XTicks.
+type ChartSeries struct {
+	Name string
+	Y    []float64
+}
+
+// Chart is a renderable figure.
+type Chart struct {
+	Title    string
+	Subtitle string
+	YLabel   string
+	XTicks   []string
+	Series   []ChartSeries
+	Kind     ChartKind
+	// LogY plots on a log10 scale (all values must be positive).
+	LogY bool
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// niceStep returns a 1/2/5-style tick step covering max with 4-6 ticks.
+func niceStep(max float64) float64 {
+	if max <= 0 {
+		return 1
+	}
+	raw := max / 5
+	mag := math.Pow(10, math.Floor(math.Log10(raw)))
+	for _, m := range []float64{1, 2, 5, 10} {
+		if raw <= m*mag {
+			return m * mag
+		}
+	}
+	return 10 * mag
+}
+
+func fmtTick(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 1000 || math.Abs(v) < 0.001:
+		return strconv.FormatFloat(v, 'e', 0, 64)
+	default:
+		return strconv.FormatFloat(v, 'g', 3, 64)
+	}
+}
+
+// Validate checks chart consistency before rendering.
+func (c *Chart) Validate() error {
+	if len(c.Series) == 0 || len(c.XTicks) == 0 {
+		return fmt.Errorf("report: chart %q needs series and x ticks", c.Title)
+	}
+	if len(c.Series) > len(chartPalette) {
+		return fmt.Errorf("report: chart %q has %d series; max %d (fold extras into 'other')",
+			c.Title, len(c.Series), len(chartPalette))
+	}
+	for _, s := range c.Series {
+		if len(s.Y) != len(c.XTicks) {
+			return fmt.Errorf("report: series %q has %d values for %d ticks", s.Name, len(s.Y), len(c.XTicks))
+		}
+		if c.LogY {
+			for _, v := range s.Y {
+				if v <= 0 {
+					return fmt.Errorf("report: log chart %q needs positive values", c.Title)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// SVG renders the chart.
+func (c *Chart) SVG() (string, error) {
+	if err := c.Validate(); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	plotW := chartW - chartMarginL - chartMarginR
+	plotH := chartH - chartMarginTop - chartMarginBot
+	x0, y0 := chartMarginL, chartMarginTop
+
+	maxY := 0.0
+	minY := math.Inf(1)
+	for _, s := range c.Series {
+		for _, v := range s.Y {
+			maxY = math.Max(maxY, v)
+			minY = math.Min(minY, v)
+		}
+	}
+	if maxY <= 0 {
+		maxY = 1
+	}
+
+	// y mapping.
+	var yOf func(v float64) float64
+	var gridVals []float64
+	if c.LogY {
+		lo := math.Floor(math.Log10(minY))
+		hi := math.Ceil(math.Log10(maxY))
+		if hi == lo {
+			hi++
+		}
+		yOf = func(v float64) float64 {
+			return y0 + plotH - plotH*(math.Log10(v)-lo)/(hi-lo)
+		}
+		for d := lo; d <= hi; d++ {
+			gridVals = append(gridVals, math.Pow(10, d))
+		}
+	} else {
+		step := niceStep(maxY)
+		top := step * math.Ceil(maxY/step)
+		yOf = func(v float64) float64 { return y0 + plotH - plotH*v/top }
+		for v := 0.0; v <= top+step/2; v += step {
+			gridVals = append(gridVals, v)
+		}
+	}
+
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f" role="img" aria-label="%s">`,
+		chartW, chartH, chartW, chartH, esc(c.Title))
+	fmt.Fprintf(&b, `<rect width="%.0f" height="%.0f" fill="%s"/>`, chartW, chartH, chartSurface)
+	// Title block.
+	fmt.Fprintf(&b, `<text x="%.0f" y="26" font-family="%s" font-size="15" font-weight="600" fill="%s">%s</text>`,
+		x0, chartFont, chartTextMain, esc(c.Title))
+	if c.Subtitle != "" {
+		fmt.Fprintf(&b, `<text x="%.0f" y="44" font-family="%s" font-size="11" fill="%s">%s</text>`,
+			x0, chartFont, chartTextSub, esc(c.Subtitle))
+	}
+	// Legend (only for two or more series; a single series is named by
+	// the title).
+	if len(c.Series) >= 2 {
+		lx := x0
+		ly := 60.0
+		for i, s := range c.Series {
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="10" height="10" rx="2" fill="%s"/>`,
+				lx, ly-9, chartPalette[i])
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="%s" font-size="11" fill="%s">%s</text>`,
+				lx+14, ly, chartFont, chartTextSub, esc(s.Name))
+			lx += 22 + 6.6*float64(len(s.Name))
+		}
+	}
+	// Grid + y ticks.
+	for _, v := range gridVals {
+		y := yOf(v)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1"/>`,
+			x0, y, x0+plotW, y, chartGrid)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="%s" font-size="10" fill="%s" text-anchor="end">%s</text>`,
+			x0-8, y+3, chartFont, chartTextSub, fmtTick(v))
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="16" y="%.1f" font-family="%s" font-size="11" fill="%s" transform="rotate(-90 16 %.1f)" text-anchor="middle">%s</text>`,
+			y0+plotH/2, chartFont, chartTextSub, y0+plotH/2, esc(c.YLabel))
+	}
+	// Baseline.
+	base := yOf(gridVals[0])
+	fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1"/>`,
+		x0, base, x0+plotW, base, chartAxis)
+
+	n := len(c.XTicks)
+	slot := plotW / float64(n)
+	// X tick labels (rotated when dense).
+	rotate := slot < 60
+	for i, t := range c.XTicks {
+		cx := x0 + slot*(float64(i)+0.5)
+		if rotate {
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="%s" font-size="10" fill="%s" text-anchor="end" transform="rotate(-38 %.1f %.1f)">%s</text>`,
+				cx, base+14, chartFont, chartTextSub, cx, base+14, esc(t))
+		} else {
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="%s" font-size="10" fill="%s" text-anchor="middle">%s</text>`,
+				cx, base+16, chartFont, chartTextSub, esc(t))
+		}
+	}
+
+	switch c.Kind {
+	case ChartBars:
+		c.renderBars(&b, x0, slot, base, yOf)
+	case ChartLines:
+		c.renderLines(&b, x0, slot, yOf)
+	}
+	fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="%s" font-size="9" fill="%s">values in the accompanying table</text>`,
+		x0, chartH-8, chartFont, chartTextSub)
+	b.WriteString(`</svg>`)
+	return b.String(), nil
+}
+
+// renderBars draws grouped bars with 2px spacers and rounded data ends.
+func (c *Chart) renderBars(b *strings.Builder, x0, slot, base float64, yOf func(float64) float64) {
+	ns := float64(len(c.Series))
+	inner := slot * 0.78
+	barW := (inner - 2*(ns-1)) / ns
+	if barW < 2 {
+		barW = 2
+	}
+	r := math.Min(3, barW/2)
+	for si, s := range c.Series {
+		color := chartPalette[si]
+		for i, v := range s.Y {
+			gx := x0 + slot*float64(i) + (slot-inner)/2
+			bx := gx + float64(si)*(barW+2)
+			by := yOf(v)
+			h := base - by
+			if h < 0.5 && v > 0 {
+				h = 0.5
+				by = base - h
+			}
+			// Rounded top corners only (the data end), flat baseline.
+			fmt.Fprintf(b, `<path d="M%.1f %.1f L%.1f %.1f Q%.1f %.1f %.1f %.1f L%.1f %.1f Q%.1f %.1f %.1f %.1f L%.1f %.1f Z" fill="%s"><title>%s, %s: %s</title></path>`,
+				bx, base, bx, by+r, bx, by, bx+r, by,
+				bx+barW-r, by, bx+barW, by, bx+barW, by+r, bx+barW, base,
+				color, esc(c.XTicks[i]), esc(s.Name), fmtTick(v))
+		}
+	}
+}
+
+// renderLines draws 2px polylines with markers and direct end labels.
+func (c *Chart) renderLines(b *strings.Builder, x0, slot float64, yOf func(float64) float64) {
+	for si, s := range c.Series {
+		color := chartPalette[si]
+		var pts []string
+		for i, v := range s.Y {
+			cx := x0 + slot*(float64(i)+0.5)
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", cx, yOf(v)))
+		}
+		fmt.Fprintf(b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2" stroke-linejoin="round"/>`,
+			strings.Join(pts, " "), color)
+		for i, v := range s.Y {
+			cx := x0 + slot*(float64(i)+0.5)
+			cy := yOf(v)
+			fmt.Fprintf(b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`, cx, cy, color)
+			// Oversized invisible hit target carrying the tooltip.
+			fmt.Fprintf(b, `<circle cx="%.1f" cy="%.1f" r="8" fill="transparent"><title>%s, %s: %s</title></circle>`,
+				cx, cy, esc(c.XTicks[i]), esc(s.Name), fmtTick(v))
+		}
+		// Direct label at the line end, in secondary ink (identity comes
+		// from the adjacent marker color, not colored text).
+		lastX := x0 + slot*(float64(len(s.Y)-1)+0.5)
+		fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-family="%s" font-size="10" fill="%s">%s</text>`,
+			lastX+8, yOf(s.Y[len(s.Y)-1])+3, chartFont, chartTextSub, esc(s.Name))
+	}
+}
+
+// ChartFromTable builds a chart from a rendered table: column 0 supplies
+// the x ticks and every fully numeric column becomes a series. Rows whose
+// label is in skipRows (e.g. "MEAN", "TOTAL") are dropped.
+func ChartFromTable(t *Table, kind ChartKind, yLabel string, skipRows ...string) (*Chart, error) {
+	skip := map[string]bool{}
+	for _, s := range skipRows {
+		skip[s] = true
+	}
+	var ticks []string
+	var rows [][]string
+	for _, row := range t.Rows {
+		if len(row) == 0 || skip[row[0]] {
+			continue
+		}
+		ticks = append(ticks, row[0])
+		rows = append(rows, row)
+	}
+	if len(ticks) == 0 {
+		return nil, fmt.Errorf("report: table %q has no chartable rows", t.Title)
+	}
+	c := &Chart{Title: t.Title, Subtitle: t.Caption, YLabel: yLabel, XTicks: ticks, Kind: kind}
+	for col := 1; col < len(t.Header); col++ {
+		ys := make([]float64, 0, len(rows))
+		ok := true
+		for _, row := range rows {
+			if col >= len(row) {
+				ok = false
+				break
+			}
+			v, err := strconv.ParseFloat(row[col], 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			ys = append(ys, v)
+		}
+		if ok {
+			c.Series = append(c.Series, ChartSeries{Name: t.Header[col], Y: ys})
+		}
+		if len(c.Series) == len(chartPalette) {
+			break
+		}
+	}
+	if len(c.Series) == 0 {
+		return nil, fmt.Errorf("report: table %q has no numeric columns", t.Title)
+	}
+	return c, nil
+}

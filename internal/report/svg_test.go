@@ -1,0 +1,164 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func barChart() *Chart {
+	return &Chart{
+		Title:  "Figure X",
+		YLabel: "AVF",
+		XTicks: []string{"minife", "matmul"},
+		Series: []ChartSeries{
+			{Name: "logical", Y: []float64{1.0, 1.1}},
+			{Name: "way", Y: []float64{1.5, 1.9}},
+		},
+		Kind: ChartBars,
+	}
+}
+
+func TestBarChartSVG(t *testing.T) {
+	svg, err := barChart().SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<svg", "Figure X", "minife", "logical", "<path", "<title>minife, way: 1.5</title>", "</svg>"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Two series: legend swatches present (rect with rx).
+	if strings.Count(svg, `rx="2"`) < 2 {
+		t.Error("expected legend swatches for 2 series")
+	}
+}
+
+func TestLineChartSVG(t *testing.T) {
+	c := &Chart{
+		Title:  "Over time",
+		XTicks: []string{"0", "1", "2"},
+		Series: []ChartSeries{{Name: "SDC", Y: []float64{0.1, 0.3, 0.2}}},
+		Kind:   ChartLines,
+	}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg, "<polyline") || !strings.Contains(svg, "<circle") {
+		t.Error("line chart missing marks")
+	}
+	// Single series: no legend block, but a direct end label.
+	if !strings.Contains(svg, ">SDC</text>") {
+		t.Error("missing direct series label")
+	}
+}
+
+func TestLogChart(t *testing.T) {
+	c := &Chart{
+		Title:  "MTTF",
+		XTicks: []string{"a", "b"},
+		Series: []ChartSeries{{Name: "s", Y: []float64{1e3, 1e7}}},
+		Kind:   ChartLines,
+		LogY:   true,
+	}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decade gridlines produce exponential tick labels.
+	if !strings.Contains(svg, "e+0") {
+		t.Errorf("log chart should have exponential ticks")
+	}
+	c.Series[0].Y[0] = 0
+	if _, err := c.SVG(); err == nil {
+		t.Error("log chart with zero value should fail validation")
+	}
+}
+
+func TestChartValidation(t *testing.T) {
+	c := &Chart{Title: "bad"}
+	if _, err := c.SVG(); err == nil {
+		t.Error("empty chart should fail")
+	}
+	c = barChart()
+	c.Series[0].Y = c.Series[0].Y[:1]
+	if _, err := c.SVG(); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	c = barChart()
+	for i := 0; i < 9; i++ {
+		c.Series = append(c.Series, ChartSeries{Name: "x", Y: []float64{1, 1}})
+	}
+	if _, err := c.SVG(); err == nil {
+		t.Error("more series than palette slots should fail")
+	}
+}
+
+func TestXMLEscaping(t *testing.T) {
+	c := barChart()
+	c.Title = `a<b & "c"`
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg, `a<b`) {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(svg, "a&lt;b &amp;") {
+		t.Error("escaped title missing")
+	}
+}
+
+func TestChartFromTable(t *testing.T) {
+	tb := NewTable("Fig", "workload", "ratioA", "ratioB")
+	tb.Caption = "cap"
+	tb.AddRowf("minife", 1.2, 1.5)
+	tb.AddRowf("matmul", 1.1, 1.9)
+	tb.AddRowf("MEAN", 1.15, 1.7)
+	c, err := ChartFromTable(tb, ChartBars, "ratio", "MEAN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.XTicks) != 2 {
+		t.Errorf("ticks = %v (MEAN should be skipped)", c.XTicks)
+	}
+	if len(c.Series) != 2 || c.Series[0].Name != "ratioA" {
+		t.Errorf("series = %+v", c.Series)
+	}
+	if c.Subtitle != "cap" {
+		t.Error("caption should become subtitle")
+	}
+	if _, err := c.SVG(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChartFromTableNonNumeric(t *testing.T) {
+	tb := NewTable("Fig", "workload", "note", "val")
+	tb.AddRow("a", "hello", "1.5")
+	tb.AddRow("b", "world", "2.5")
+	c, err := ChartFromTable(tb, ChartBars, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Series) != 1 || c.Series[0].Name != "val" {
+		t.Errorf("non-numeric column should be skipped: %+v", c.Series)
+	}
+	empty := NewTable("none", "a", "b")
+	empty.AddRow("x", "y")
+	if _, err := ChartFromTable(empty, ChartBars, ""); err == nil {
+		t.Error("no numeric columns should error")
+	}
+}
+
+func TestNiceStep(t *testing.T) {
+	cases := map[float64]float64{
+		0.9: 0.2, 4.3: 1, 9: 2, 47: 10, 0: 1,
+	}
+	for max, want := range cases {
+		if got := niceStep(max); got != want {
+			t.Errorf("niceStep(%v) = %v, want %v", max, got, want)
+		}
+	}
+}

@@ -1,0 +1,246 @@
+// Package sim assembles the full APU simulator — memory, cache hierarchy,
+// GPU, dataflow graph, and lifetime trackers — and runs workloads on it,
+// producing everything MB-AVF analysis needs: per-structure lifetime
+// segments, a solved liveness graph, and the cycle count.
+package sim
+
+import (
+	"fmt"
+
+	"mbavf/internal/cache"
+	"mbavf/internal/dataflow"
+	"mbavf/internal/gpu"
+	"mbavf/internal/lifetime"
+	"mbavf/internal/mem"
+)
+
+// Config selects the machine shape and which structures to instrument.
+type Config struct {
+	// MemBytes is the simulated memory size.
+	MemBytes int
+	// GPU is the compute configuration.
+	GPU gpu.Config
+	// Caches is the hierarchy configuration.
+	Caches cache.HierConfig
+	// TrackL1 instruments compute unit 0's L1 data array.
+	TrackL1 bool
+	// TrackL2 instruments the shared L2 data array.
+	TrackL2 bool
+	// TrackVGPR instruments compute unit 0's vector register file.
+	TrackVGPR bool
+	// EnableGraph records the dataflow graph (required for any AVF
+	// analysis; disable only for raw fault-injection runs).
+	EnableGraph bool
+}
+
+// DefaultConfig returns the paper's APU with full instrumentation.
+func DefaultConfig() Config {
+	return Config{
+		MemBytes:    4 << 20,
+		GPU:         gpu.DefaultConfig(),
+		Caches:      cache.DefaultHierConfig(),
+		TrackL1:     true,
+		TrackL2:     true,
+		TrackVGPR:   true,
+		EnableGraph: true,
+	}
+}
+
+// InjectionConfig returns a lean configuration for fault-injection
+// campaigns: functional simulation only, no instrumentation.
+func InjectionConfig() Config {
+	cfg := DefaultConfig()
+	cfg.TrackL1 = false
+	cfg.TrackL2 = false
+	cfg.TrackVGPR = false
+	cfg.EnableGraph = false
+	return cfg
+}
+
+// Region is a byte range of memory holding final program output.
+type Region struct {
+	Addr uint32
+	Len  int
+}
+
+// Session is one simulation run: build inputs, dispatch kernels, finalize,
+// then analyze.
+type Session struct {
+	Cfg     Config
+	Mem     *mem.Memory
+	Graph   *dataflow.Graph
+	Hier    *cache.Hierarchy
+	Machine *gpu.Machine
+
+	L1Tracker   *lifetime.Tracker
+	L2Tracker   *lifetime.Tracker
+	VGPRTracker *lifetime.Tracker
+
+	outputs   []Region
+	allocPtr  uint32
+	finalized bool
+}
+
+// NewSession builds a fresh simulator.
+func NewSession(cfg Config) (*Session, error) {
+	if cfg.MemBytes <= 0 {
+		return nil, fmt.Errorf("sim: MemBytes must be positive")
+	}
+	s := &Session{Cfg: cfg, allocPtr: 64}
+	s.Mem = mem.New(cfg.MemBytes)
+	if cfg.EnableGraph {
+		s.Graph = dataflow.NewGraph()
+	}
+	var err error
+	s.Hier, err = cache.NewHierarchy(cfg.Caches, s.Mem)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.TrackL1 {
+		sets, ways := s.Hier.L1Slots()
+		s.L1Tracker = lifetime.NewTracker(sets*ways, s.Hier.LineBytes())
+		s.Hier.TrackL1(0, s.L1Tracker)
+	}
+	if cfg.TrackL2 {
+		sets, ways := s.Hier.L2Slots()
+		s.L2Tracker = lifetime.NewTracker(sets*ways, s.Hier.LineBytes())
+		s.Hier.TrackL2(s.L2Tracker)
+	}
+	s.Machine, err = gpu.New(cfg.GPU, s.Mem, s.Hier)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.TrackVGPR {
+		s.VGPRTracker = lifetime.NewTracker(cfg.GPU.VGPRThreads()*cfg.GPU.NumVRegs, 4)
+		s.Machine.TrackVGPR(0, s.VGPRTracker)
+	}
+	if cfg.EnableGraph {
+		s.Machine.AttachGraph(s.Graph)
+	}
+	return s, nil
+}
+
+// Alloc reserves n bytes of memory, 64-byte aligned, and returns the base
+// address.
+func (s *Session) Alloc(n int) uint32 {
+	addr := s.allocPtr
+	s.allocPtr += uint32((n + 63) &^ 63)
+	if int(s.allocPtr) > s.Mem.Size() {
+		panic(fmt.Sprintf("sim: allocation of %d bytes exhausts %d-byte memory", n, s.Mem.Size()))
+	}
+	return addr
+}
+
+// InputWords allocates and initializes an input buffer of 32-bit words.
+func (s *Session) InputWords(vals []uint32) (uint32, error) {
+	addr := s.Alloc(4 * len(vals))
+	return addr, s.Mem.SetInputWords(s.Graph, addr, vals)
+}
+
+// InputBytes allocates and initializes a byte input buffer.
+func (s *Session) InputBytes(vals []byte) (uint32, error) {
+	addr := s.Alloc(len(vals))
+	return addr, s.Mem.SetInput(s.Graph, addr, vals)
+}
+
+// OutputWords allocates an output buffer of n 32-bit words and declares it
+// as final program output.
+func (s *Session) OutputWords(n int) uint32 {
+	addr := s.Alloc(4 * n)
+	s.DeclareOutput(addr, 4*n)
+	return addr
+}
+
+// OutputBytesBuf allocates an n-byte output buffer and declares it as
+// final program output.
+func (s *Session) OutputBytesBuf(n int) uint32 {
+	addr := s.Alloc(n)
+	s.DeclareOutput(addr, n)
+	return addr
+}
+
+// ScratchWords allocates a buffer that is not program output (intermediate
+// data; writes to it that are never consumed are dynamically dead).
+func (s *Session) ScratchWords(n int) uint32 { return s.Alloc(4 * n) }
+
+// DeclareOutput marks [addr, addr+n) as final program output.
+func (s *Session) DeclareOutput(addr uint32, n int) {
+	s.outputs = append(s.outputs, Region{Addr: addr, Len: n})
+}
+
+// Outputs returns the declared output regions.
+func (s *Session) Outputs() []Region { return s.outputs }
+
+// Run executes one kernel dispatch.
+func (s *Session) Run(d gpu.Dispatch) error { return s.Machine.RunDispatch(d) }
+
+// Finalize flushes caches (resolving dirty state into writeback events),
+// closes trackers, marks outputs live, and solves the dataflow graph. It
+// must be called exactly once, after the last dispatch.
+func (s *Session) Finalize() error {
+	if s.finalized {
+		return fmt.Errorf("sim: session already finalized")
+	}
+	s.finalized = true
+	s.Machine.Finish()
+	end := s.Machine.Cycles()
+	if s.L1Tracker != nil {
+		s.L1Tracker.Finish(end)
+	}
+	if s.L2Tracker != nil {
+		s.L2Tracker.Finish(end)
+	}
+	if s.Graph != nil {
+		for _, r := range s.outputs {
+			if err := s.Mem.MarkOutput(s.Graph, r.Addr, r.Len, end); err != nil {
+				return err
+			}
+		}
+		s.Graph.Solve()
+	}
+	return nil
+}
+
+// Cycles returns the total simulated cycles.
+func (s *Session) Cycles() uint64 { return s.Machine.Cycles() }
+
+// OutputData concatenates the contents of all declared output regions, in
+// declaration order — the program result compared against golden output.
+func (s *Session) OutputData() ([]byte, error) {
+	var out []byte
+	for _, r := range s.outputs {
+		b, err := s.Mem.Bytes(r.Addr, r.Len)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b...)
+	}
+	return out, nil
+}
+
+// Workload is a complete benchmark recipe: it allocates inputs, dispatches
+// one or more kernel passes, and declares outputs.
+type Workload struct {
+	// Name identifies the benchmark ("minife", "dct", ...).
+	Name string
+	// Description says what access pattern the workload exercises.
+	Description string
+	// Run executes the workload on a fresh session.
+	Run func(s *Session) error
+}
+
+// Execute runs workload w on a fresh session with the given config and
+// finalizes it.
+func Execute(w Workload, cfg Config) (*Session, error) {
+	s, err := NewSession(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.Run(s); err != nil {
+		return nil, fmt.Errorf("sim: workload %s: %w", w.Name, err)
+	}
+	if err := s.Finalize(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

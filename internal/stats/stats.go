@@ -1,0 +1,74 @@
+// Package stats provides the small statistical helpers the experiment
+// harness uses to aggregate AVFs across workloads.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs. All values must be positive;
+// zero or negative inputs return an error (AVF ratios can legitimately be
+// zero, in which case use Mean or filter first).
+func GeoMean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("stats: geomean of empty slice")
+	}
+	var s float64
+	for _, x := range xs {
+		if x <= 0 {
+			return 0, fmt.Errorf("stats: geomean needs positive values, got %v", x)
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs))), nil
+}
+
+// MinMax returns the extremes of xs.
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	return lo, hi
+}
+
+// Median returns the median of xs (0 for empty input).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Ratio returns a/b, or 0 when b is 0 (used for MB/SB AVF normalization
+// when a phase has no ACE time at all).
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

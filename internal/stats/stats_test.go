@@ -1,0 +1,56 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean should be 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	got, err := GeoMean([]float64{1, 4, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-4) > 1e-9 {
+		t.Errorf("GeoMean = %v, want 4", got)
+	}
+	if _, err := GeoMean([]float64{1, 0}); err == nil {
+		t.Error("zero should error")
+	}
+	if _, err := GeoMean(nil); err == nil {
+		t.Error("empty should error")
+	}
+}
+
+func TestMinMaxMedian(t *testing.T) {
+	lo, hi := MinMax([]float64{3, 1, 2})
+	if lo != 1 || hi != 3 {
+		t.Errorf("MinMax = %v,%v", lo, hi)
+	}
+	if got := Median([]float64{5, 1, 3}); got != 3 {
+		t.Errorf("Median odd = %v", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("Median even = %v", got)
+	}
+	if Median(nil) != 0 {
+		t.Error("empty median should be 0")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(1, 0) != 0 {
+		t.Error("div by zero should be 0")
+	}
+	if Ratio(6, 3) != 2 {
+		t.Error("Ratio(6,3) != 2")
+	}
+}

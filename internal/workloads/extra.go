@@ -1,0 +1,481 @@
+package workloads
+
+import (
+	"mbavf/internal/gpu"
+	"mbavf/internal/sim"
+)
+
+// bitonicsort: in-place bitonic sorting network over 1024 int32 values,
+// one compare-exchange pair per thread, one dispatch per (k, j) stage —
+// the AMD BitonicSort sample. Heavy divergence (half the lanes idle per
+// stage) and power-of-two strided exchanges.
+const bsN = 1024
+
+func bsIn() []uint32 {
+	return newRNG(0xB170).words(bsN, 1<<30)
+}
+
+func buildBitonicStage() (*gpu.Program, error) {
+	// Args: s0 = buffer, s1 = j, s2 = k.
+	p := gpu.NewBuilder("bitonic-stage")
+	p.VMov(gpu.V(0), gpu.Tid())
+	p.VMov(gpu.V(1), gpu.S(1))
+	p.VXor(gpu.V(2), gpu.V(0), gpu.V(1)) // ixj
+	p.VCmp(gpu.OpVCmpGT, gpu.V(2), gpu.V(0))
+	p.IfVCC()
+	p.VShl(gpu.V(3), gpu.V(0), gpu.Imm(2))
+	p.VAdd(gpu.V(3), gpu.V(3), gpu.S(0))
+	p.VLoad(gpu.V(4), gpu.V(3), 0) // a = buf[i]
+	p.VShl(gpu.V(5), gpu.V(2), gpu.Imm(2))
+	p.VAdd(gpu.V(5), gpu.V(5), gpu.S(0))
+	p.VLoad(gpu.V(6), gpu.V(5), 0) // b = buf[ixj]
+	p.VMin(gpu.V(7), gpu.V(4), gpu.V(6))
+	p.VMax(gpu.V(8), gpu.V(4), gpu.V(6))
+	// Ascending block iff (i & k) == 0: store (lo, hi); else (hi, lo).
+	p.VMov(gpu.V(9), gpu.S(2))
+	p.VAnd(gpu.V(9), gpu.V(0), gpu.V(9))
+	p.VCmp(gpu.OpVCmpEQ, gpu.V(9), gpu.Imm(0))
+	p.VCndMask(gpu.V(10), gpu.V(7), gpu.V(8)) // at i
+	p.VCndMask(gpu.V(11), gpu.V(8), gpu.V(7)) // at ixj
+	p.VStore(gpu.V(3), 0, gpu.V(10))
+	p.VStore(gpu.V(5), 0, gpu.V(11))
+	p.EndIf()
+	return p.Build()
+}
+
+func bsRun(s *sim.Session) error {
+	buf, err := s.InputWords(bsIn())
+	if err != nil {
+		return err
+	}
+	s.DeclareOutput(buf, 4*bsN)
+	stage, err := buildBitonicStage()
+	if err != nil {
+		return err
+	}
+	waves := bsN / gpu.Lanes
+	for k := uint32(2); k <= bsN; k *= 2 {
+		for j := k / 2; j >= 1; j /= 2 {
+			if err := s.Run(gpu.Dispatch{Prog: stage, Waves: waves, Args: []uint32{buf, j, k}}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func bsGolden() []byte {
+	x := bsIn()
+	for k := 2; k <= bsN; k *= 2 {
+		for j := k / 2; j >= 1; j /= 2 {
+			for i := 0; i < bsN; i++ {
+				ixj := i ^ j
+				if ixj > i {
+					asc := i&k == 0
+					if (x[i] > x[ixj]) == asc {
+						x[i], x[ixj] = x[ixj], x[i]
+					}
+				}
+			}
+		}
+	}
+	return wordsBytes(x)
+}
+
+// reduction: tree sum of 4096 int32 values, halving passes ping-ponging
+// between buffers with progressively emptier wavefronts.
+const redN = 4096
+
+func redIn() []uint32 {
+	return newRNG(0x4ED0).words(redN, 1<<20)
+}
+
+func buildReductionPass() (*gpu.Program, error) {
+	// Args: s0 = src, s1 = dst, s2 = count (output elements).
+	p := gpu.NewBuilder("reduction-pass")
+	p.VMov(gpu.V(0), gpu.Tid())
+	p.VCmp(gpu.OpVCmpLT, gpu.V(0), gpu.S(2))
+	p.IfVCC()
+	p.VShl(gpu.V(1), gpu.V(0), gpu.Imm(3))
+	p.VAdd(gpu.V(1), gpu.V(1), gpu.S(0))
+	p.VLoad(gpu.V(2), gpu.V(1), 0)
+	p.VLoad(gpu.V(3), gpu.V(1), 4)
+	p.VAdd(gpu.V(2), gpu.V(2), gpu.V(3))
+	p.VShl(gpu.V(4), gpu.V(0), gpu.Imm(2))
+	p.VAdd(gpu.V(4), gpu.V(4), gpu.S(1))
+	p.VStore(gpu.V(4), 0, gpu.V(2))
+	p.EndIf()
+	return p.Build()
+}
+
+func redRun(s *sim.Session) error {
+	ping, err := s.InputWords(redIn())
+	if err != nil {
+		return err
+	}
+	pong := s.ScratchWords(redN / 2)
+	out := s.OutputWords(1)
+	pass, err := buildReductionPass()
+	if err != nil {
+		return err
+	}
+	src, dst := ping, pong
+	for length := redN; length > 2; length /= 2 {
+		count := uint32(length / 2)
+		waves := (int(count) + gpu.Lanes - 1) / gpu.Lanes
+		if err := s.Run(gpu.Dispatch{Prog: pass, Waves: waves, Args: []uint32{src, dst, count}}); err != nil {
+			return err
+		}
+		src, dst = dst, src
+	}
+	// Final pair sums directly into the output buffer.
+	return s.Run(gpu.Dispatch{Prog: pass, Waves: 1, Args: []uint32{src, out, 1}})
+}
+
+func redGolden() []byte {
+	var sum uint32
+	for _, v := range redIn() {
+		sum += v
+	}
+	return wordsBytes([]uint32{sum})
+}
+
+// backprop: the forward pass of a two-layer perceptron (256 inputs, 64
+// hidden, 16 outputs) with sigmoid activations — Rodinia backprop's
+// dense gather-reduce pattern, one thread per neuron.
+const (
+	bpIn     = 256
+	bpHidden = 64
+	bpOut    = 16
+)
+
+func bpInputs() (x, w1, w2 []uint32) {
+	r := newRNG(0xBAC0)
+	scale := func(ws []uint32) {
+		for i, v := range ws {
+			// Map [0,1) floats to small signed weights in [-0.5, 0.5).
+			ws[i] = fb(bf(v) - 0.5)
+		}
+	}
+	x = r.floats(bpIn)
+	w1 = r.floats(bpIn * bpHidden)
+	scale(w1)
+	w2 = r.floats(bpHidden * bpOut)
+	scale(w2)
+	return
+}
+
+// buildLayer computes out[j] = sigmoid(sum_i w[j*n+i] * in[i]).
+// Args: s0 = in, s1 = weights, s2 = out, s3 = n (inputs), s4 = count.
+func buildLayer(name string) (*gpu.Program, error) {
+	p := gpu.NewBuilder(name)
+	p.VMov(gpu.V(0), gpu.Tid())
+	p.VCmp(gpu.OpVCmpLT, gpu.V(0), gpu.S(4))
+	p.IfVCC()
+	p.VMov(gpu.V(1), gpu.S(3))
+	p.VMul(gpu.V(2), gpu.V(0), gpu.V(1)) // j*n
+	p.VShl(gpu.V(2), gpu.V(2), gpu.Imm(2))
+	p.VAdd(gpu.V(2), gpu.V(2), gpu.S(1)) // weight walker
+	p.VMov(gpu.V(3), gpu.S(0))           // input walker
+	p.VMov(gpu.V(4), gpu.ImmF(0))        // acc
+	p.SMov(gpu.S(5), gpu.S(3))
+	p.Label("dot")
+	p.VLoad(gpu.V(5), gpu.V(2), 0)
+	p.VLoad(gpu.V(6), gpu.V(3), 0)
+	p.VFMad(gpu.V(4), gpu.V(5), gpu.V(6), gpu.V(4))
+	p.VAdd(gpu.V(2), gpu.V(2), gpu.Imm(4))
+	p.VAdd(gpu.V(3), gpu.V(3), gpu.Imm(4))
+	p.SSub(gpu.S(5), gpu.S(5), gpu.Imm(1))
+	p.Brnz(gpu.S(5), "dot")
+	// sigmoid(acc) = 1 / (1 + e^-acc)
+	p.VFMul(gpu.V(4), gpu.V(4), gpu.ImmF(-1))
+	p.VFExp(gpu.V(4), gpu.V(4))
+	p.VFAdd(gpu.V(4), gpu.V(4), gpu.ImmF(1))
+	p.VMov(gpu.V(7), gpu.ImmF(1))
+	p.VFDiv(gpu.V(4), gpu.V(7), gpu.V(4))
+	p.VShl(gpu.V(8), gpu.V(0), gpu.Imm(2))
+	p.VAdd(gpu.V(8), gpu.V(8), gpu.S(2))
+	p.VStore(gpu.V(8), 0, gpu.V(4))
+	p.EndIf()
+	return p.Build()
+}
+
+func bpRun(s *sim.Session) error {
+	x, w1, w2 := bpInputs()
+	xAddr, err := s.InputWords(x)
+	if err != nil {
+		return err
+	}
+	w1Addr, err := s.InputWords(w1)
+	if err != nil {
+		return err
+	}
+	w2Addr, err := s.InputWords(w2)
+	if err != nil {
+		return err
+	}
+	hidden := s.ScratchWords(bpHidden)
+	out := s.OutputWords(bpOut)
+	layer, err := buildLayer("backprop-layer")
+	if err != nil {
+		return err
+	}
+	if err := s.Run(gpu.Dispatch{Prog: layer, Waves: bpHidden / gpu.Lanes,
+		Args: []uint32{xAddr, w1Addr, hidden, bpIn, bpHidden}}); err != nil {
+		return err
+	}
+	return s.Run(gpu.Dispatch{Prog: layer, Waves: 1,
+		Args: []uint32{hidden, w2Addr, out, bpHidden, bpOut}})
+}
+
+func bpGolden() []byte {
+	x, w1, w2 := bpInputs()
+	sigmoidLayer := func(in []float32, w []uint32, n, count int) []float32 {
+		out := make([]float32, count)
+		for j := 0; j < count; j++ {
+			acc := float32(0)
+			for i := 0; i < n; i++ {
+				acc = bf(w[j*n+i])*in[i] + acc
+			}
+			out[j] = sigmoid(acc)
+		}
+		return out
+	}
+	xin := make([]float32, bpIn)
+	for i, b := range x {
+		xin[i] = bf(b)
+	}
+	hidden := sigmoidLayer(xin, w1, bpIn, bpHidden)
+	out := sigmoidLayer(hidden, w2, bpHidden, bpOut)
+	ws := make([]uint32, bpOut)
+	for i, f := range out {
+		ws[i] = fb(f)
+	}
+	return wordsBytes(ws)
+}
+
+func sigmoid(v float32) float32 {
+	e := expf(v * -1)
+	e = e + 1
+	return float32(1) / e
+}
+
+// nw: Needleman-Wunsch dynamic programming over a 64x64 score matrix,
+// processed one anti-diagonal per dispatch — Rodinia nw's wavefront
+// dependence pattern with masked lanes at diagonal edges.
+const nwN = 64
+
+const nwPenalty = 3
+
+func nwInputs() (scores []uint32) {
+	r := newRNG(0x9019)
+	return r.words(nwN*nwN, 20)
+}
+
+func buildNWDiag() (*gpu.Program, error) {
+	// Args: s0 = matrix (with an extra top row/left column of boundary
+	// cells), s1 = scores, s2 = diagonal index d, s3 = cell count on d.
+	// Thread t computes cell (i, j) with i = t+1, j = d-t+1 in the padded
+	// (nwN+1)^2 matrix.
+	p := gpu.NewBuilder("nw-diag")
+	p.VMov(gpu.V(0), gpu.Tid())
+	p.VCmp(gpu.OpVCmpLT, gpu.V(0), gpu.S(3))
+	p.IfVCC()
+	p.VAdd(gpu.V(1), gpu.V(0), gpu.Imm(1)) // i
+	p.VMov(gpu.V(2), gpu.S(2))
+	p.VSub(gpu.V(2), gpu.V(2), gpu.V(0))
+	p.VAdd(gpu.V(2), gpu.V(2), gpu.Imm(1)) // j
+	// Padded row stride nwN+1: idx = i*(nwN+1) + j.
+	p.VMul(gpu.V(3), gpu.V(1), gpu.Imm(nwN+1))
+	p.VAdd(gpu.V(3), gpu.V(3), gpu.V(2)) // cell index
+	p.VShl(gpu.V(4), gpu.V(3), gpu.Imm(2))
+	p.VAdd(gpu.V(4), gpu.V(4), gpu.S(0))      // &m[i][j]
+	p.VLoad(gpu.V(5), gpu.V(4), -4*(nwN+1)-4) // m[i-1][j-1]
+	p.VLoad(gpu.V(6), gpu.V(4), -4*(nwN+1))   // m[i-1][j]
+	p.VLoad(gpu.V(7), gpu.V(4), -4)           // m[i][j-1]
+	// score index in the unpadded matrix: (i-1)*nwN + (j-1).
+	p.VSub(gpu.V(8), gpu.V(1), gpu.Imm(1))
+	p.VMul(gpu.V(8), gpu.V(8), gpu.Imm(nwN))
+	p.VAdd(gpu.V(8), gpu.V(8), gpu.V(2))
+	p.VSub(gpu.V(8), gpu.V(8), gpu.Imm(1))
+	p.VShl(gpu.V(8), gpu.V(8), gpu.Imm(2))
+	p.VAdd(gpu.V(8), gpu.V(8), gpu.S(1))
+	p.VLoad(gpu.V(9), gpu.V(8), 0)                 // s[i][j]
+	p.VAdd(gpu.V(5), gpu.V(5), gpu.V(9))           // diag + score
+	p.VSub(gpu.V(6), gpu.V(6), gpu.Imm(nwPenalty)) // up - p
+	p.VSub(gpu.V(7), gpu.V(7), gpu.Imm(nwPenalty)) // left - p
+	p.VMax(gpu.V(5), gpu.V(5), gpu.V(6))
+	p.VMax(gpu.V(5), gpu.V(5), gpu.V(7))
+	p.VStore(gpu.V(4), 0, gpu.V(5))
+	p.EndIf()
+	return p.Build()
+}
+
+func nwRun(s *sim.Session) error {
+	scores, err := s.InputWords(nwInputs())
+	if err != nil {
+		return err
+	}
+	// Padded matrix with boundary row/column: m[0][j] = -j*p, m[i][0] = -i*p.
+	pad := make([]uint32, (nwN+1)*(nwN+1))
+	for j := 0; j <= nwN; j++ {
+		pad[j] = uint32(int32(-j * nwPenalty))
+	}
+	for i := 0; i <= nwN; i++ {
+		pad[i*(nwN+1)] = uint32(int32(-i * nwPenalty))
+	}
+	matrix, err := s.InputWords(pad)
+	if err != nil {
+		return err
+	}
+	s.DeclareOutput(matrix, 4*(nwN+1)*(nwN+1))
+	diag, err := buildNWDiag()
+	if err != nil {
+		return err
+	}
+	for d := 0; d < 2*nwN-1; d++ {
+		// Cells (i, j) on diagonal d (0-based in the unpadded matrix):
+		// i = t, j = d - t, with max(0, d-nwN+1) <= t <= min(d, nwN-1).
+		lo := max(0, d-nwN+1)
+		hi := min(d, nwN-1)
+		count := hi - lo + 1
+		// The kernel maps thread t to i = t+1: shift so thread 0 is i =
+		// lo+1 by adjusting the diagonal argument... threads t in
+		// [0, count) compute i = lo + t + 1, j = d - (lo + t) + 1.
+		// Implemented by folding the lo-row offset into the buffer
+		// pointers and passing d' = d - lo so thread t sees j = d'-t+1.
+		base := matrix + uint32(4*lo*(nwN+1))
+		sbase := scores + uint32(4*lo*nwN)
+		waves := (count + gpu.Lanes - 1) / gpu.Lanes
+		if err := s.Run(gpu.Dispatch{Prog: diag, Waves: waves,
+			Args: []uint32{base, sbase, uint32(d - lo), uint32(count)}}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func nwGolden() []byte {
+	scores := nwInputs()
+	pad := make([]int32, (nwN+1)*(nwN+1))
+	for j := 0; j <= nwN; j++ {
+		pad[j] = int32(-j * nwPenalty)
+	}
+	for i := 0; i <= nwN; i++ {
+		pad[i*(nwN+1)] = int32(-i * nwPenalty)
+	}
+	for i := 1; i <= nwN; i++ {
+		for j := 1; j <= nwN; j++ {
+			diag := pad[(i-1)*(nwN+1)+j-1] + int32(scores[(i-1)*nwN+j-1])
+			up := pad[(i-1)*(nwN+1)+j] - nwPenalty
+			left := pad[i*(nwN+1)+j-1] - nwPenalty
+			pad[i*(nwN+1)+j] = max(diag, max(up, left))
+		}
+	}
+	ws := make([]uint32, len(pad))
+	for i, v := range pad {
+		ws[i] = uint32(v)
+	}
+	return wordsBytes(ws)
+}
+
+// kmeans: the assignment step of k-means clustering — 512 2-D points, 8
+// centroids, one thread per point looping over centroids with
+// compare-and-select nearest tracking (Rodinia kmeans' hot kernel).
+const (
+	kmN = 512
+	kmK = 8
+)
+
+func kmInputs() (px, py, cx, cy []uint32) {
+	r := newRNG(0x63A9)
+	return r.floats(kmN), r.floats(kmN), r.floats(kmK), r.floats(kmK)
+}
+
+func kmRun(s *sim.Session) error {
+	px, py, cx, cy := kmInputs()
+	pxA, err := s.InputWords(px)
+	if err != nil {
+		return err
+	}
+	pyA, err := s.InputWords(py)
+	if err != nil {
+		return err
+	}
+	cxA, err := s.InputWords(cx)
+	if err != nil {
+		return err
+	}
+	cyA, err := s.InputWords(cy)
+	if err != nil {
+		return err
+	}
+	labels := s.OutputWords(kmN)
+
+	// Args: s0 = px, s1 = py, s2 = cx, s3 = cy, s4 = labels.
+	p := gpu.NewBuilder("kmeans-assign")
+	p.VMov(gpu.V(0), gpu.Tid())
+	p.VShl(gpu.V(1), gpu.V(0), gpu.Imm(2))
+	p.VAdd(gpu.V(2), gpu.V(1), gpu.S(0))
+	p.VLoad(gpu.V(3), gpu.V(2), 0) // x
+	p.VAdd(gpu.V(2), gpu.V(1), gpu.S(1))
+	p.VLoad(gpu.V(4), gpu.V(2), 0)   // y
+	p.VMov(gpu.V(5), gpu.ImmF(1e30)) // best distance
+	p.VMov(gpu.V(6), gpu.Imm(0))     // best index
+	p.VMov(gpu.V(7), gpu.S(2))       // cx walker
+	p.VMov(gpu.V(8), gpu.S(3))       // cy walker
+	p.VMov(gpu.V(9), gpu.Imm(0))     // k
+	p.SMov(gpu.S(5), gpu.Imm(kmK))
+	p.Label("centers")
+	p.VLoad(gpu.V(10), gpu.V(7), 0)
+	p.VLoad(gpu.V(11), gpu.V(8), 0)
+	p.VFSub(gpu.V(10), gpu.V(10), gpu.V(3))
+	p.VFSub(gpu.V(11), gpu.V(11), gpu.V(4))
+	p.VFMul(gpu.V(12), gpu.V(10), gpu.V(10))
+	p.VFMad(gpu.V(12), gpu.V(11), gpu.V(11), gpu.V(12)) // dist^2
+	p.VCmp(gpu.OpVCmpFLT, gpu.V(12), gpu.V(5))
+	p.VCndMask(gpu.V(5), gpu.V(12), gpu.V(5)) // best = min
+	p.VCndMask(gpu.V(6), gpu.V(9), gpu.V(6))  // best index
+	p.VAdd(gpu.V(7), gpu.V(7), gpu.Imm(4))
+	p.VAdd(gpu.V(8), gpu.V(8), gpu.Imm(4))
+	p.VAdd(gpu.V(9), gpu.V(9), gpu.Imm(1))
+	p.SSub(gpu.S(5), gpu.S(5), gpu.Imm(1))
+	p.Brnz(gpu.S(5), "centers")
+	p.VAdd(gpu.V(13), gpu.V(1), gpu.S(4))
+	p.VStore(gpu.V(13), 0, gpu.V(6))
+	prog, err := p.Build()
+	if err != nil {
+		return err
+	}
+	return s.Run(gpu.Dispatch{Prog: prog, Waves: kmN / gpu.Lanes,
+		Args: []uint32{pxA, pyA, cxA, cyA, labels}})
+}
+
+func kmGolden() []byte {
+	px, py, cx, cy := kmInputs()
+	out := make([]uint32, kmN)
+	for i := 0; i < kmN; i++ {
+		best := float32(1e30)
+		bestK := uint32(0)
+		for k := 0; k < kmK; k++ {
+			dx := bf(cx[k]) - bf(px[i])
+			dy := bf(cy[k]) - bf(py[i])
+			d := dx * dx
+			d = dy*dy + d
+			if d < best {
+				best = d
+				bestK = uint32(k)
+			}
+		}
+		out[i] = bestK
+	}
+	return wordsBytes(out)
+}
+
+func init() {
+	register("bitonicsort", "1024-point in-place bitonic sorting network", bsRun, bsGolden)
+	register("reduction", "4096-point tree sum", redRun, redGolden)
+	register("backprop", "two-layer perceptron forward pass with sigmoid", bpRun, bpGolden)
+	register("nw", "Needleman-Wunsch anti-diagonal DP wavefront", nwRun, nwGolden)
+	register("kmeans", "k-means assignment over 512 points, 8 centroids", kmRun, kmGolden)
+}

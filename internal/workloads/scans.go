@@ -1,0 +1,263 @@
+package workloads
+
+import (
+	"mbavf/internal/gpu"
+	"mbavf/internal/sim"
+)
+
+// histogram: 16KB of bytes binned into 16 buckets. Each thread counts its
+// 64-byte slice into a private bin array (byte gathers + read-modify-write
+// scatters), then a reduction pass sums the private histograms — the AMD
+// Histogram sample's privatization pattern.
+const (
+	histBytes   = 16384
+	histThreads = 256
+	histBins    = 16
+	histPerThr  = histBytes / histThreads
+)
+
+func histIn() []byte {
+	r := newRNG(0x4157)
+	out := make([]byte, histBytes)
+	for i := range out {
+		out[i] = byte(r.next())
+	}
+	return out
+}
+
+func histRun(s *sim.Session) error {
+	in, err := s.InputBytes(histIn())
+	if err != nil {
+		return err
+	}
+	private := s.ScratchWords(histThreads * histBins)
+	out := s.OutputWords(histBins)
+
+	// Count pass: args s0 = input, s1 = private bins.
+	k := gpu.NewBuilder("histogram-count")
+	k.VMov(gpu.V(0), gpu.Tid())
+	k.VShl(gpu.V(1), gpu.V(0), gpu.Imm(6)) // tid*64: input offset
+	k.VAdd(gpu.V(1), gpu.V(1), gpu.S(0))
+	k.VShl(gpu.V(2), gpu.V(0), gpu.Imm(6)) // tid*16*4: private base
+	k.VAdd(gpu.V(2), gpu.V(2), gpu.S(1))
+	k.SMov(gpu.S(2), gpu.Imm(histPerThr))
+	k.Label("loop")
+	k.VLoadB(gpu.V(3), gpu.V(1), 0)
+	k.VAnd(gpu.V(3), gpu.V(3), gpu.Imm(histBins-1)) // bin
+	k.VShl(gpu.V(3), gpu.V(3), gpu.Imm(2))
+	k.VAdd(gpu.V(3), gpu.V(3), gpu.V(2)) // &private[tid][bin]
+	k.VLoad(gpu.V(4), gpu.V(3), 0)
+	k.VAdd(gpu.V(4), gpu.V(4), gpu.Imm(1))
+	k.VStore(gpu.V(3), 0, gpu.V(4))
+	k.VAdd(gpu.V(1), gpu.V(1), gpu.Imm(1))
+	k.SSub(gpu.S(2), gpu.S(2), gpu.Imm(1))
+	k.Brnz(gpu.S(2), "loop")
+	count, err := k.Build()
+	if err != nil {
+		return err
+	}
+	if err := s.Run(gpu.Dispatch{Prog: count, Waves: histThreads / gpu.Lanes, Args: []uint32{in, private}}); err != nil {
+		return err
+	}
+
+	// Reduce pass: one wave; lane b sums private[t][b] over all threads.
+	// Args: s0 = private bins, s1 = output.
+	r := gpu.NewBuilder("histogram-reduce")
+	r.VMov(gpu.V(0), gpu.Tid())
+	r.VShl(gpu.V(1), gpu.V(0), gpu.Imm(2)) // bin byte offset
+	r.VAdd(gpu.V(1), gpu.V(1), gpu.S(0))
+	r.VMov(gpu.V(2), gpu.Imm(0)) // acc
+	r.SMov(gpu.S(2), gpu.Imm(histThreads))
+	r.Label("loop")
+	r.VLoad(gpu.V(3), gpu.V(1), 0)
+	r.VAdd(gpu.V(2), gpu.V(2), gpu.V(3))
+	r.VAdd(gpu.V(1), gpu.V(1), gpu.Imm(4*histBins))
+	r.SSub(gpu.S(2), gpu.S(2), gpu.Imm(1))
+	r.Brnz(gpu.S(2), "loop")
+	r.VShl(gpu.V(4), gpu.V(0), gpu.Imm(2))
+	r.VAdd(gpu.V(4), gpu.V(4), gpu.S(1))
+	r.VStore(gpu.V(4), 0, gpu.V(2))
+	reduce, err := r.Build()
+	if err != nil {
+		return err
+	}
+	return s.Run(gpu.Dispatch{Prog: reduce, Waves: 1, Args: []uint32{private, out}})
+}
+
+func histGolden() []byte {
+	in := histIn()
+	out := make([]uint32, histBins)
+	for _, b := range in {
+		out[b&(histBins-1)]++
+	}
+	return wordsBytes(out)
+}
+
+// prefixsum: inclusive scan of 2048 int32 values via Hillis-Steele
+// log-steps, ping-ponging between buffers — one dispatch per stride. Lanes
+// below the stride diverge (copy-only path), the paper's PrefixSum
+// control-flow behavior.
+const scanN = 2048
+
+func scanIn() []uint32 {
+	return newRNG(0x5CA9).words(scanN, 1000)
+}
+
+func buildScanPass() (*gpu.Program, error) {
+	// Args: s0 = src, s1 = dst, s2 = stride (elements).
+	k := gpu.NewBuilder("prefixsum-pass")
+	k.VMov(gpu.V(0), gpu.Tid())
+	k.VShl(gpu.V(1), gpu.V(0), gpu.Imm(2))
+	k.VAdd(gpu.V(1), gpu.V(1), gpu.S(0)) // &src[i]
+	k.VLoad(gpu.V(2), gpu.V(1), 0)
+	k.VMov(gpu.V(5), gpu.S(2))
+	k.VCmp(gpu.OpVCmpGE, gpu.V(0), gpu.V(5))
+	k.IfVCC()
+	k.VSub(gpu.V(3), gpu.V(0), gpu.V(5))
+	k.VShl(gpu.V(3), gpu.V(3), gpu.Imm(2))
+	k.VAdd(gpu.V(3), gpu.V(3), gpu.S(0))
+	k.VLoad(gpu.V(4), gpu.V(3), 0) // src[i-stride]
+	k.VAdd(gpu.V(2), gpu.V(2), gpu.V(4))
+	k.EndIf()
+	k.VShl(gpu.V(6), gpu.V(0), gpu.Imm(2))
+	k.VAdd(gpu.V(6), gpu.V(6), gpu.S(1))
+	k.VStore(gpu.V(6), 0, gpu.V(2))
+	return k.Build()
+}
+
+func prefixsumRun(s *sim.Session) error {
+	ping, err := s.InputWords(scanIn())
+	if err != nil {
+		return err
+	}
+	pong := s.ScratchWords(scanN)
+	prog, err := buildScanPass()
+	if err != nil {
+		return err
+	}
+	src, dst := ping, pong
+	for stride := uint32(1); stride < scanN; stride *= 2 {
+		err := s.Run(gpu.Dispatch{Prog: prog, Waves: scanN / gpu.Lanes, Args: []uint32{src, dst, stride}})
+		if err != nil {
+			return err
+		}
+		src, dst = dst, src
+	}
+	s.DeclareOutput(src, 4*scanN) // final result lives in the last dst
+	return nil
+}
+
+func prefixsumGolden() []byte {
+	x := scanIn()
+	out := make([]uint32, scanN)
+	var acc uint32
+	for i, v := range x {
+		acc += v
+		out[i] = acc
+	}
+	return wordsBytes(out)
+}
+
+// scanlargearrays: blocked scan of 8192 values: per-thread serial scan of a
+// 16-element block, Hillis-Steele scan of the 512 block sums, then an
+// add-back pass — the AMD ScanLargeArrays decomposition.
+const (
+	slaN     = 8192
+	slaBlock = 16
+)
+
+func slaIn() []uint32 {
+	return newRNG(0x51A4).words(slaN, 500)
+}
+
+func slaRun(s *sim.Session) error {
+	in, err := s.InputWords(slaIn())
+	if err != nil {
+		return err
+	}
+	out := s.OutputWords(slaN)
+	sumsPing := s.ScratchWords(slaN / slaBlock)
+	sumsPong := s.ScratchWords(slaN / slaBlock)
+
+	// Phase 1: serial block scan. Args: s0 = in, s1 = out, s2 = sums.
+	k := gpu.NewBuilder("sla-blockscan")
+	k.VMov(gpu.V(0), gpu.Tid())
+	k.VShl(gpu.V(1), gpu.V(0), gpu.Imm(6)) // tid*16*4
+	k.VAdd(gpu.V(2), gpu.V(1), gpu.S(0))   // src walker
+	k.VAdd(gpu.V(3), gpu.V(1), gpu.S(1))   // dst walker
+	k.VMov(gpu.V(4), gpu.Imm(0))           // acc
+	k.SMov(gpu.S(3), gpu.Imm(slaBlock))
+	k.Label("loop")
+	k.VLoad(gpu.V(5), gpu.V(2), 0)
+	k.VAdd(gpu.V(4), gpu.V(4), gpu.V(5))
+	k.VStore(gpu.V(3), 0, gpu.V(4))
+	k.VAdd(gpu.V(2), gpu.V(2), gpu.Imm(4))
+	k.VAdd(gpu.V(3), gpu.V(3), gpu.Imm(4))
+	k.SSub(gpu.S(3), gpu.S(3), gpu.Imm(1))
+	k.Brnz(gpu.S(3), "loop")
+	k.VShl(gpu.V(6), gpu.V(0), gpu.Imm(2))
+	k.VAdd(gpu.V(6), gpu.V(6), gpu.S(2))
+	k.VStore(gpu.V(6), 0, gpu.V(4)) // block total
+	blockScan, err := k.Build()
+	if err != nil {
+		return err
+	}
+	nBlocks := slaN / slaBlock
+	if err := s.Run(gpu.Dispatch{Prog: blockScan, Waves: nBlocks / gpu.Lanes, Args: []uint32{in, out, sumsPing}}); err != nil {
+		return err
+	}
+
+	// Phase 2: scan the block sums.
+	pass, err := buildScanPass()
+	if err != nil {
+		return err
+	}
+	src, dst := sumsPing, sumsPong
+	for stride := uint32(1); stride < uint32(nBlocks); stride *= 2 {
+		err := s.Run(gpu.Dispatch{Prog: pass, Waves: nBlocks / gpu.Lanes, Args: []uint32{src, dst, stride}})
+		if err != nil {
+			return err
+		}
+		src, dst = dst, src
+	}
+
+	// Phase 3: add the preceding blocks' total to every element of blocks
+	// 1..n-1. Args: s0 = out, s1 = scanned sums.
+	a := gpu.NewBuilder("sla-addback")
+	a.VMov(gpu.V(0), gpu.Tid())
+	a.VShr(gpu.V(1), gpu.V(0), gpu.Imm(4)) // block
+	a.VCmp(gpu.OpVCmpGT, gpu.V(1), gpu.Imm(0))
+	a.IfVCC()
+	a.VSub(gpu.V(2), gpu.V(1), gpu.Imm(1))
+	a.VShl(gpu.V(2), gpu.V(2), gpu.Imm(2))
+	a.VAdd(gpu.V(2), gpu.V(2), gpu.S(1))
+	a.VLoad(gpu.V(3), gpu.V(2), 0) // sums[block-1]
+	a.VShl(gpu.V(4), gpu.V(0), gpu.Imm(2))
+	a.VAdd(gpu.V(4), gpu.V(4), gpu.S(0))
+	a.VLoad(gpu.V(5), gpu.V(4), 0)
+	a.VAdd(gpu.V(5), gpu.V(5), gpu.V(3))
+	a.VStore(gpu.V(4), 0, gpu.V(5))
+	a.EndIf()
+	addBack, err := a.Build()
+	if err != nil {
+		return err
+	}
+	return s.Run(gpu.Dispatch{Prog: addBack, Waves: slaN / gpu.Lanes, Args: []uint32{out, src}})
+}
+
+func slaGolden() []byte {
+	x := slaIn()
+	out := make([]uint32, slaN)
+	var acc uint32
+	for i, v := range x {
+		acc += v
+		out[i] = acc
+	}
+	return wordsBytes(out)
+}
+
+func init() {
+	register("histogram", "16KB byte histogram with private bins", histRun, histGolden)
+	register("prefixsum", "2048-point Hillis-Steele inclusive scan", prefixsumRun, prefixsumGolden)
+	register("scanlargearrays", "8192-point blocked scan with add-back", slaRun, slaGolden)
+}

@@ -1,0 +1,325 @@
+package workloads
+
+import (
+	"mbavf/internal/gpu"
+	"mbavf/internal/sim"
+)
+
+// minife: Jacobi relaxation over the 5-point finite-element/finite-
+// difference matrix of a 32x32 grid, stored in padded ELL format (4
+// off-diagonal entries per row). Each iteration gathers x through the
+// column-index array — the sparse, phase-structured solver pattern of
+// Mantevo MiniFE.
+const (
+	feGrid  = 32
+	feN     = feGrid * feGrid
+	feNNZ   = 4 // padded off-diagonal entries per row
+	feIters = 8
+)
+
+// feMatrix builds the ELL column/value arrays and the right-hand side.
+// Padding entries point at the row itself with value 0.
+func feMatrix() (cols []uint32, vals []uint32, rhs []uint32) {
+	cols = make([]uint32, feN*feNNZ)
+	vals = make([]uint32, feN*feNNZ)
+	rhs = make([]uint32, feN)
+	r := newRNG(0xFE11)
+	for i := 0; i < feN; i++ {
+		row, col := i/feGrid, i%feGrid
+		k := 0
+		add := func(j int) {
+			cols[i*feNNZ+k] = uint32(j)
+			vals[i*feNNZ+k] = fb(-1.0)
+			k++
+		}
+		if row > 0 {
+			add(i - feGrid)
+		}
+		if row < feGrid-1 {
+			add(i + feGrid)
+		}
+		if col > 0 {
+			add(i - 1)
+		}
+		if col < feGrid-1 {
+			add(i + 1)
+		}
+		for ; k < feNNZ; k++ {
+			cols[i*feNNZ+k] = uint32(i)
+			vals[i*feNNZ+k] = fb(0)
+		}
+		rhs[i] = fb(float32(r.next()%1000) / 1000)
+	}
+	return cols, vals, rhs
+}
+
+func minifeRun(s *sim.Session) error {
+	cols, vals, rhs := feMatrix()
+	colsAddr, err := s.InputWords(cols)
+	if err != nil {
+		return err
+	}
+	valsAddr, err := s.InputWords(vals)
+	if err != nil {
+		return err
+	}
+	rhsAddr, err := s.InputWords(rhs)
+	if err != nil {
+		return err
+	}
+	ping := s.ScratchWords(feN) // x starts at 0
+	pong := s.ScratchWords(feN)
+
+	// Jacobi sweep: x'[i] = (b[i] - sum_k vals[i][k] * x[cols[i][k]]) / 4.
+	// Args: s0 = cols, s1 = vals, s2 = rhs, s3 = x (src), s4 = x' (dst).
+	k := gpu.NewBuilder("minife-jacobi")
+	k.VMov(gpu.V(0), gpu.Tid())
+	k.VShl(gpu.V(1), gpu.V(0), gpu.Imm(4)) // i*4*4 bytes: ELL row base
+	k.VAdd(gpu.V(2), gpu.V(1), gpu.S(0))   // cols walker
+	k.VAdd(gpu.V(3), gpu.V(1), gpu.S(1))   // vals walker
+	k.VMov(gpu.V(4), gpu.ImmF(0))          // acc
+	k.SMov(gpu.S(5), gpu.Imm(feNNZ))
+	k.Label("nz")
+	k.VLoad(gpu.V(5), gpu.V(2), 0) // col index
+	k.VShl(gpu.V(5), gpu.V(5), gpu.Imm(2))
+	k.VAdd(gpu.V(5), gpu.V(5), gpu.S(3))
+	k.VLoad(gpu.V(6), gpu.V(5), 0) // x[col]
+	k.VLoad(gpu.V(7), gpu.V(3), 0) // a value
+	k.VFMad(gpu.V(4), gpu.V(7), gpu.V(6), gpu.V(4))
+	k.VAdd(gpu.V(2), gpu.V(2), gpu.Imm(4))
+	k.VAdd(gpu.V(3), gpu.V(3), gpu.Imm(4))
+	k.SSub(gpu.S(5), gpu.S(5), gpu.Imm(1))
+	k.Brnz(gpu.S(5), "nz")
+	k.VShl(gpu.V(8), gpu.V(0), gpu.Imm(2))
+	k.VAdd(gpu.V(9), gpu.V(8), gpu.S(2))
+	k.VLoad(gpu.V(10), gpu.V(9), 0) // b[i]
+	k.VFSub(gpu.V(10), gpu.V(10), gpu.V(4))
+	k.VFMul(gpu.V(10), gpu.V(10), gpu.ImmF(0.25))
+	k.VAdd(gpu.V(11), gpu.V(8), gpu.S(4))
+	k.VStore(gpu.V(11), 0, gpu.V(10))
+	prog, err := k.Build()
+	if err != nil {
+		return err
+	}
+	src, dst := ping, pong
+	for it := 0; it < feIters; it++ {
+		err := s.Run(gpu.Dispatch{Prog: prog, Waves: feN / gpu.Lanes,
+			Args: []uint32{colsAddr, valsAddr, rhsAddr, src, dst}})
+		if err != nil {
+			return err
+		}
+		src, dst = dst, src
+	}
+	s.DeclareOutput(src, 4*feN)
+	return nil
+}
+
+func minifeGolden() []byte {
+	cols, vals, rhs := feMatrix()
+	x := make([]float32, feN)
+	next := make([]float32, feN)
+	for it := 0; it < feIters; it++ {
+		for i := 0; i < feN; i++ {
+			acc := float32(0)
+			for k := 0; k < feNNZ; k++ {
+				acc = bf(vals[i*feNNZ+k])*x[cols[i*feNNZ+k]] + acc
+			}
+			next[i] = (bf(rhs[i]) - acc) * 0.25
+		}
+		x, next = next, x
+	}
+	ws := make([]uint32, feN)
+	for i, f := range x {
+		ws[i] = fb(f)
+	}
+	return wordsBytes(ws)
+}
+
+// comd: a toy molecular-dynamics step: 512 particles in 2-D with fixed
+// 16-entry neighbor lists, a softened inverse-square force kernel, and an
+// Euler integration pass, repeated for 4 timesteps — the neighbor-gather
+// plus streaming-update pattern of Mantevo CoMD.
+const (
+	mdN     = 512
+	mdK     = 16
+	mdSteps = 4
+)
+
+const (
+	mdDT   = float32(0.001)
+	mdSoft = float32(0.01)
+)
+
+func mdInputs() (px, py, nbr []uint32) {
+	r := newRNG(0xC04D)
+	px = r.floats(mdN)
+	py = r.floats(mdN)
+	nbr = make([]uint32, mdN*mdK)
+	for i := 0; i < mdN; i++ {
+		for k := 0; k < mdK; k++ {
+			// Neighbors: a window around i plus a pseudo-random far pair.
+			var j int
+			if k < mdK-2 {
+				j = (i + k - (mdK-2)/2 + mdN) % mdN
+				if j == i {
+					j = (i + mdK) % mdN
+				}
+			} else {
+				j = int(r.next() % mdN)
+				if j == i {
+					j = (i + 1) % mdN
+				}
+			}
+			nbr[i*mdK+k] = uint32(j)
+		}
+	}
+	return px, py, nbr
+}
+
+func buildMDForce() (*gpu.Program, error) {
+	// Args: s0 = px, s1 = py, s2 = nbr, s3 = fx, s4 = fy.
+	k := gpu.NewBuilder("comd-force")
+	k.VMov(gpu.V(0), gpu.Tid())
+	k.VShl(gpu.V(1), gpu.V(0), gpu.Imm(2))
+	k.VAdd(gpu.V(2), gpu.V(1), gpu.S(0))
+	k.VLoad(gpu.V(3), gpu.V(2), 0) // xi
+	k.VAdd(gpu.V(2), gpu.V(1), gpu.S(1))
+	k.VLoad(gpu.V(4), gpu.V(2), 0)         // yi
+	k.VShl(gpu.V(5), gpu.V(0), gpu.Imm(6)) // nbr row base (16*4 bytes)
+	k.VAdd(gpu.V(5), gpu.V(5), gpu.S(2))
+	k.VMov(gpu.V(6), gpu.ImmF(0)) // fx
+	k.VMov(gpu.V(7), gpu.ImmF(0)) // fy
+	k.SMov(gpu.S(5), gpu.Imm(mdK))
+	k.Label("nbr")
+	k.VLoad(gpu.V(8), gpu.V(5), 0) // j
+	k.VShl(gpu.V(8), gpu.V(8), gpu.Imm(2))
+	k.VAdd(gpu.V(9), gpu.V(8), gpu.S(0))
+	k.VLoad(gpu.V(10), gpu.V(9), 0) // xj
+	k.VAdd(gpu.V(9), gpu.V(8), gpu.S(1))
+	k.VLoad(gpu.V(11), gpu.V(9), 0)         // yj
+	k.VFSub(gpu.V(10), gpu.V(10), gpu.V(3)) // dx
+	k.VFSub(gpu.V(11), gpu.V(11), gpu.V(4)) // dy
+	k.VFMul(gpu.V(12), gpu.V(10), gpu.V(10))
+	k.VFMad(gpu.V(12), gpu.V(11), gpu.V(11), gpu.V(12))
+	k.VFAdd(gpu.V(12), gpu.V(12), gpu.ImmF(mdSoft)) // r2
+	k.VMov(gpu.V(13), gpu.ImmF(1))
+	k.VFDiv(gpu.V(13), gpu.V(13), gpu.V(12)) // inv = 1/r2
+	k.VFMul(gpu.V(14), gpu.V(13), gpu.V(13))
+	k.VFSub(gpu.V(14), gpu.V(14), gpu.V(13))          // f = inv^2 - inv
+	k.VFMad(gpu.V(6), gpu.V(14), gpu.V(10), gpu.V(6)) // fx += f*dx
+	k.VFMad(gpu.V(7), gpu.V(14), gpu.V(11), gpu.V(7)) // fy += f*dy
+	k.VAdd(gpu.V(5), gpu.V(5), gpu.Imm(4))
+	k.SSub(gpu.S(5), gpu.S(5), gpu.Imm(1))
+	k.Brnz(gpu.S(5), "nbr")
+	k.VAdd(gpu.V(15), gpu.V(1), gpu.S(3))
+	k.VStore(gpu.V(15), 0, gpu.V(6))
+	k.VAdd(gpu.V(15), gpu.V(1), gpu.S(4))
+	k.VStore(gpu.V(15), 0, gpu.V(7))
+	return k.Build()
+}
+
+func buildMDIntegrate() (*gpu.Program, error) {
+	// Args: s0 = px, s1 = py, s2 = fx, s3 = fy.
+	k := gpu.NewBuilder("comd-integrate")
+	k.VMov(gpu.V(0), gpu.Tid())
+	k.VShl(gpu.V(1), gpu.V(0), gpu.Imm(2))
+	k.VAdd(gpu.V(2), gpu.V(1), gpu.S(2))
+	k.VLoad(gpu.V(3), gpu.V(2), 0) // fx
+	k.VAdd(gpu.V(2), gpu.V(1), gpu.S(3))
+	k.VLoad(gpu.V(4), gpu.V(2), 0) // fy
+	k.VAdd(gpu.V(5), gpu.V(1), gpu.S(0))
+	k.VLoad(gpu.V(6), gpu.V(5), 0)
+	k.VFMad(gpu.V(6), gpu.V(3), gpu.ImmF(mdDT), gpu.V(6)) // x += dt*fx
+	k.VStore(gpu.V(5), 0, gpu.V(6))
+	k.VAdd(gpu.V(7), gpu.V(1), gpu.S(1))
+	k.VLoad(gpu.V(8), gpu.V(7), 0)
+	k.VFMad(gpu.V(8), gpu.V(4), gpu.ImmF(mdDT), gpu.V(8)) // y += dt*fy
+	k.VStore(gpu.V(7), 0, gpu.V(8))
+	return k.Build()
+}
+
+func comdRun(s *sim.Session) error {
+	px, py, nbr := mdInputs()
+	pxAddr, err := s.InputWords(px)
+	if err != nil {
+		return err
+	}
+	pyAddr, err := s.InputWords(py)
+	if err != nil {
+		return err
+	}
+	nbrAddr, err := s.InputWords(nbr)
+	if err != nil {
+		return err
+	}
+	fxAddr := s.ScratchWords(mdN)
+	fyAddr := s.ScratchWords(mdN)
+	force, err := buildMDForce()
+	if err != nil {
+		return err
+	}
+	integrate, err := buildMDIntegrate()
+	if err != nil {
+		return err
+	}
+	waves := mdN / gpu.Lanes
+	for step := 0; step < mdSteps; step++ {
+		if err := s.Run(gpu.Dispatch{Prog: force, Waves: waves,
+			Args: []uint32{pxAddr, pyAddr, nbrAddr, fxAddr, fyAddr}}); err != nil {
+			return err
+		}
+		if err := s.Run(gpu.Dispatch{Prog: integrate, Waves: waves,
+			Args: []uint32{pxAddr, pyAddr, fxAddr, fyAddr}}); err != nil {
+			return err
+		}
+	}
+	s.DeclareOutput(pxAddr, 4*mdN)
+	s.DeclareOutput(pyAddr, 4*mdN)
+	return nil
+}
+
+func comdGolden() []byte {
+	pxb, pyb, nbr := mdInputs()
+	px := make([]float32, mdN)
+	py := make([]float32, mdN)
+	for i := range px {
+		px[i] = bf(pxb[i])
+		py[i] = bf(pyb[i])
+	}
+	fx := make([]float32, mdN)
+	fy := make([]float32, mdN)
+	for step := 0; step < mdSteps; step++ {
+		for i := 0; i < mdN; i++ {
+			var sfx, sfy float32
+			for k := 0; k < mdK; k++ {
+				j := nbr[i*mdK+k]
+				dx := px[j] - px[i]
+				dy := py[j] - py[i]
+				r2 := dx * dx
+				r2 = dy*dy + r2
+				r2 = r2 + mdSoft
+				inv := float32(1) / r2
+				f := inv*inv - inv
+				sfx = f*dx + sfx
+				sfy = f*dy + sfy
+			}
+			fx[i] = sfx
+			fy[i] = sfy
+		}
+		for i := 0; i < mdN; i++ {
+			px[i] = fx[i]*mdDT + px[i]
+			py[i] = fy[i]*mdDT + py[i]
+		}
+	}
+	ws := make([]uint32, 2*mdN)
+	for i := range px {
+		ws[i] = fb(px[i])
+		ws[mdN+i] = fb(py[i])
+	}
+	return wordsBytes(ws)
+}
+
+func init() {
+	register("minife", "Jacobi sweeps over a 5-point FEM matrix (ELL)", minifeRun, minifeGolden)
+	register("comd", "neighbor-list force + Euler integration MD", comdRun, comdGolden)
+}

@@ -1,0 +1,176 @@
+package workloads
+
+import (
+	"mbavf/internal/gpu"
+	"mbavf/internal/sim"
+)
+
+// vecadd: c[i] = a[i] + b[i], one element per thread. Pure streaming; the
+// quickstart workload.
+const vecaddN = 1024
+
+func vecaddInputs() ([]uint32, []uint32) {
+	r := newRNG(0xC0FFEE)
+	return r.words(vecaddN, 1<<20), r.words(vecaddN, 1<<20)
+}
+
+func vecaddRun(s *sim.Session) error {
+	a, b := vecaddInputs()
+	aAddr, err := s.InputWords(a)
+	if err != nil {
+		return err
+	}
+	bAddr, err := s.InputWords(b)
+	if err != nil {
+		return err
+	}
+	cAddr := s.OutputWords(vecaddN)
+
+	k := gpu.NewBuilder("vecadd")
+	k.VMov(gpu.V(0), gpu.Tid())
+	k.VShl(gpu.V(0), gpu.V(0), gpu.Imm(2))
+	k.VAdd(gpu.V(1), gpu.V(0), gpu.S(0))
+	k.VLoad(gpu.V(2), gpu.V(1), 0)
+	k.VAdd(gpu.V(1), gpu.V(0), gpu.S(1))
+	k.VLoad(gpu.V(3), gpu.V(1), 0)
+	k.VAdd(gpu.V(4), gpu.V(2), gpu.V(3))
+	k.VAdd(gpu.V(1), gpu.V(0), gpu.S(2))
+	k.VStore(gpu.V(1), 0, gpu.V(4))
+	prog, err := k.Build()
+	if err != nil {
+		return err
+	}
+	return s.Run(gpu.Dispatch{Prog: prog, Waves: vecaddN / gpu.Lanes, Args: []uint32{aAddr, bAddr, cAddr}})
+}
+
+func vecaddGolden() []byte {
+	a, b := vecaddInputs()
+	out := make([]uint32, vecaddN)
+	for i := range out {
+		out[i] = a[i] + b[i]
+	}
+	return wordsBytes(out)
+}
+
+// matmul: C = A x B for 32x32 integer matrices, one output element per
+// thread with a k-loop. Rows of A are reused across a wavefront; columns
+// of B stride through memory — the dense-compute pattern of the AMD
+// MatrixMultiplication sample.
+const matmulN = 32
+
+func matmulIn() ([]uint32, []uint32) {
+	r := newRNG(0x3A73)
+	return r.words(matmulN*matmulN, 1000), r.words(matmulN*matmulN, 1000)
+}
+
+func matmulRun(s *sim.Session) error {
+	a, b := matmulIn()
+	aAddr, err := s.InputWords(a)
+	if err != nil {
+		return err
+	}
+	bAddr, err := s.InputWords(b)
+	if err != nil {
+		return err
+	}
+	cAddr := s.OutputWords(matmulN * matmulN)
+
+	k := gpu.NewBuilder("matmul")
+	k.VMov(gpu.V(0), gpu.Tid())
+	k.VShr(gpu.V(1), gpu.V(0), gpu.Imm(5))  // row
+	k.VAnd(gpu.V(2), gpu.V(0), gpu.Imm(31)) // col
+	k.VMov(gpu.V(3), gpu.Imm(0))            // acc
+	k.VShl(gpu.V(4), gpu.V(1), gpu.Imm(7))  // row*32*4
+	k.VAdd(gpu.V(4), gpu.V(4), gpu.S(0))    // &A[row][0]
+	k.VShl(gpu.V(5), gpu.V(2), gpu.Imm(2))
+	k.VAdd(gpu.V(5), gpu.V(5), gpu.S(1)) // &B[0][col]
+	k.SMov(gpu.S(3), gpu.Imm(matmulN))
+	k.Label("kloop")
+	k.VLoad(gpu.V(6), gpu.V(4), 0)
+	k.VLoad(gpu.V(7), gpu.V(5), 0)
+	k.VMad(gpu.V(3), gpu.V(6), gpu.V(7), gpu.V(3))
+	k.VAdd(gpu.V(4), gpu.V(4), gpu.Imm(4))
+	k.VAdd(gpu.V(5), gpu.V(5), gpu.Imm(4*matmulN))
+	k.SSub(gpu.S(3), gpu.S(3), gpu.Imm(1))
+	k.Brnz(gpu.S(3), "kloop")
+	k.VShl(gpu.V(8), gpu.V(0), gpu.Imm(2))
+	k.VAdd(gpu.V(8), gpu.V(8), gpu.S(2))
+	k.VStore(gpu.V(8), 0, gpu.V(3))
+	prog, err := k.Build()
+	if err != nil {
+		return err
+	}
+	waves := matmulN * matmulN / gpu.Lanes
+	return s.Run(gpu.Dispatch{Prog: prog, Waves: waves, Args: []uint32{aAddr, bAddr, cAddr}})
+}
+
+func matmulGolden() []byte {
+	a, b := matmulIn()
+	out := make([]uint32, matmulN*matmulN)
+	for r := 0; r < matmulN; r++ {
+		for c := 0; c < matmulN; c++ {
+			var acc uint32
+			for k := 0; k < matmulN; k++ {
+				acc += a[r*matmulN+k] * b[k*matmulN+c]
+			}
+			out[r*matmulN+c] = acc
+		}
+	}
+	return wordsBytes(out)
+}
+
+// matrixtranspose: out[r][c] = in[c][r] for a 128x128 matrix with
+// coalesced (row-major) writes and column-strided reads, the layout of
+// the optimized MatrixTranspose sample. Each input line is touched by 16
+// different wavefront instructions spread over time, exercising cache
+// reuse at long strides.
+const transposeN = 128
+
+func transposeIn() []uint32 {
+	return newRNG(0x7A54).words(transposeN*transposeN, 1<<24)
+}
+
+func transposeRun(s *sim.Session) error {
+	in := transposeIn()
+	inAddr, err := s.InputWords(in)
+	if err != nil {
+		return err
+	}
+	outAddr := s.OutputWords(transposeN * transposeN)
+
+	k := gpu.NewBuilder("matrixtranspose")
+	k.VMov(gpu.V(0), gpu.Tid())
+	k.VShr(gpu.V(1), gpu.V(0), gpu.Imm(7))   // r (output row)
+	k.VAnd(gpu.V(2), gpu.V(0), gpu.Imm(127)) // c (output col)
+	k.VShl(gpu.V(3), gpu.V(2), gpu.Imm(7))   // c*128
+	k.VAdd(gpu.V(3), gpu.V(3), gpu.V(1))     // c*128 + r
+	k.VShl(gpu.V(3), gpu.V(3), gpu.Imm(2))
+	k.VAdd(gpu.V(3), gpu.V(3), gpu.S(0))
+	k.VLoad(gpu.V(4), gpu.V(3), 0) // in[c][r], column-strided gather
+	k.VShl(gpu.V(5), gpu.V(0), gpu.Imm(2))
+	k.VAdd(gpu.V(5), gpu.V(5), gpu.S(1))
+	k.VStore(gpu.V(5), 0, gpu.V(4)) // out[r][c], coalesced
+	prog, err := k.Build()
+	if err != nil {
+		return err
+	}
+	waves := transposeN * transposeN / gpu.Lanes
+	return s.Run(gpu.Dispatch{Prog: prog, Waves: waves, Args: []uint32{inAddr, outAddr}})
+}
+
+func transposeGolden() []byte {
+	in := transposeIn()
+	out := make([]uint32, transposeN*transposeN)
+	for r := 0; r < transposeN; r++ {
+		for c := 0; c < transposeN; c++ {
+			out[c*transposeN+r] = in[r*transposeN+c]
+		}
+	}
+	return wordsBytes(out)
+}
+
+func init() {
+	register("vecadd", "streaming element-wise add (quickstart)", vecaddRun, vecaddGolden)
+	register("matmul", "dense 32x32 integer matrix multiply", matmulRun, matmulGolden)
+	register("matrixtranspose", "128x128 strided transpose", transposeRun, transposeGolden)
+}

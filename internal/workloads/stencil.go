@@ -1,0 +1,228 @@
+package workloads
+
+import (
+	"math"
+
+	"mbavf/internal/gpu"
+	"mbavf/internal/sim"
+)
+
+// recursivegaussian: a first-order recursive (IIR) Gaussian approximation
+// down each column of a 64x64 float image, with the real algorithm's
+// forward and backward passes: yf[i] = a*x[i] + b*yf[i-1] walking down,
+// yb[i] = a*x[i] + b*yb[i+1] walking up, out = yf + yb. One thread per
+// column; the backward pass re-reads the input at a long reuse distance.
+const rgN = 64
+
+const (
+	rgA = float32(0.25)
+	rgB = float32(0.75)
+)
+
+func rgIn() []uint32 {
+	return newRNG(0x6A55).floats(rgN * rgN)
+}
+
+func rgRun(s *sim.Session) error {
+	in, err := s.InputWords(rgIn())
+	if err != nil {
+		return err
+	}
+	out := s.OutputWords(rgN * rgN)
+
+	// Args: s0 = in, s1 = out. Thread t owns column t.
+	k := gpu.NewBuilder("recursivegaussian")
+	k.VMov(gpu.V(0), gpu.Tid())
+	k.VShl(gpu.V(1), gpu.V(0), gpu.Imm(2))
+	// Forward pass, top to bottom: out[i] = yf[i].
+	k.VAdd(gpu.V(2), gpu.V(1), gpu.S(0)) // src walker &in[0][t]
+	k.VAdd(gpu.V(3), gpu.V(1), gpu.S(1)) // dst walker
+	k.VMov(gpu.V(4), gpu.ImmF(0))        // yf carry
+	k.SMov(gpu.S(2), gpu.Imm(rgN))
+	k.Label("fwd")
+	k.VLoad(gpu.V(5), gpu.V(2), 0)
+	k.VFMul(gpu.V(6), gpu.V(4), gpu.ImmF(rgB))
+	k.VFMad(gpu.V(4), gpu.V(5), gpu.ImmF(rgA), gpu.V(6)) // yf = x*a + b*yf
+	k.VStore(gpu.V(3), 0, gpu.V(4))
+	k.VAdd(gpu.V(2), gpu.V(2), gpu.Imm(4*rgN))
+	k.VAdd(gpu.V(3), gpu.V(3), gpu.Imm(4*rgN))
+	k.SSub(gpu.S(2), gpu.S(2), gpu.Imm(1))
+	k.Brnz(gpu.S(2), "fwd")
+	// Backward pass, bottom to top: out[i] = yf[i] + yb[i]. The walkers
+	// sit one row past the end after the forward loop.
+	k.VMov(gpu.V(4), gpu.ImmF(0)) // yb carry
+	k.SMov(gpu.S(2), gpu.Imm(rgN))
+	k.Label("bwd")
+	k.VSub(gpu.V(2), gpu.V(2), gpu.Imm(4*rgN))
+	k.VSub(gpu.V(3), gpu.V(3), gpu.Imm(4*rgN))
+	k.VLoad(gpu.V(5), gpu.V(2), 0) // x again (long reuse distance)
+	k.VFMul(gpu.V(6), gpu.V(4), gpu.ImmF(rgB))
+	k.VFMad(gpu.V(4), gpu.V(5), gpu.ImmF(rgA), gpu.V(6)) // yb = x*a + b*yb
+	k.VLoad(gpu.V(7), gpu.V(3), 0)                       // yf
+	k.VFAdd(gpu.V(7), gpu.V(7), gpu.V(4))                // yf + yb
+	k.VStore(gpu.V(3), 0, gpu.V(7))
+	k.SSub(gpu.S(2), gpu.S(2), gpu.Imm(1))
+	k.Brnz(gpu.S(2), "bwd")
+	prog, err := k.Build()
+	if err != nil {
+		return err
+	}
+	return s.Run(gpu.Dispatch{Prog: prog, Waves: rgN / gpu.Lanes, Args: []uint32{in, out}})
+}
+
+func rgGolden() []byte {
+	in := rgIn()
+	out := make([]uint32, rgN*rgN)
+	for c := 0; c < rgN; c++ {
+		y := float32(0)
+		for r := 0; r < rgN; r++ {
+			x := bf(in[r*rgN+c])
+			y = x*rgA + y*rgB
+			out[r*rgN+c] = fb(y)
+		}
+		y = 0
+		for r := rgN - 1; r >= 0; r-- {
+			x := bf(in[r*rgN+c])
+			y = x*rgA + y*rgB
+			out[r*rgN+c] = fb(bf(out[r*rgN+c]) + y)
+		}
+	}
+	return wordsBytes(out)
+}
+
+// srad: four iterations of an anisotropic-diffusion stencil on a 64x64
+// float image. Interior pixels compute four neighbor gradients, a
+// coefficient exp(-q*lambda), and a diffusion update; boundary pixels copy
+// through a divergent else-branch — the Rodinia srad pattern.
+const (
+	sradN     = 64
+	sradIters = 4
+)
+
+const sradLambda = float32(0.5)
+
+func sradIn() []uint32 {
+	return newRNG(0x54AD).floats(sradN * sradN)
+}
+
+func buildSradPass() (*gpu.Program, error) {
+	// Args: s0 = src, s1 = dst.
+	k := gpu.NewBuilder("srad-pass")
+	k.VMov(gpu.V(0), gpu.Tid())
+	k.VShr(gpu.V(1), gpu.V(0), gpu.Imm(6))  // row
+	k.VAnd(gpu.V(2), gpu.V(0), gpu.Imm(63)) // col
+	// Interior mask: sum of four boundary predicates must be 4.
+	k.VMov(gpu.V(3), gpu.Imm(0))
+	k.VCmp(gpu.OpVCmpGE, gpu.V(1), gpu.Imm(1))
+	k.VCndMask(gpu.V(4), gpu.Imm(1), gpu.Imm(0))
+	k.VAdd(gpu.V(3), gpu.V(3), gpu.V(4))
+	k.VCmp(gpu.OpVCmpLE, gpu.V(1), gpu.Imm(sradN-2))
+	k.VCndMask(gpu.V(4), gpu.Imm(1), gpu.Imm(0))
+	k.VAdd(gpu.V(3), gpu.V(3), gpu.V(4))
+	k.VCmp(gpu.OpVCmpGE, gpu.V(2), gpu.Imm(1))
+	k.VCndMask(gpu.V(4), gpu.Imm(1), gpu.Imm(0))
+	k.VAdd(gpu.V(3), gpu.V(3), gpu.V(4))
+	k.VCmp(gpu.OpVCmpLE, gpu.V(2), gpu.Imm(sradN-2))
+	k.VCndMask(gpu.V(4), gpu.Imm(1), gpu.Imm(0))
+	k.VAdd(gpu.V(3), gpu.V(3), gpu.V(4))
+	// Own pixel address.
+	k.VShl(gpu.V(5), gpu.V(0), gpu.Imm(2))
+	k.VAdd(gpu.V(5), gpu.V(5), gpu.S(0))
+	k.VLoad(gpu.V(6), gpu.V(5), 0) // center
+	k.VCmp(gpu.OpVCmpEQ, gpu.V(3), gpu.Imm(4))
+	k.IfVCC()
+	k.VLoad(gpu.V(7), gpu.V(5), -4*sradN) // north
+	k.VLoad(gpu.V(8), gpu.V(5), 4*sradN)  // south
+	k.VLoad(gpu.V(9), gpu.V(5), -4)       // west
+	k.VLoad(gpu.V(10), gpu.V(5), 4)       // east
+	k.VFSub(gpu.V(7), gpu.V(7), gpu.V(6))
+	k.VFSub(gpu.V(8), gpu.V(8), gpu.V(6))
+	k.VFSub(gpu.V(9), gpu.V(9), gpu.V(6))
+	k.VFSub(gpu.V(10), gpu.V(10), gpu.V(6))
+	// q = dN^2 + dS^2 + dW^2 + dE^2
+	k.VFMul(gpu.V(11), gpu.V(7), gpu.V(7))
+	k.VFMad(gpu.V(11), gpu.V(8), gpu.V(8), gpu.V(11))
+	k.VFMad(gpu.V(11), gpu.V(9), gpu.V(9), gpu.V(11))
+	k.VFMad(gpu.V(11), gpu.V(10), gpu.V(10), gpu.V(11))
+	// c = exp(-q * lambda)
+	k.VFMul(gpu.V(12), gpu.V(11), gpu.ImmF(-sradLambda))
+	k.VFExp(gpu.V(12), gpu.V(12))
+	// div = dN + dS + dW + dE
+	k.VFAdd(gpu.V(13), gpu.V(7), gpu.V(8))
+	k.VFAdd(gpu.V(13), gpu.V(13), gpu.V(9))
+	k.VFAdd(gpu.V(13), gpu.V(13), gpu.V(10))
+	// out = center + 0.05 * c * div
+	k.VFMul(gpu.V(14), gpu.V(12), gpu.V(13))
+	k.VFMad(gpu.V(6), gpu.V(14), gpu.ImmF(0.05), gpu.V(6))
+	k.EndIf()
+	k.VShl(gpu.V(15), gpu.V(0), gpu.Imm(2))
+	k.VAdd(gpu.V(15), gpu.V(15), gpu.S(1))
+	k.VStore(gpu.V(15), 0, gpu.V(6))
+	return k.Build()
+}
+
+func sradRun(s *sim.Session) error {
+	ping, err := s.InputWords(sradIn())
+	if err != nil {
+		return err
+	}
+	pong := s.ScratchWords(sradN * sradN)
+	prog, err := buildSradPass()
+	if err != nil {
+		return err
+	}
+	src, dst := ping, pong
+	for it := 0; it < sradIters; it++ {
+		err := s.Run(gpu.Dispatch{Prog: prog, Waves: sradN * sradN / gpu.Lanes, Args: []uint32{src, dst}})
+		if err != nil {
+			return err
+		}
+		src, dst = dst, src
+	}
+	s.DeclareOutput(src, 4*sradN*sradN)
+	return nil
+}
+
+func sradGolden() []byte {
+	cur := make([]float32, sradN*sradN)
+	for i, b := range sradIn() {
+		cur[i] = bf(b)
+	}
+	next := make([]float32, sradN*sradN)
+	for it := 0; it < sradIters; it++ {
+		for r := 0; r < sradN; r++ {
+			for c := 0; c < sradN; c++ {
+				i := r*sradN + c
+				center := cur[i]
+				if r >= 1 && r <= sradN-2 && c >= 1 && c <= sradN-2 {
+					dN := cur[i-sradN] - center
+					dS := cur[i+sradN] - center
+					dW := cur[i-1] - center
+					dE := cur[i+1] - center
+					q := dN * dN
+					q = dS*dS + q
+					q = dW*dW + q
+					q = dE*dE + q
+					cf := float32(math.Exp(float64(q * -sradLambda)))
+					div := dN + dS
+					div = div + dW
+					div = div + dE
+					cd := cf * div
+					center = cd*0.05 + center
+				}
+				next[i] = center
+			}
+		}
+		cur, next = next, cur
+	}
+	ws := make([]uint32, len(cur))
+	for i, f := range cur {
+		ws[i] = fb(f)
+	}
+	return wordsBytes(ws)
+}
+
+func init() {
+	register("recursivegaussian", "per-column recursive IIR filter", rgRun, rgGolden)
+	register("srad", "4-iteration diffusion stencil with exp", sradRun, sradGolden)
+}

@@ -1,0 +1,348 @@
+package workloads
+
+import (
+	"math"
+
+	"mbavf/internal/gpu"
+	"mbavf/internal/sim"
+)
+
+// fastwalsh: in-place Walsh-Hadamard transform of 1024 int32 values, one
+// butterfly pair per thread, one dispatch per stage — the global
+// power-of-two stride pattern of the AMD FastWalshTransform sample.
+const fwtN = 1024
+
+func fwtIn() []uint32 {
+	return newRNG(0xFA57).words(fwtN, 1<<16)
+}
+
+func buildFWTPass() (*gpu.Program, error) {
+	// Args: s0 = buffer, s1 = log2(h), s2 = h-1, s3 = h (element counts).
+	k := gpu.NewBuilder("fastwalsh-pass")
+	k.VMov(gpu.V(0), gpu.Tid())          // pair index p
+	k.VShr(gpu.V(1), gpu.V(0), gpu.S(1)) // p >> log2h
+	k.VShl(gpu.V(2), gpu.V(1), gpu.S(1))
+	k.VShl(gpu.V(2), gpu.V(2), gpu.Imm(1)) // (p>>log2h) << (log2h+1)
+	k.VAnd(gpu.V(3), gpu.V(0), gpu.S(2))   // p & (h-1)
+	k.VAdd(gpu.V(2), gpu.V(2), gpu.V(3))   // i
+	k.VAdd(gpu.V(4), gpu.V(2), gpu.S(3))   // i + h
+	k.VShl(gpu.V(2), gpu.V(2), gpu.Imm(2))
+	k.VAdd(gpu.V(2), gpu.V(2), gpu.S(0))
+	k.VShl(gpu.V(4), gpu.V(4), gpu.Imm(2))
+	k.VAdd(gpu.V(4), gpu.V(4), gpu.S(0))
+	k.VLoad(gpu.V(5), gpu.V(2), 0)
+	k.VLoad(gpu.V(6), gpu.V(4), 0)
+	k.VAdd(gpu.V(7), gpu.V(5), gpu.V(6))
+	k.VSub(gpu.V(8), gpu.V(5), gpu.V(6))
+	k.VStore(gpu.V(2), 0, gpu.V(7))
+	k.VStore(gpu.V(4), 0, gpu.V(8))
+	return k.Build()
+}
+
+func fwtRun(s *sim.Session) error {
+	buf, err := s.InputWords(fwtIn())
+	if err != nil {
+		return err
+	}
+	s.DeclareOutput(buf, 4*fwtN)
+	prog, err := buildFWTPass()
+	if err != nil {
+		return err
+	}
+	waves := fwtN / 2 / gpu.Lanes
+	for logH := 0; 1<<logH < fwtN; logH++ {
+		h := uint32(1) << logH
+		err := s.Run(gpu.Dispatch{Prog: prog, Waves: waves, Args: []uint32{buf, uint32(logH), h - 1, h}})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fwtGolden() []byte {
+	x := fwtIn()
+	for h := 1; h < fwtN; h *= 2 {
+		for p := 0; p < fwtN/2; p++ {
+			i := (p>>uint(log2(h)))<<uint(log2(h)+1) + p&(h-1)
+			a, b := x[i], x[i+h]
+			x[i], x[i+h] = a+b, a-b
+		}
+	}
+	return wordsBytes(x)
+}
+
+func log2(h int) int {
+	l := 0
+	for 1<<l < h {
+		l++
+	}
+	return l
+}
+
+// dwthaar1d: 1-D Haar wavelet decomposition of 1024 floats. Each level
+// halves the working set (approximations ping-pong between buffers,
+// details go straight to the output), so late levels run nearly-empty
+// wavefronts — a shrinking-parallelism pattern.
+const haarN = 1024
+
+func haarIn() []uint32 {
+	return newRNG(0xD897).floats(haarN)
+}
+
+const invSqrt2 = float32(0.70710678118654752)
+
+func buildHaarPass() (*gpu.Program, error) {
+	// Args: s0 = src, s1 = dst (approx), s2 = output base, s3 = count,
+	// s4 = half offset within output (elements).
+	k := gpu.NewBuilder("dwthaar-pass")
+	k.VMov(gpu.V(0), gpu.Tid())
+	k.VCmp(gpu.OpVCmpLT, gpu.V(0), gpu.S(3))
+	k.IfVCC()
+	k.VShl(gpu.V(1), gpu.V(0), gpu.Imm(3)) // byte offset of x[2i]
+	k.VAdd(gpu.V(1), gpu.V(1), gpu.S(0))
+	k.VLoad(gpu.V(2), gpu.V(1), 0) // x[2i]
+	k.VLoad(gpu.V(3), gpu.V(1), 4) // x[2i+1]
+	k.VFAdd(gpu.V(4), gpu.V(2), gpu.V(3))
+	k.VFMul(gpu.V(4), gpu.V(4), gpu.ImmF(invSqrt2)) // approx
+	k.VFSub(gpu.V(5), gpu.V(2), gpu.V(3))
+	k.VFMul(gpu.V(5), gpu.V(5), gpu.ImmF(invSqrt2)) // detail
+	k.VShl(gpu.V(6), gpu.V(0), gpu.Imm(2))
+	k.VAdd(gpu.V(6), gpu.V(6), gpu.S(1))
+	k.VStore(gpu.V(6), 0, gpu.V(4)) // dst[i] = approx
+	k.VAdd(gpu.V(7), gpu.V(0), gpu.S(4))
+	k.VShl(gpu.V(7), gpu.V(7), gpu.Imm(2))
+	k.VAdd(gpu.V(7), gpu.V(7), gpu.S(2))
+	k.VStore(gpu.V(7), 0, gpu.V(5)) // out[half+i] = detail
+	k.EndIf()
+	return k.Build()
+}
+
+func haarRun(s *sim.Session) error {
+	ping, err := s.InputWords(haarIn())
+	if err != nil {
+		return err
+	}
+	pong := s.ScratchWords(haarN)
+	out := s.OutputWords(haarN)
+	prog, err := buildHaarPass()
+	if err != nil {
+		return err
+	}
+	src, dst := ping, pong
+	for length := haarN; length > 1; length /= 2 {
+		count := uint32(length / 2)
+		waves := (length/2 + gpu.Lanes - 1) / gpu.Lanes
+		err := s.Run(gpu.Dispatch{Prog: prog, Waves: waves, Args: []uint32{src, dst, out, count, count}})
+		if err != nil {
+			return err
+		}
+		src, dst = dst, src
+	}
+	// Final approximation (single value) lives in src[0]; copy it to
+	// out[0] with a one-lane kernel.
+	k := gpu.NewBuilder("dwthaar-final")
+	k.VMov(gpu.V(0), gpu.Tid())
+	k.VCmp(gpu.OpVCmpEQ, gpu.V(0), gpu.Imm(0))
+	k.IfVCC()
+	k.VMov(gpu.V(1), gpu.S(0))
+	k.VLoad(gpu.V(2), gpu.V(1), 0)
+	k.VMov(gpu.V(3), gpu.S(1))
+	k.VStore(gpu.V(3), 0, gpu.V(2))
+	k.EndIf()
+	fin, err := k.Build()
+	if err != nil {
+		return err
+	}
+	return s.Run(gpu.Dispatch{Prog: fin, Waves: 1, Args: []uint32{src, out}})
+}
+
+func haarGolden() []byte {
+	cur := make([]float32, haarN)
+	for i, b := range haarIn() {
+		cur[i] = bf(b)
+	}
+	out := make([]float32, haarN)
+	for length := haarN; length > 1; length /= 2 {
+		half := length / 2
+		next := make([]float32, half)
+		for i := 0; i < half; i++ {
+			a := (cur[2*i] + cur[2*i+1]) * invSqrt2
+			d := (cur[2*i] - cur[2*i+1]) * invSqrt2
+			next[i] = a
+			out[half+i] = d
+		}
+		cur = next
+	}
+	out[0] = cur[0]
+	ws := make([]uint32, haarN)
+	for i, f := range out {
+		ws[i] = fb(f)
+	}
+	return wordsBytes(ws)
+}
+
+// dct: 8x8 block 2-D DCT-II of a 64x64 float image via two matrix-multiply
+// passes (rows then columns) — the blocked transform pattern of the AMD
+// DCT sample.
+const (
+	dctImg   = 64
+	dctBlock = 8
+)
+
+func dctIn() []uint32 {
+	return newRNG(0xDC7).floats(dctImg * dctImg)
+}
+
+// dctMatrix returns the 8x8 DCT-II basis matrix in float32 bits.
+func dctMatrix() []uint32 {
+	d := make([]uint32, dctBlock*dctBlock)
+	for u := 0; u < dctBlock; u++ {
+		scale := float32(math.Sqrt(2.0 / float64(dctBlock)))
+		if u == 0 {
+			scale = float32(math.Sqrt(1.0 / float64(dctBlock)))
+		}
+		for i := 0; i < dctBlock; i++ {
+			v := float64(scale) * math.Cos(float64(2*i+1)*float64(u)*math.Pi/16)
+			d[u*dctBlock+i] = fb(float32(v))
+		}
+	}
+	return d
+}
+
+// buildDCTPass builds one of the two multiply passes.
+//
+// Pass 1 (rowPass=true):  tmp[u][j] = sum_i d[u][i] * x[base + i*64 + j]
+// Pass 2 (rowPass=false): y[u][v]   = sum_j tmp[base + u*64 + j] * d[v][j]
+//
+// Args: s0 = src image/tmp, s1 = D matrix, s2 = dst.
+func buildDCTPass(rowPass bool) (*gpu.Program, error) {
+	name := "dct-cols"
+	if rowPass {
+		name = "dct-rows"
+	}
+	k := gpu.NewBuilder(name)
+	k.VMov(gpu.V(0), gpu.Tid())
+	k.VShr(gpu.V(1), gpu.V(0), gpu.Imm(6))  // block
+	k.VAnd(gpu.V(2), gpu.V(0), gpu.Imm(63)) // inner
+	k.VShr(gpu.V(3), gpu.V(2), gpu.Imm(3))  // u
+	k.VAnd(gpu.V(4), gpu.V(2), gpu.Imm(7))  // j (pass1) or v (pass2)
+	k.VShr(gpu.V(5), gpu.V(1), gpu.Imm(3))  // blockRow
+	k.VAnd(gpu.V(6), gpu.V(1), gpu.Imm(7))  // blockCol
+	k.VShl(gpu.V(7), gpu.V(5), gpu.Imm(9))  // blockRow*8*64
+	k.VShl(gpu.V(8), gpu.V(6), gpu.Imm(3))
+	k.VAdd(gpu.V(7), gpu.V(7), gpu.V(8)) // base element index
+	if rowPass {
+		// src walker: x[base + j + i*64], i = 0..7 (stride 256 bytes)
+		k.VAdd(gpu.V(9), gpu.V(7), gpu.V(4))
+		k.VShl(gpu.V(9), gpu.V(9), gpu.Imm(2))
+		k.VAdd(gpu.V(9), gpu.V(9), gpu.S(0))
+		// d walker: d[u*8 + i], stride 4 bytes
+		k.VShl(gpu.V(10), gpu.V(3), gpu.Imm(5))
+		k.VAdd(gpu.V(10), gpu.V(10), gpu.S(1))
+	} else {
+		// src walker: tmp[base + u*64 + j], j = 0..7 (stride 4 bytes)
+		k.VShl(gpu.V(9), gpu.V(3), gpu.Imm(6))
+		k.VAdd(gpu.V(9), gpu.V(9), gpu.V(7))
+		k.VShl(gpu.V(9), gpu.V(9), gpu.Imm(2))
+		k.VAdd(gpu.V(9), gpu.V(9), gpu.S(0))
+		// d walker: d[v*8 + j], stride 4 bytes
+		k.VShl(gpu.V(10), gpu.V(4), gpu.Imm(5))
+		k.VAdd(gpu.V(10), gpu.V(10), gpu.S(1))
+	}
+	k.VMov(gpu.V(11), gpu.ImmF(0))
+	k.SMov(gpu.S(3), gpu.Imm(dctBlock))
+	k.Label("loop")
+	k.VLoad(gpu.V(12), gpu.V(9), 0)
+	k.VLoad(gpu.V(13), gpu.V(10), 0)
+	k.VFMad(gpu.V(11), gpu.V(13), gpu.V(12), gpu.V(11))
+	if rowPass {
+		k.VAdd(gpu.V(9), gpu.V(9), gpu.Imm(4*dctImg))
+	} else {
+		k.VAdd(gpu.V(9), gpu.V(9), gpu.Imm(4))
+	}
+	k.VAdd(gpu.V(10), gpu.V(10), gpu.Imm(4))
+	k.SSub(gpu.S(3), gpu.S(3), gpu.Imm(1))
+	k.Brnz(gpu.S(3), "loop")
+	// dst element index: base + u*64 + (j|v)
+	k.VShl(gpu.V(14), gpu.V(3), gpu.Imm(6))
+	k.VAdd(gpu.V(14), gpu.V(14), gpu.V(7))
+	k.VAdd(gpu.V(14), gpu.V(14), gpu.V(4))
+	k.VShl(gpu.V(14), gpu.V(14), gpu.Imm(2))
+	k.VAdd(gpu.V(14), gpu.V(14), gpu.S(2))
+	k.VStore(gpu.V(14), 0, gpu.V(11))
+	return k.Build()
+}
+
+func dctRun(s *sim.Session) error {
+	img, err := s.InputWords(dctIn())
+	if err != nil {
+		return err
+	}
+	dmat, err := s.InputWords(dctMatrix())
+	if err != nil {
+		return err
+	}
+	tmp := s.ScratchWords(dctImg * dctImg)
+	out := s.OutputWords(dctImg * dctImg)
+	rows, err := buildDCTPass(true)
+	if err != nil {
+		return err
+	}
+	cols, err := buildDCTPass(false)
+	if err != nil {
+		return err
+	}
+	waves := dctImg * dctImg / gpu.Lanes
+	if err := s.Run(gpu.Dispatch{Prog: rows, Waves: waves, Args: []uint32{img, dmat, tmp}}); err != nil {
+		return err
+	}
+	return s.Run(gpu.Dispatch{Prog: cols, Waves: waves, Args: []uint32{tmp, dmat, out}})
+}
+
+func dctGolden() []byte {
+	img := dctIn()
+	dmat := dctMatrix()
+	x := make([]float32, len(img))
+	for i, b := range img {
+		x[i] = bf(b)
+	}
+	d := make([]float32, len(dmat))
+	for i, b := range dmat {
+		d[i] = bf(b)
+	}
+	tmp := make([]float32, dctImg*dctImg)
+	out := make([]float32, dctImg*dctImg)
+	for block := 0; block < (dctImg/dctBlock)*(dctImg/dctBlock); block++ {
+		base := (block>>3)*dctBlock*dctImg + (block&7)*dctBlock
+		for u := 0; u < dctBlock; u++ {
+			for j := 0; j < dctBlock; j++ {
+				acc := float32(0)
+				for i := 0; i < dctBlock; i++ {
+					acc = d[u*dctBlock+i]*x[base+i*dctImg+j] + acc
+				}
+				tmp[base+u*dctImg+j] = acc
+			}
+		}
+		for u := 0; u < dctBlock; u++ {
+			for v := 0; v < dctBlock; v++ {
+				acc := float32(0)
+				for j := 0; j < dctBlock; j++ {
+					acc = d[v*dctBlock+j]*tmp[base+u*dctImg+j] + acc
+				}
+				out[base+u*dctImg+v] = acc
+			}
+		}
+	}
+	ws := make([]uint32, len(out))
+	for i, f := range out {
+		ws[i] = fb(f)
+	}
+	return wordsBytes(ws)
+}
+
+func init() {
+	register("fastwalsh", "1024-point in-place Walsh-Hadamard transform", fwtRun, fwtGolden)
+	register("dwthaar1d", "1024-point Haar wavelet decomposition", haarRun, haarGolden)
+	register("dct", "8x8-block 2-D DCT of a 64x64 image", dctRun, dctGolden)
+}

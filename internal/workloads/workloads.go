@@ -1,0 +1,136 @@
+// Package workloads re-implements the paper's benchmark suite on the
+// simulator's GPU ISA. Each workload reproduces the access-pattern class
+// of its namesake from Rodinia, the AMD OpenCL samples, or Mantevo:
+//
+//	vecadd             streaming (quickstart)
+//	matmul             dense compute, row/column reuse  (MatrixMultiplication)
+//	matrixtranspose    strided scatter                  (MatrixTranspose)
+//	dct                blocked 2D transform             (DCT)
+//	fastwalsh          global butterfly passes          (FastWalshTransform)
+//	dwthaar1d          shrinking pair reduction         (DwtHaar1D)
+//	histogram          byte gather + private bins       (Histogram)
+//	prefixsum          log-step Hillis-Steele scan      (PrefixSum)
+//	scanlargearrays    blocked scan + add-back          (ScanLargeArrays)
+//	recursivegaussian  per-column serial IIR filter     (RecursiveGaussian)
+//	srad               5-point stencil with exp         (Rodinia srad)
+//	minife             sparse Jacobi over a 5-point FEM matrix (Mantevo MiniFE)
+//	comd               neighbor-list force + integrate  (Mantevo CoMD)
+//
+// Every workload has a host-side golden implementation with identical
+// arithmetic; the tests assert bit-exact agreement, which is also the
+// basis of the fault-injection outcome classification.
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mbavf/internal/sim"
+)
+
+// entry couples a runnable workload with its golden output computation.
+type entry struct {
+	w      sim.Workload
+	golden func() []byte
+}
+
+var registry = map[string]entry{}
+
+func register(name, desc string, run func(*sim.Session) error, golden func() []byte) {
+	if _, dup := registry[name]; dup {
+		panic("workloads: duplicate " + name)
+	}
+	registry[name] = entry{
+		w:      sim.Workload{Name: name, Description: desc, Run: run},
+		golden: golden,
+	}
+}
+
+// Names returns all workload names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByName returns the named workload.
+func ByName(name string) (sim.Workload, error) {
+	e, ok := registry[name]
+	if !ok {
+		return sim.Workload{}, fmt.Errorf("workloads: unknown workload %q (have %v)", name, Names())
+	}
+	return e.w, nil
+}
+
+// All returns every workload, sorted by name.
+func All() []sim.Workload {
+	out := make([]sim.Workload, 0, len(registry))
+	for _, n := range Names() {
+		out = append(out, registry[n].w)
+	}
+	return out
+}
+
+// Golden returns the expected output bytes of the named workload,
+// computed host-side.
+func Golden(name string) ([]byte, error) {
+	e, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workloads: unknown workload %q", name)
+	}
+	return e.golden(), nil
+}
+
+// rng is a deterministic xorshift32 generator used for all input data.
+type rng uint32
+
+func newRNG(seed uint32) *rng {
+	r := rng(seed | 1)
+	return &r
+}
+
+func (r *rng) next() uint32 {
+	x := uint32(*r)
+	x ^= x << 13
+	x ^= x >> 17
+	x ^= x << 5
+	*r = rng(x)
+	return x
+}
+
+// words returns n pseudo-random 32-bit values bounded to [0, limit).
+func (r *rng) words(n int, limit uint32) []uint32 {
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = r.next() % limit
+	}
+	return out
+}
+
+// floats returns n pseudo-random float32 bit patterns in [0, 1).
+func (r *rng) floats(n int) []uint32 {
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = math.Float32bits(float32(r.next()%65536) / 65536)
+	}
+	return out
+}
+
+func expf(v float32) float32 { return float32(math.Exp(float64(v))) }
+
+func fb(f float32) uint32 { return math.Float32bits(f) }
+func bf(b uint32) float32 { return math.Float32frombits(b) }
+func wordsBytes(ws []uint32) []byte {
+	out := make([]byte, 4*len(ws))
+	for i, w := range ws {
+		out[4*i] = byte(w)
+		out[4*i+1] = byte(w >> 8)
+		out[4*i+2] = byte(w >> 16)
+		out[4*i+3] = byte(w >> 24)
+	}
+	return out
+}

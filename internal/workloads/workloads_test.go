@@ -1,0 +1,136 @@
+package workloads
+
+import (
+	"bytes"
+	"testing"
+
+	"mbavf/internal/sim"
+)
+
+// TestAllWorkloadsMatchGolden runs every workload on the fully
+// instrumented simulator and checks the program output bit-exactly
+// against the host-side golden implementation.
+func TestAllWorkloadsMatchGolden(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			w, err := ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := sim.Execute(w, sim.DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := s.OutputData()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := Golden(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("output length %d, want %d", len(got), len(want))
+			}
+			if !bytes.Equal(got, want) {
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("output diverges at byte %d: %#x vs %#x", i, got[i], want[i])
+					}
+				}
+			}
+			if s.Cycles() == 0 {
+				t.Error("no cycles simulated")
+			}
+			t.Logf("%s: %d cycles, %d instrs, %d graph versions",
+				name, s.Cycles(), s.Machine.Instructions(), s.Graph.Len())
+		})
+	}
+}
+
+// TestWorkloadsProduceLifetimeActivity checks that the instrumented
+// structures actually see traffic for every workload.
+func TestWorkloadsProduceLifetimeActivity(t *testing.T) {
+	anyDead := false
+	for _, name := range Names() {
+		w, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := sim.Execute(w, sim.DefaultConfig())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.L1Tracker.SegmentCount() == 0 {
+			t.Errorf("%s: no L1 lifetime segments", name)
+		}
+		if s.L2Tracker.SegmentCount() == 0 {
+			t.Errorf("%s: no L2 lifetime segments", name)
+		}
+		if s.VGPRTracker.SegmentCount() == 0 {
+			t.Errorf("%s: no VGPR lifetime segments", name)
+		}
+		if s.Graph.Stats().DeadCount > 0 {
+			anyDead = true
+		}
+	}
+	// Workloads whose every value reaches output legitimately have no dead
+	// versions; but across the suite, dynamically-dead values must exist
+	// (scratch stores, padded ELL entries, intermediate passes).
+	if !anyDead {
+		t.Error("no workload produced any dynamically-dead version")
+	}
+}
+
+// TestInjectionConfigRuns checks the lean configuration used by fault
+// injection campaigns.
+func TestInjectionConfigRuns(t *testing.T) {
+	w, err := ByName("vecadd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.Execute(w, sim.InjectionConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.OutputData()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := Golden("vecadd")
+	if !bytes.Equal(got, want) {
+		t.Error("uninstrumented run output differs from golden")
+	}
+	if s.Graph != nil || s.L1Tracker != nil {
+		t.Error("injection config should not instrument")
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown workload should error")
+	}
+	if _, err := Golden("nope"); err == nil {
+		t.Error("unknown golden should error")
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"backprop", "bitonicsort", "comd", "dct", "dwthaar1d",
+		"fastwalsh", "histogram", "kmeans", "matmul", "matrixtranspose",
+		"minife", "nw", "prefixsum", "recursivegaussian", "reduction",
+		"scanlargearrays", "srad", "vecadd"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("registry has %d workloads %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("workload %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+	if len(All()) != len(want) {
+		t.Error("All() size mismatch")
+	}
+}

@@ -1,0 +1,319 @@
+// Package mbavf computes architectural vulnerability factors for spatial
+// multi-bit transient faults (MB-AVFs), reproducing the methodology of
+// "Calculating Architectural Vulnerability Factors for Spatial Multi-Bit
+// Transient Faults" (MICRO 2014).
+//
+// The library couples an execution-driven APU simulator (a 4-compute-unit
+// GPU with L1/L2 caches and a vector register file) with an ACE-analysis
+// engine that classifies every fault group of a spatial fault mode —
+// under a protection scheme and a bit-interleaving layout — as unACE,
+// true DUE, false DUE, or SDC, cycle by cycle.
+//
+// Typical use:
+//
+//	run, err := mbavf.RunWorkload("minife")
+//	avf, err := run.L1AVF(mbavf.Parity, mbavf.Interleaving{Style: mbavf.StyleIndexPhysical, Factor: 2}, 2)
+//	fmt.Println(avf.DUE, avf.SDC)
+//
+// All workloads execute on the bundled simulator; see the examples
+// directory for complete programs and cmd/mbavf-exp for the paper's
+// tables and figures.
+package mbavf
+
+import (
+	"fmt"
+
+	"mbavf/internal/bitgeom"
+	"mbavf/internal/core"
+	"mbavf/internal/dataflow"
+	"mbavf/internal/ecc"
+	"mbavf/internal/faultrate"
+	"mbavf/internal/interleave"
+	"mbavf/internal/lifetime"
+	"mbavf/internal/sim"
+	"mbavf/internal/workloads"
+)
+
+// Scheme selects an error-protection code for each protection domain.
+type Scheme string
+
+// Supported protection schemes.
+const (
+	NoProtection Scheme = "none"
+	Parity       Scheme = "parity"
+	SECDED       Scheme = "sec-ded"
+	DECTED       Scheme = "dec-ted"
+)
+
+func (s Scheme) impl() (ecc.Scheme, error) {
+	switch s {
+	case NoProtection:
+		return ecc.None{}, nil
+	case Parity:
+		return ecc.Parity{}, nil
+	case SECDED:
+		return ecc.SECDED{}, nil
+	case DECTED:
+		return ecc.DECTED{}, nil
+	default:
+		return nil, fmt.Errorf("mbavf: unknown scheme %q", s)
+	}
+}
+
+// CheckBitOverhead returns the scheme's relative check-bit area overhead
+// for the given data-word width (e.g. SEC-DED over 32-bit words: 21.9%).
+func (s Scheme) CheckBitOverhead(dataBits int) (float64, error) {
+	impl, err := s.impl()
+	if err != nil {
+		return 0, err
+	}
+	return ecc.Overhead(impl, dataBits), nil
+}
+
+// Style selects how logical data words map onto physically adjacent bits.
+type Style string
+
+// Supported interleaving styles. Cache structures accept Logical,
+// WayPhysical and IndexPhysical; the register file accepts IntraThread
+// (rx) and InterThread (tx).
+const (
+	StyleLogical       Style = "logical"
+	StyleWayPhysical   Style = "way-physical"
+	StyleIndexPhysical Style = "index-physical"
+	StyleIntraThread   Style = "intra-thread"
+	StyleInterThread   Style = "inter-thread"
+)
+
+// Interleaving is a bit-interleaving configuration: a style plus a degree
+// (1, 2 or 4 in the paper's studies).
+type Interleaving struct {
+	Style  Style
+	Factor int
+}
+
+// AVF is the vulnerability of one (structure, scheme, interleaving, fault
+// mode) combination measured over a workload run. All values are
+// fractions in [0, 1].
+type AVF struct {
+	// DUE is the detected-uncorrected-error MB-AVF (the paper's Section V
+	// model: union of detected-and-ACE region time).
+	DUE float64
+	// SDC, TrueDUE and FalseDUE are the four-class model of Section VII.
+	SDC      float64
+	TrueDUE  float64
+	FalseDUE float64
+	// SBAVF is the structure's raw single-bit ACE fraction
+	// (microarchitectural), the normalization basis of the paper's
+	// figures; SBAVFLive applies program-level masking.
+	SBAVF     float64
+	SBAVFLive float64
+	// Groups is the number of fault groups of the mode in the structure;
+	// Cycles is the measurement window.
+	Groups int
+	Cycles uint64
+}
+
+func fromResult(r *core.Result) AVF {
+	return AVF{
+		DUE:       r.DUEMBAVF(),
+		SDC:       r.SDCMBAVF(),
+		TrueDUE:   r.TrueDUEMBAVF(),
+		FalseDUE:  r.FalseDUEMBAVF(),
+		SBAVF:     r.BitAVF(),
+		SBAVFLive: r.BitAVFLive(),
+		Groups:    r.Groups,
+		Cycles:    r.TotalCycles,
+	}
+}
+
+// Run is a completed, instrumented simulation of one workload, ready for
+// AVF analysis under any number of protection configurations. A Run is
+// self-contained: it can be serialized with Save and revived with LoadRun
+// without re-simulating.
+type Run struct {
+	cycles       uint64
+	instructions uint64
+	vgprThreads  int
+	vgprRegs     int
+	l1Sets       int
+	l1Ways       int
+	l2Sets       int
+	l2Ways       int
+	lineBytes    int
+
+	l1Tracker   *lifetime.Tracker
+	l2Tracker   *lifetime.Tracker
+	vgprTracker *lifetime.Tracker
+	graph       *dataflow.Graph
+}
+
+func newRunFromSession(s *sim.Session) *Run {
+	r := &Run{
+		cycles:       s.Cycles(),
+		instructions: s.Machine.Instructions(),
+		vgprThreads:  s.Cfg.GPU.VGPRThreads(),
+		vgprRegs:     s.Cfg.GPU.NumVRegs,
+		lineBytes:    s.Hier.LineBytes(),
+		l1Tracker:    s.L1Tracker,
+		l2Tracker:    s.L2Tracker,
+		vgprTracker:  s.VGPRTracker,
+		graph:        s.Graph,
+	}
+	r.l1Sets, r.l1Ways = s.Hier.L1Slots()
+	r.l2Sets, r.l2Ways = s.Hier.L2Slots()
+	return r
+}
+
+// Workloads lists the bundled benchmark names.
+func Workloads() []string { return workloads.Names() }
+
+// WorkloadDescription returns the one-line description of a bundled
+// workload's access pattern.
+func WorkloadDescription(name string) (string, error) {
+	w, err := workloads.ByName(name)
+	if err != nil {
+		return "", err
+	}
+	return w.Description, nil
+}
+
+// RunWorkload executes the named workload on the default APU
+// configuration with full instrumentation.
+func RunWorkload(name string) (*Run, error) {
+	w, err := workloads.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	s, err := sim.Execute(w, sim.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	return newRunFromSession(s), nil
+}
+
+// Cycles returns the run's duration in simulated cycles.
+func (r *Run) Cycles() uint64 { return r.cycles }
+
+// Instructions returns the dynamic wavefront instruction count.
+func (r *Run) Instructions() uint64 { return r.instructions }
+
+func cacheLayout(il Interleaving, sets, ways, lineBits int) (*interleave.Layout, error) {
+	switch il.Style {
+	case StyleLogical:
+		return interleave.Logical(sets*ways, lineBits, il.Factor)
+	case StyleWayPhysical:
+		return interleave.WayPhysical(sets, ways, lineBits, il.Factor)
+	case StyleIndexPhysical:
+		return interleave.IndexPhysical(sets, ways, lineBits, il.Factor)
+	default:
+		return nil, fmt.Errorf("mbavf: interleaving style %q not valid for caches", il.Style)
+	}
+}
+
+func (r *Run) l1Layout(il Interleaving) (*interleave.Layout, error) {
+	return cacheLayout(il, r.l1Sets, r.l1Ways, r.lineBytes*8)
+}
+
+func (r *Run) l2Layout(il Interleaving) (*interleave.Layout, error) {
+	return cacheLayout(il, r.l2Sets, r.l2Ways, r.lineBytes*8)
+}
+
+func (r *Run) vgprLayout(il Interleaving) (*interleave.Layout, bool, error) {
+	switch il.Style {
+	case StyleIntraThread:
+		l, err := interleave.IntraThread(r.vgprThreads, r.vgprRegs, 32, il.Factor)
+		return l, false, err
+	case StyleInterThread:
+		l, err := interleave.InterThread(r.vgprThreads, r.vgprRegs, 32, il.Factor)
+		return l, true, err
+	default:
+		return nil, false, fmt.Errorf("mbavf: interleaving style %q not valid for register files", il.Style)
+	}
+}
+
+func (r *Run) analyze(a *core.Analyzer, scheme Scheme, modeBits int) (AVF, error) {
+	impl, err := scheme.impl()
+	if err != nil {
+		return AVF{}, err
+	}
+	if modeBits < 1 {
+		return AVF{}, fmt.Errorf("mbavf: fault mode must span at least 1 bit")
+	}
+	res, err := a.Analyze(impl, bitgeom.Mx1(modeBits))
+	if err != nil {
+		return AVF{}, err
+	}
+	return fromResult(res), nil
+}
+
+// L1AVF measures the MB-AVF of an Mx1 fault mode (modeBits adjacent bits
+// along a wordline) in compute unit 0's L1 data array.
+func (r *Run) L1AVF(scheme Scheme, il Interleaving, modeBits int) (AVF, error) {
+	lay, err := r.l1Layout(il)
+	if err != nil {
+		return AVF{}, err
+	}
+	return r.analyze(&core.Analyzer{
+		Layout:      lay,
+		Tracker:     r.l1Tracker,
+		Graph:       r.graph,
+		TotalCycles: r.cycles,
+	}, scheme, modeBits)
+}
+
+// L2AVF measures the MB-AVF of an Mx1 fault mode in the shared L2 data
+// array.
+func (r *Run) L2AVF(scheme Scheme, il Interleaving, modeBits int) (AVF, error) {
+	lay, err := r.l2Layout(il)
+	if err != nil {
+		return AVF{}, err
+	}
+	return r.analyze(&core.Analyzer{
+		Layout:      lay,
+		Tracker:     r.l2Tracker,
+		Graph:       r.graph,
+		TotalCycles: r.cycles,
+	}, scheme, modeBits)
+}
+
+// VGPRAVF measures the MB-AVF of an Mx1 fault mode in compute unit 0's
+// vector register file. Inter-thread interleaving applies the paper's
+// detection-preempts-SDC rule (registers of a 16-thread group are read in
+// lock-step, so an adjacent thread's DUE fires before an SDC propagates).
+func (r *Run) VGPRAVF(scheme Scheme, il Interleaving, modeBits int) (AVF, error) {
+	lay, preempt, err := r.vgprLayout(il)
+	if err != nil {
+		return AVF{}, err
+	}
+	return r.analyze(&core.Analyzer{
+		Layout:               lay,
+		Tracker:              r.vgprTracker,
+		Graph:                r.graph,
+		WordVersions:         true,
+		TotalCycles:          r.cycles,
+		DetectionPreemptsSDC: preempt,
+	}, scheme, modeBits)
+}
+
+// SER is a soft-error-rate roll-up over all fault modes of Table III.
+type SER struct {
+	// SDC and DUE are FIT-weighted rates (raw mode rate x measured AVF,
+	// summed over 1x1..8x1).
+	SDC float64
+	DUE float64
+}
+
+// VGPRSER rolls the register file's per-mode AVFs into SDC and DUE soft
+// error rates using the paper's Table III raw fault rates (total = 100).
+func (r *Run) VGPRSER(scheme Scheme, il Interleaving) (SER, error) {
+	var out SER
+	for _, mr := range faultrate.TableIII() {
+		avf, err := r.VGPRAVF(scheme, il, mr.Width)
+		if err != nil {
+			return SER{}, err
+		}
+		out.SDC += faultrate.SER(mr.FIT, avf.SDC)
+		out.DUE += faultrate.SER(mr.FIT, avf.TrueDUE+avf.FalseDUE)
+	}
+	return out, nil
+}

@@ -1,0 +1,37 @@
+package mbavf
+
+import "mbavf/internal/mttf"
+
+// MTTFPoint is one sample of the temporal-vs-spatial multi-bit-fault MTTF
+// comparison for a 32MB cache (the paper's Figure 2). All MTTFs are in
+// hours.
+type MTTFPoint struct {
+	// RawFITPerBit is the raw per-bit fault rate in FIT.
+	RawFITPerBit float64
+	// SpatialLow is the MTTF from spatial MBFs at a 0.1% multi-bit
+	// fraction; SpatialHigh uses 5%.
+	SpatialLow, SpatialHigh float64
+	// TemporalInf assumes cache data lives forever; Temporal100yr limits
+	// data lifetime to 100 years.
+	TemporalInf, Temporal100yr float64
+}
+
+// MTTFSweep evaluates the Figure 2 scenarios for each raw per-bit fault
+// rate over a 32MB cache with 64-bit protection words.
+func MTTFSweep(rawFITsPerBit []float64) ([]MTTFPoint, error) {
+	pts, err := mttf.Sweep(mttf.Default32MB(), rawFITsPerBit)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]MTTFPoint, len(pts))
+	for i, p := range pts {
+		out[i] = MTTFPoint{
+			RawFITPerBit:  p.RawFITPerBit,
+			SpatialLow:    p.SMBF01,
+			SpatialHigh:   p.SMBF5,
+			TemporalInf:   p.TMBFInf,
+			Temporal100yr: p.TMBF100yr,
+		}
+	}
+	return out, nil
+}

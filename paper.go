@@ -1,0 +1,58 @@
+package mbavf
+
+import (
+	"strings"
+
+	"mbavf/internal/experiments"
+)
+
+// Experiments lists the reproducible paper artifacts (table1, fig2, fig4,
+// fig5, fig6, table2, fig8, fig9, fig10, table3, fig11).
+func Experiments() []string { return experiments.Names() }
+
+// ExperimentOptions tunes RunExperiment.
+type ExperimentOptions struct {
+	// Workloads restricts the benchmark set (nil = the paper set).
+	Workloads []string
+	// Injections sizes the Table II single-bit campaigns.
+	Injections int
+	// Windows is the number of time windows in the over-time figures.
+	Windows int
+	// Seed drives injection sampling.
+	Seed int64
+}
+
+func (o ExperimentOptions) internal() experiments.Options {
+	io := experiments.DefaultOptions()
+	if len(o.Workloads) > 0 {
+		io.Workloads = o.Workloads
+	}
+	if o.Injections > 0 {
+		io.Injections = o.Injections
+	}
+	if o.Windows > 0 {
+		io.Windows = o.Windows
+	}
+	if o.Seed != 0 {
+		io.Seed = o.Seed
+	}
+	return io
+}
+
+// RunExperiment regenerates one of the paper's tables or figures and
+// returns its rendered text.
+func RunExperiment(name string, opts ExperimentOptions) (string, error) {
+	e, err := experiments.ByName(name)
+	if err != nil {
+		return "", err
+	}
+	tables, err := e.Run(opts.internal())
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for _, t := range tables {
+		t.Render(&b)
+	}
+	return b.String(), nil
+}

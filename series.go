@@ -1,0 +1,74 @@
+package mbavf
+
+import (
+	"fmt"
+
+	"mbavf/internal/bitgeom"
+	"mbavf/internal/core"
+)
+
+// AVFSeries is a windowed AVF time profile: Total over the full run plus
+// one AVF per window of Window cycles — the quantized-AVF view behind the
+// paper's Figures 5 and 8.
+type AVFSeries struct {
+	Window  uint64
+	Total   AVF
+	Windows []AVF
+}
+
+func seriesOf(a *core.Analyzer, scheme Scheme, modeBits int, windows int) (AVFSeries, error) {
+	impl, err := scheme.impl()
+	if err != nil {
+		return AVFSeries{}, err
+	}
+	if windows < 1 {
+		return AVFSeries{}, fmt.Errorf("mbavf: need at least one window")
+	}
+	if modeBits < 1 {
+		return AVFSeries{}, fmt.Errorf("mbavf: fault mode must span at least 1 bit")
+	}
+	win := (a.TotalCycles + uint64(windows) - 1) / uint64(windows)
+	if win == 0 {
+		win = 1
+	}
+	s, err := a.AnalyzeWindowed(impl, bitgeom.Mx1(modeBits), win)
+	if err != nil {
+		return AVFSeries{}, err
+	}
+	out := AVFSeries{Window: win, Total: fromResult(&s.Total)}
+	for i := range s.Windows {
+		out.Windows = append(out.Windows, fromResult(&s.Windows[i]))
+	}
+	return out, nil
+}
+
+// L1AVFSeries measures the L1 MB-AVF over time, split into the given
+// number of windows.
+func (r *Run) L1AVFSeries(scheme Scheme, il Interleaving, modeBits, windows int) (AVFSeries, error) {
+	lay, err := r.l1Layout(il)
+	if err != nil {
+		return AVFSeries{}, err
+	}
+	return seriesOf(&core.Analyzer{
+		Layout:      lay,
+		Tracker:     r.l1Tracker,
+		Graph:       r.graph,
+		TotalCycles: r.cycles,
+	}, scheme, modeBits, windows)
+}
+
+// VGPRAVFSeries measures the register-file MB-AVF over time.
+func (r *Run) VGPRAVFSeries(scheme Scheme, il Interleaving, modeBits, windows int) (AVFSeries, error) {
+	lay, preempt, err := r.vgprLayout(il)
+	if err != nil {
+		return AVFSeries{}, err
+	}
+	return seriesOf(&core.Analyzer{
+		Layout:               lay,
+		Tracker:              r.vgprTracker,
+		Graph:                r.graph,
+		WordVersions:         true,
+		TotalCycles:          r.cycles,
+		DetectionPreemptsSDC: preempt,
+	}, scheme, modeBits, windows)
+}
