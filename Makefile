@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build vet test race ci bench clean
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The injection campaign runner is a worker pool; race-check it (and
+# everything else) the way CI does. -short skips the full experiment
+# pipelines, which exceed the test timeout under the race detector's
+# slowdown; `make test` still runs them race-free.
+race:
+	$(GO) test -race -short ./...
+
+ci: vet build race
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+clean:
+	$(GO) clean ./...

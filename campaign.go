@@ -1,6 +1,11 @@
 package mbavf
 
 import (
+	"context"
+	"errors"
+	"os"
+	"time"
+
 	"mbavf/internal/inject"
 	"mbavf/internal/sim"
 	"mbavf/internal/workloads"
@@ -9,11 +14,16 @@ import (
 // InjectionOutcome classifies a fault-injected run.
 type InjectionOutcome string
 
-// Injection outcomes.
+// Injection outcomes. Masked/SDC/DUE follow the paper's taxonomy; Hang
+// (instruction-budget livelock) and Crash (simulator panic, recovered)
+// are the additional outcome classes large fault-injection studies treat
+// as first-class.
 const (
 	Masked InjectionOutcome = "masked"
 	SDC    InjectionOutcome = "sdc"
 	DUE    InjectionOutcome = "due"
+	Hang   InjectionOutcome = "hang"
+	Crash  InjectionOutcome = "crash"
 )
 
 func outcomeOf(o inject.Outcome) InjectionOutcome {
@@ -22,16 +32,26 @@ func outcomeOf(o inject.Outcome) InjectionOutcome {
 		return SDC
 	case inject.OutcomeDUE:
 		return DUE
+	case inject.OutcomeHang:
+		return Hang
+	case inject.OutcomeCrash:
+		return Crash
 	default:
 		return Masked
 	}
 }
 
+// ErrInfrastructure marks campaign infrastructure failures (as opposed
+// to classified injection outcomes); it aliases the internal sentinel so
+// callers can test errors with errors.Is.
+var ErrInfrastructure = inject.ErrInfra
+
 // InjectionCampaign performs architectural fault injection into the GPU
 // vector register file of a workload, the validation methodology behind
-// the paper's Table II.
+// the paper's Table II. It is safe for concurrent use.
 type InjectionCampaign struct {
-	c *inject.Campaign
+	name string
+	c    *inject.Campaign
 }
 
 // NewInjectionCampaign records the golden run of the named workload.
@@ -44,8 +64,11 @@ func NewInjectionCampaign(workload string) (*InjectionCampaign, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &InjectionCampaign{c: c}, nil
+	return &InjectionCampaign{name: workload, c: c}, nil
 }
+
+// Workload returns the campaign's workload name.
+func (ic *InjectionCampaign) Workload() string { return ic.name }
 
 // InjectionResult is one injected run: a single-bit flip of the given
 // register bit of the given VGPR thread at the given cycle.
@@ -57,38 +80,147 @@ type InjectionResult struct {
 	Outcome InjectionOutcome
 }
 
-// CampaignSummary tallies outcome classes.
+// CampaignSummary tallies outcome classes plus infrastructure failures
+// (shots that could not be classified at all but were recorded so the
+// campaign could keep going).
 type CampaignSummary struct {
-	Masked, SDC, DUE int
+	Masked, SDC, DUE, Hang, Crash int
+	// Errors counts shots lost to infrastructure failures; they are
+	// excluded from the outcome tallies and from the result list.
+	Errors int
 }
 
-// RunSingleBit performs n random single-bit injections with the given
-// seed and returns every classified result.
-func (ic *InjectionCampaign) RunSingleBit(n int, seed int64) ([]InjectionResult, CampaignSummary, error) {
-	rs, err := ic.c.SingleBitCampaign(n, seed)
-	if err != nil {
-		return nil, CampaignSummary{}, err
+// Classified returns the number of successfully classified shots.
+func (s CampaignSummary) Classified() int {
+	return s.Masked + s.SDC + s.DUE + s.Hang + s.Crash
+}
+
+// CampaignRunConfig tunes a hardened campaign run.
+type CampaignRunConfig struct {
+	// Injections is the number of single-bit shots.
+	Injections int
+	// Seed drives target sampling; every shot derives its RNG from
+	// (Seed, shot index), so any worker count gives identical results.
+	Seed int64
+	// Workers is the worker-pool size (values below 1 run serially).
+	Workers int
+	// Timeout bounds the whole run's wall clock (0 = none). On expiry
+	// in-flight shots drain and the completed prefix is returned (and
+	// checkpointed) with context.DeadlineExceeded.
+	Timeout time.Duration
+	// ErrorBudget aborts the campaign once more than this many shots
+	// fail with infrastructure errors (0 = unlimited: record and keep
+	// going).
+	ErrorBudget int
+	// CheckpointPath, when non-empty, enables periodic atomic JSON
+	// checkpoints of completed shots and a final checkpoint when the
+	// run ends for any reason (completion, cancellation, budget abort).
+	CheckpointPath string
+	// CheckpointEvery is the number of completed shots between periodic
+	// checkpoint writes (default 32).
+	CheckpointEvery int
+	// Resume loads CheckpointPath (if it exists) and skips the shots it
+	// already holds. The checkpoint must match the campaign's workload,
+	// size, seed, and golden-output digest.
+	Resume bool
+}
+
+// RunCampaign executes a parallel single-bit campaign with panic
+// isolation, hang/crash classification, graceful degradation, and
+// optional checkpoint/resume. Cancelling ctx drains in-flight shots and
+// returns the completed prefix — with a checkpoint on disk when
+// CheckpointPath is set — along with the context's error.
+func (ic *InjectionCampaign) RunCampaign(ctx context.Context, cfg CampaignRunConfig) ([]InjectionResult, CampaignSummary, error) {
+	rc := inject.RunConfig{
+		N:         cfg.Injections,
+		Seed:      cfg.Seed,
+		Workers:   cfg.Workers,
+		Timeout:   cfg.Timeout,
+		MaxErrors: cfg.ErrorBudget,
 	}
-	out := make([]InjectionResult, len(rs))
-	var sum CampaignSummary
-	for i, r := range rs {
-		out[i] = InjectionResult{
-			Cycle:   r.Target.Cycle,
-			Thread:  r.Target.Thread,
-			Reg:     r.Target.Reg,
-			Bit:     r.Target.Bit,
-			Outcome: outcomeOf(r.Outcome),
+
+	ck := inject.NewCheckpoint(ic.name, cfg.Injections, cfg.Seed, ic.c.Golden())
+	if cfg.Resume && cfg.CheckpointPath != "" {
+		loaded, err := inject.LoadCheckpoint(cfg.CheckpointPath)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			// Nothing to resume: a fresh run.
+		case err != nil:
+			return nil, CampaignSummary{}, err
+		default:
+			if err := loaded.Matches(ic.name, cfg.Injections, cfg.Seed, ic.c.Golden()); err != nil {
+				return nil, CampaignSummary{}, err
+			}
+			rc.Completed = loaded.Shots
 		}
-		switch out[i].Outcome {
+	}
+
+	if cfg.CheckpointPath != "" {
+		every := cfg.CheckpointEvery
+		if every <= 0 {
+			every = 32
+		}
+		ck.Shots = append(ck.Shots, rc.Completed...)
+		sinceWrite := 0
+		rc.OnShot = func(s inject.Shot) {
+			ck.Shots = append(ck.Shots, s)
+			sinceWrite++
+			if sinceWrite >= every {
+				sinceWrite = 0
+				// Best effort mid-run; the final write reports errors.
+				_ = ck.Save(cfg.CheckpointPath)
+			}
+		}
+	}
+
+	rep, runErr := ic.c.Run(ctx, rc)
+	if rep == nil {
+		return nil, CampaignSummary{}, runErr
+	}
+	if cfg.CheckpointPath != "" {
+		ck.Shots = rep.Shots
+		if err := ck.Save(cfg.CheckpointPath); err != nil && runErr == nil {
+			runErr = err
+		}
+	}
+
+	results := make([]InjectionResult, 0, len(rep.Shots))
+	var sum CampaignSummary
+	for _, s := range rep.Shots {
+		if s.Err != "" {
+			sum.Errors++
+			continue
+		}
+		results = append(results, InjectionResult{
+			Cycle:   s.Target.Cycle,
+			Thread:  s.Target.Thread,
+			Reg:     s.Target.Reg,
+			Bit:     s.Target.Bit,
+			Outcome: outcomeOf(s.Outcome),
+		})
+		switch outcomeOf(s.Outcome) {
 		case Masked:
 			sum.Masked++
 		case SDC:
 			sum.SDC++
 		case DUE:
 			sum.DUE++
+		case Hang:
+			sum.Hang++
+		case Crash:
+			sum.Crash++
 		}
 	}
-	return out, sum, nil
+	return results, sum, runErr
+}
+
+// RunSingleBit performs n random single-bit injections with the given
+// seed, serially, and returns every classified result — the simple
+// entry point; RunCampaign adds parallelism, checkpointing, and
+// graceful degradation. On error the results completed so far are
+// returned alongside it.
+func (ic *InjectionCampaign) RunSingleBit(n int, seed int64) ([]InjectionResult, CampaignSummary, error) {
+	return ic.RunCampaign(context.Background(), CampaignRunConfig{Injections: n, Seed: seed, Workers: 1})
 }
 
 // InterferenceRow is the Table II result for one multi-bit fault-mode
@@ -113,12 +245,9 @@ func (ic *InjectionCampaign) RunInterference(results []InjectionResult, modeSize
 		}
 	}
 	study, err := ic.c.InterferenceStudy(sdc, modeSizes)
-	if err != nil {
-		return nil, err
-	}
 	out := make([]InterferenceRow, len(study))
 	for i, s := range study {
 		out[i] = InterferenceRow{ModeSize: s.ModeSize, Groups: s.Groups, Interference: s.Interference}
 	}
-	return out, nil
+	return out, err
 }

@@ -1,0 +1,79 @@
+package mbavf
+
+import (
+	"context"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"mbavf/internal/inject"
+)
+
+func TestRunCampaignCheckpointResume(t *testing.T) {
+	c, err := NewInjectionCampaign("vecadd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n, seed = 16, 3
+
+	ref, refSum, err := c.RunCampaign(context.Background(), CampaignRunConfig{
+		Injections: n, Seed: seed, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refSum.Classified() != n {
+		t.Fatalf("reference run classified %d/%d", refSum.Classified(), n)
+	}
+
+	// Complete once with checkpointing, then truncate the checkpoint to
+	// its first five shots — the state an interrupted run leaves behind —
+	// and resume from it.
+	path := filepath.Join(t.TempDir(), "vecadd.ckpt.json")
+	if _, _, err := c.RunCampaign(context.Background(), CampaignRunConfig{
+		Injections: n, Seed: seed, Workers: 2, CheckpointPath: path, CheckpointEvery: 4,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := inject.LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ck.Shots) != n {
+		t.Fatalf("checkpoint holds %d/%d shots", len(ck.Shots), n)
+	}
+	ck.Shots = ck.Shots[:5]
+	if err := ck.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, resSum, err := c.RunCampaign(context.Background(), CampaignRunConfig{
+		Injections: n, Seed: seed, Workers: 4, CheckpointPath: path, Resume: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref, resumed) || refSum != resSum {
+		t.Fatal("resumed campaign differs from uninterrupted run")
+	}
+}
+
+func TestRunCampaignResumeRejectsMismatch(t *testing.T) {
+	c, err := NewInjectionCampaign("vecadd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	if _, _, err := c.RunCampaign(context.Background(), CampaignRunConfig{
+		Injections: 4, Seed: 1, CheckpointPath: path,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Same file, different seed: the golden-digest/identity check must
+	// refuse to resume rather than silently mix campaigns.
+	if _, _, err := c.RunCampaign(context.Background(), CampaignRunConfig{
+		Injections: 4, Seed: 2, CheckpointPath: path, Resume: true,
+	}); err == nil {
+		t.Fatal("resume accepted a checkpoint from a different campaign")
+	}
+}

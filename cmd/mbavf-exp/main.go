@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -25,6 +26,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run: a paper artifact (table1, fig2, fig4, fig5, fig6, table2, fig8, fig9, fig10, table3, fig11), an ablation (locality, schemes, geometry, l2, cachesize, validate), or 'all' for the paper set")
 	workloadsFlag := flag.String("workloads", "", "comma-separated workload subset (default: the paper set)")
 	injections := flag.Int("injections", 200, "single-bit injections per benchmark for table2")
+	iworkers := flag.Int("iworkers", runtime.NumCPU(), "injection worker-pool size (identical results for any value)")
 	windows := flag.Int("windows", 12, "time windows for fig5/fig8")
 	seed := flag.Int64("seed", 42, "injection sampling seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
@@ -35,6 +37,7 @@ func main() {
 		Injections: *injections,
 		Windows:    *windows,
 		Seed:       *seed,
+		Workers:    *iworkers,
 	}
 	if *workloadsFlag != "" {
 		opts.Workloads = strings.Split(*workloadsFlag, ",")
@@ -106,6 +109,9 @@ func toInternal(opts mbavf.ExperimentOptions) experiments.Options {
 	}
 	if opts.Seed != 0 {
 		io.Seed = opts.Seed
+	}
+	if opts.Workers > 0 {
+		io.Workers = opts.Workers
 	}
 	return io
 }

@@ -1,18 +1,31 @@
 // Command mbavf-inject runs fault-injection campaigns against a
 // workload's vector register file: a single-bit campaign to classify
-// outcomes, and optionally the multi-bit ACE-interference study
-// (paper Table II).
+// outcomes (masked/sdc/due/hang/crash), and optionally the multi-bit
+// ACE-interference study (paper Table II).
+//
+// The campaign runs on a worker pool with deterministic per-shot
+// sampling, so any -workers value produces identical results. Completed
+// shots are checkpointed atomically to -checkpoint; SIGINT (or -timeout
+// expiry) drains in-flight shots, writes a final checkpoint, and exits,
+// and a later run with -resume picks up exactly where it stopped.
 //
 // Usage:
 //
-//	mbavf-inject -workload prefixsum -n 500
+//	mbavf-inject -workload prefixsum -n 500 -workers 8
 //	mbavf-inject -workload dct -n 200 -interference
+//	mbavf-inject -workload dct -n 5000 -checkpoint dct.ckpt.json
+//	mbavf-inject -workload dct -n 5000 -checkpoint dct.ckpt.json -resume
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
 
 	"mbavf"
 )
@@ -21,24 +34,74 @@ func main() {
 	workload := flag.String("workload", "prefixsum", "workload to inject into")
 	n := flag.Int("n", 200, "number of single-bit injections")
 	seed := flag.Int64("seed", 1, "sampling seed")
+	workers := flag.Int("workers", runtime.NumCPU(), "parallel injection workers (results are identical for any value)")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the campaign (0 = none); on expiry completed shots are checkpointed")
+	checkpoint := flag.String("checkpoint", "", "checkpoint file for completed shots (enables SIGINT-safe interruption)")
+	resume := flag.Bool("resume", false, "resume from -checkpoint instead of starting over")
+	errBudget := flag.Int("error-budget", 0, "abort after this many infrastructure errors (0 = record all and keep going)")
 	interference := flag.Bool("interference", false, "run the 2x1/3x1/4x1 ACE-interference study on SDC bits")
 	flag.Parse()
+
+	if *resume && *checkpoint == "" {
+		fmt.Fprintln(os.Stderr, "mbavf-inject: -resume requires -checkpoint")
+		os.Exit(2)
+	}
+
+	// SIGINT/SIGTERM cancel the campaign context; the pool drains
+	// in-flight shots and the final checkpoint is written before exit.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	c, err := mbavf.NewInjectionCampaign(*workload)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mbavf-inject:", err)
 		os.Exit(1)
 	}
-	results, sum, err := c.RunSingleBit(*n, *seed)
-	if err != nil {
+	results, sum, err := c.RunCampaign(ctx, mbavf.CampaignRunConfig{
+		Injections:     *n,
+		Seed:           *seed,
+		Workers:        *workers,
+		Timeout:        *timeout,
+		ErrorBudget:    *errBudget,
+		CheckpointPath: *checkpoint,
+		Resume:         *resume,
+	})
+	if err != nil && len(results) == 0 && sum.Errors == 0 {
 		fmt.Fprintln(os.Stderr, "mbavf-inject:", err)
 		os.Exit(1)
 	}
-	total := float64(len(results))
-	fmt.Printf("%s: %d single-bit injections\n", *workload, len(results))
-	fmt.Printf("  masked: %5d (%5.1f%%)\n", sum.Masked, 100*float64(sum.Masked)/total)
-	fmt.Printf("  sdc:    %5d (%5.1f%%)\n", sum.SDC, 100*float64(sum.SDC)/total)
-	fmt.Printf("  due:    %5d (%5.1f%%)\n", sum.DUE, 100*float64(sum.DUE)/total)
+
+	total := float64(sum.Classified())
+	pct := func(k int) float64 {
+		if total == 0 {
+			return 0
+		}
+		return 100 * float64(k) / total
+	}
+	fmt.Printf("%s: %d of %d single-bit injections classified\n", *workload, sum.Classified(), *n)
+	fmt.Printf("  masked: %5d (%5.1f%%)\n", sum.Masked, pct(sum.Masked))
+	fmt.Printf("  sdc:    %5d (%5.1f%%)\n", sum.SDC, pct(sum.SDC))
+	fmt.Printf("  due:    %5d (%5.1f%%)\n", sum.DUE, pct(sum.DUE))
+	fmt.Printf("  hang:   %5d (%5.1f%%)\n", sum.Hang, pct(sum.Hang))
+	fmt.Printf("  crash:  %5d (%5.1f%%)\n", sum.Crash, pct(sum.Crash))
+	if sum.Errors > 0 {
+		fmt.Printf("  infrastructure errors: %d shots unclassified\n", sum.Errors)
+	}
+
+	if err != nil {
+		switch {
+		case errors.Is(err, context.Canceled):
+			fmt.Fprintln(os.Stderr, "mbavf-inject: interrupted")
+		case errors.Is(err, context.DeadlineExceeded):
+			fmt.Fprintln(os.Stderr, "mbavf-inject: timeout reached")
+		default:
+			fmt.Fprintln(os.Stderr, "mbavf-inject:", err)
+		}
+		if *checkpoint != "" {
+			fmt.Fprintf(os.Stderr, "mbavf-inject: progress saved to %s; rerun with -resume to continue\n", *checkpoint)
+		}
+		os.Exit(1)
+	}
 
 	if *interference {
 		rows, err := c.RunInterference(results, []int{2, 3, 4})

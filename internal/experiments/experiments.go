@@ -6,6 +6,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -30,11 +31,14 @@ type Options struct {
 	// Windows is the number of time windows for the over-time figures
 	// (Figures 5 and 8).
 	Windows int
+	// Workers is the worker-pool size for injection campaigns; results
+	// are identical for any value (deterministic per-shot sampling).
+	Workers int
 }
 
 // DefaultOptions returns the settings used by cmd/mbavf-exp.
 func DefaultOptions() Options {
-	return Options{Injections: 200, Seed: 42, Windows: 12}
+	return Options{Injections: 200, Seed: 42, Windows: 12, Workers: runtime.GOMAXPROCS(0)}
 }
 
 func (o Options) workloadNames() []string {

@@ -20,6 +20,9 @@ func quickOpts() Options {
 
 func runExp(t *testing.T, name string, o Options) []*report.Table {
 	t.Helper()
+	if testing.Short() {
+		t.Skip("full experiment pipeline; skipped in -short (the -race CI leg)")
+	}
 	e, err := ByName(name)
 	if err != nil {
 		t.Fatal(err)

@@ -30,7 +30,7 @@ func table2(o Options) ([]*report.Table, error) {
 	if len(names) == 0 {
 		names = table2Workloads()
 	}
-	totalBits, totalInterf := 0, 0
+	totalBits, totalInterf, lostShots := 0, 0, 0
 	for _, name := range names {
 		w, err := workloads.ByName(name)
 		if err != nil {
@@ -40,11 +40,12 @@ func table2(o Options) ([]*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		singles, err := c.SingleBitCampaign(o.Injections, o.Seed)
+		rep, err := c.Run(nil, inject.RunConfig{N: o.Injections, Seed: o.Seed, Workers: o.Workers})
 		if err != nil {
 			return nil, err
 		}
-		sdc := inject.SDCBits(singles)
+		lostShots += rep.InfraErrors()
+		sdc := inject.SDCBits(rep.Results())
 		study, err := c.InterferenceStudy(sdc, []int{2, 3, 4})
 		if err != nil {
 			return nil, err
@@ -61,6 +62,9 @@ func table2(o Options) ([]*report.Table, error) {
 	if totalBits > 0 {
 		t.Caption += fmt.Sprintf(" Overall interference: %d of %d group injections (%.2f%%).",
 			totalInterf, 3*totalBits, 100*float64(totalInterf)/float64(3*totalBits))
+	}
+	if lostShots > 0 {
+		t.Caption += fmt.Sprintf(" %d shots lost to infrastructure errors.", lostShots)
 	}
 	return []*report.Table{t}, nil
 }

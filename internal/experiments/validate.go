@@ -53,10 +53,11 @@ func validate(o Options) ([]*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		results, err := c.SingleBitCampaign(o.Injections, o.Seed)
+		rep, err := c.Run(nil, inject.RunConfig{N: o.Injections, Seed: o.Seed, Workers: o.Workers})
 		if err != nil {
 			return nil, err
 		}
+		results := rep.Results()
 		counts := inject.Count(results)
 		n := float64(len(results))
 		sdcFrac := float64(counts.SDC) / n

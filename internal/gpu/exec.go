@@ -434,11 +434,11 @@ func (m *Machine) execLoad(w *wave, in Instr, t uint64) (uint64, error) {
 		var ver dataflow.VersionID
 		if size == 4 {
 			if addr%4 != 0 {
-				return 0, fmt.Errorf("misaligned 32-bit load at %#x", addr)
+				return 0, trapf(TrapMisaligned, "misaligned 32-bit load at %#x", addr)
 			}
 			v, vers, err := m.memory.LoadWord(addr)
 			if err != nil {
-				return 0, err
+				return 0, &TrapError{Kind: TrapBadAddress, Err: err}
 			}
 			val = v
 			for _, bv := range vers {
@@ -448,7 +448,7 @@ func (m *Machine) execLoad(w *wave, in Instr, t uint64) (uint64, error) {
 		} else {
 			bval, bv, err := m.memory.LoadByte(addr)
 			if err != nil {
-				return 0, err
+				return 0, &TrapError{Kind: TrapBadAddress, Err: err}
 			}
 			val = uint32(bval)
 			m.noteRead(bv, t)
@@ -477,7 +477,7 @@ func (m *Machine) execStore(w *wave, in Instr, t uint64) (uint64, error) {
 		val, vver := m.readV(w, lane, in.Src[2], t)
 		if size == 4 {
 			if addr%4 != 0 {
-				return 0, fmt.Errorf("misaligned 32-bit store at %#x", addr)
+				return 0, trapf(TrapMisaligned, "misaligned 32-bit store at %#x", addr)
 			}
 			var bvers [4]dataflow.VersionID
 			for k := 0; k < 4; k++ {
@@ -486,14 +486,14 @@ func (m *Machine) execStore(w *wave, in Instr, t uint64) (uint64, error) {
 			l := m.caches.Store(w.cu, addr, 4, t, bvers[:])
 			lat = max(lat, l)
 			if err := m.memory.StoreWord(addr, val, bvers); err != nil {
-				return 0, err
+				return 0, &TrapError{Kind: TrapBadAddress, Err: err}
 			}
 		} else {
 			bver := m.newVer(dataflow.TransferByte, 0, 0, vver)
 			l := m.caches.Store(w.cu, addr, 1, t, []dataflow.VersionID{bver})
 			lat = max(lat, l)
 			if err := m.memory.StoreByte(addr, byte(val), bver); err != nil {
-				return 0, err
+				return 0, &TrapError{Kind: TrapBadAddress, Err: err}
 			}
 		}
 	}

@@ -1,6 +1,7 @@
 package gpu
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -389,8 +390,13 @@ func TestTrapOnBadAddress(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := m.RunDispatch(Dispatch{Prog: prog, Waves: 1}); err == nil {
+	err = m.RunDispatch(Dispatch{Prog: prog, Waves: 1})
+	if err == nil {
 		t.Fatal("wild load should trap")
+	}
+	var trap *TrapError
+	if !errors.As(err, &trap) || trap.Kind != TrapBadAddress {
+		t.Fatalf("err = %v, want TrapBadAddress", err)
 	}
 }
 
@@ -406,6 +412,10 @@ func TestTrapOnMisalignedLoad(t *testing.T) {
 	err = m.RunDispatch(Dispatch{Prog: prog, Waves: 1})
 	if err == nil || !strings.Contains(err.Error(), "misaligned") {
 		t.Fatalf("err = %v, want misaligned trap", err)
+	}
+	var trap *TrapError
+	if !errors.As(err, &trap) || trap.Kind != TrapMisaligned {
+		t.Fatalf("err = %v, want TrapMisaligned", err)
 	}
 }
 
@@ -428,6 +438,10 @@ func TestInstructionBudgetTrap(t *testing.T) {
 	err = m.RunDispatch(Dispatch{Prog: prog, Waves: 1})
 	if err == nil || !strings.Contains(err.Error(), "budget") {
 		t.Fatalf("err = %v, want budget trap", err)
+	}
+	var trap *TrapError
+	if !errors.As(err, &trap) || trap.Kind != TrapBudget {
+		t.Fatalf("err = %v, want TrapBudget", err)
 	}
 }
 

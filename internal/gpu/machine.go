@@ -265,7 +265,7 @@ func (m *Machine) RunDispatch(d Dispatch) error {
 		m.endCycle = max(m.endCycle, issue+lat)
 		m.instrs++
 		if m.instrs > m.cfg.MaxInstructions {
-			return fmt.Errorf("gpu: instruction budget %d exceeded (livelock?)", m.cfg.MaxInstructions)
+			return trapf(TrapBudget, "gpu: instruction budget %d exceeded (livelock?)", m.cfg.MaxInstructions)
 		}
 		if w.done {
 			idx := w.cu*m.cfg.WaveSlotsPerCU + w.slot

@@ -1,0 +1,55 @@
+package gpu
+
+import "fmt"
+
+// TrapKind classifies machine-detected execution traps. A trap is a
+// fault the hardware itself catches during wavefront execution — the
+// detected-error half of an injection outcome taxonomy — as opposed to
+// infrastructure failures (bad programs, host-side setup errors), which
+// stay plain errors.
+type TrapKind int
+
+const (
+	// TrapBadAddress: a load or store touched memory outside the
+	// simulated address space (typically an injection-corrupted address
+	// register).
+	TrapBadAddress TrapKind = iota
+	// TrapMisaligned: a 32-bit access to a non-word-aligned address.
+	TrapMisaligned
+	// TrapBudget: the MaxInstructions budget was exhausted — the
+	// livelock guard against injection-corrupted infinite loops.
+	// Fault-injection campaigns classify this as a hang, not a
+	// detected error.
+	TrapBudget
+)
+
+func (k TrapKind) String() string {
+	switch k {
+	case TrapBadAddress:
+		return "bad-address"
+	case TrapMisaligned:
+		return "misaligned"
+	case TrapBudget:
+		return "budget"
+	default:
+		return fmt.Sprintf("TrapKind(%d)", int(k))
+	}
+}
+
+// TrapError is a machine-level trap raised during execution. Callers
+// that need the taxonomy (the fault-injection classifier) retrieve it
+// through errors.As; everything else sees an ordinary error.
+type TrapError struct {
+	Kind TrapKind
+	Err  error
+}
+
+func (e *TrapError) Error() string {
+	return fmt.Sprintf("trap (%s): %v", e.Kind, e.Err)
+}
+
+func (e *TrapError) Unwrap() error { return e.Err }
+
+func trapf(kind TrapKind, format string, args ...any) error {
+	return &TrapError{Kind: kind, Err: fmt.Errorf(format, args...)}
+}

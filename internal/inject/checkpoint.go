@@ -1,0 +1,92 @@
+package inject
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Checkpoint is the on-disk state of a (possibly interrupted) campaign:
+// the campaign identity (workload, size, seed, golden-output digest) plus
+// every completed shot. It is JSON so that humans and external tooling
+// can inspect partial campaigns.
+type Checkpoint struct {
+	Workload string `json:"workload"`
+	N        int    `json:"n"`
+	Seed     int64  `json:"seed"`
+	// Golden is the hex SHA-256 of the golden output; resume refuses a
+	// checkpoint whose golden digest no longer matches the workload.
+	Golden string `json:"golden"`
+	Shots  []Shot `json:"shots"`
+}
+
+// GoldenDigest is the digest stored in and checked against checkpoints.
+func GoldenDigest(golden []byte) string {
+	sum := sha256.Sum256(golden)
+	return hex.EncodeToString(sum[:])
+}
+
+// NewCheckpoint describes a campaign for checkpointing.
+func NewCheckpoint(workload string, n int, seed int64, golden []byte) *Checkpoint {
+	return &Checkpoint{Workload: workload, N: n, Seed: seed, Golden: GoldenDigest(golden)}
+}
+
+// Matches reports why the checkpoint cannot resume the given campaign,
+// or nil if it can.
+func (c *Checkpoint) Matches(workload string, n int, seed int64, golden []byte) error {
+	switch {
+	case c.Workload != workload:
+		return fmt.Errorf("inject: checkpoint is for workload %q, not %q", c.Workload, workload)
+	case c.N != n:
+		return fmt.Errorf("inject: checkpoint campaign size %d != requested %d", c.N, n)
+	case c.Seed != seed:
+		return fmt.Errorf("inject: checkpoint seed %d != requested %d", c.Seed, seed)
+	case c.Golden != GoldenDigest(golden):
+		return fmt.Errorf("inject: checkpoint golden digest mismatch (workload output changed)")
+	}
+	return nil
+}
+
+// Save writes the checkpoint atomically: a temp file in the destination
+// directory, fsync, then rename, so an interrupted write can never leave
+// a truncated checkpoint behind.
+func (c *Checkpoint) Save(path string) error {
+	data, err := json.MarshalIndent(c, "", " ")
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadCheckpoint reads a checkpoint written by Save.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var c Checkpoint
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("inject: corrupt checkpoint %s: %w", path, err)
+	}
+	return &c, nil
+}

@@ -11,10 +11,19 @@
 // masked even though they contain an SDC ACE bit — the program-level
 // interaction (e.g. XOR cancellation, control-flow reconvergence) that
 // the analytical MB-AVF model deliberately ignores.
+//
+// Outcomes follow the taxonomy of large fault-injection studies (Hari et
+// al., Cai et al.): Masked, SDC, DUE (a machine-detected trap), Hang
+// (instruction-budget livelock) and Crash (the simulated run panicked).
+// All five are *classifications* of a successfully injected run;
+// failures of the campaign infrastructure itself are reported as errors
+// wrapping ErrInfra and never carry an outcome.
 package inject
 
 import (
 	"bytes"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -31,8 +40,16 @@ const (
 	// OutcomeSDC: the program completed with corrupted output.
 	OutcomeSDC
 	// OutcomeDUE: the fault was detected by a machine-level mechanism
-	// (bad address trap, instruction-budget livelock guard).
+	// (bad-address or misaligned-access trap).
 	OutcomeDUE
+	// OutcomeHang: the run exhausted the MaxInstructions budget — an
+	// injection-corrupted livelock caught by the watchdog rather than a
+	// genuine detection.
+	OutcomeHang
+	// OutcomeCrash: the simulated run panicked (e.g. an
+	// allocation-exhaustion panic); the worker recovered and the
+	// campaign continued.
+	OutcomeCrash
 )
 
 func (o Outcome) String() string {
@@ -43,19 +60,63 @@ func (o Outcome) String() string {
 		return "sdc"
 	case OutcomeDUE:
 		return "due"
+	case OutcomeHang:
+		return "hang"
+	case OutcomeCrash:
+		return "crash"
 	default:
 		return fmt.Sprintf("Outcome(%d)", int(o))
 	}
+}
+
+// ParseOutcome inverts Outcome.String.
+func ParseOutcome(s string) (Outcome, error) {
+	for _, o := range []Outcome{OutcomeMasked, OutcomeSDC, OutcomeDUE, OutcomeHang, OutcomeCrash} {
+		if o.String() == s {
+			return o, nil
+		}
+	}
+	return 0, fmt.Errorf("inject: unknown outcome %q", s)
+}
+
+// MarshalJSON encodes the outcome as its string name, the stable form
+// used by checkpoint files.
+func (o Outcome) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + o.String() + `"`), nil
+}
+
+// UnmarshalJSON decodes an outcome name.
+func (o *Outcome) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	parsed, err := ParseOutcome(s)
+	if err != nil {
+		return err
+	}
+	*o = parsed
+	return nil
+}
+
+// ErrInfra marks a failure of the campaign infrastructure itself
+// (session construction, finalization, output extraction, or a non-trap
+// workload error). Such failures carry no outcome classification;
+// callers distinguish them with errors.Is(err, ErrInfra).
+var ErrInfra = errors.New("infrastructure failure")
+
+func infraErr(stage string, err error) error {
+	return fmt.Errorf("inject: %s: %w: %w", stage, ErrInfra, err)
 }
 
 // Target selects where and when a fault lands: bit Bit of 32-bit register
 // Reg of VGPR thread Thread on compute unit 0, at the first issue at or
 // after Cycle.
 type Target struct {
-	Cycle  uint64
-	Thread int
-	Reg    int
-	Bit    int
+	Cycle  uint64 `json:"cycle"`
+	Thread int    `json:"thread"`
+	Reg    int    `json:"reg"`
+	Bit    int    `json:"bit"`
 }
 
 // Result is one injected run.
@@ -64,7 +125,9 @@ type Result struct {
 	Outcome Outcome
 }
 
-// Campaign drives repeated injected runs of one workload.
+// Campaign drives repeated injected runs of one workload. The campaign
+// itself is immutable after construction; its Run* methods are safe for
+// concurrent use (each injected run builds a fresh simulator session).
 type Campaign struct {
 	workload sim.Workload
 	cfg      sim.Config
@@ -95,12 +158,21 @@ func (c *Campaign) Cycles() uint64 { return c.cycles }
 // Golden returns the fault-free output.
 func (c *Campaign) Golden() []byte { return c.golden }
 
-// RunMask injects a multi-bit flip (mask) into one register and classifies
-// the outcome.
-func (c *Campaign) RunMask(tgt Target, mask uint32) (Outcome, error) {
+// RunMask injects a multi-bit flip (mask) into one register and
+// classifies the outcome. A panic anywhere in the simulated run is
+// recovered and classified OutcomeCrash; machine traps are classified
+// OutcomeDUE (bad address, misaligned) or OutcomeHang (instruction
+// budget). A non-nil error wraps ErrInfra and means the run could not be
+// classified at all — the returned Outcome is meaningless then.
+func (c *Campaign) RunMask(tgt Target, mask uint32) (outcome Outcome, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			outcome, err = OutcomeCrash, nil
+		}
+	}()
 	s, err := sim.NewSession(c.cfg)
 	if err != nil {
-		return OutcomeMasked, err
+		return 0, infraErr("session", err)
 	}
 	s.Machine.AddInjection(gpu.Injection{
 		Cycle:  tgt.Cycle,
@@ -110,14 +182,24 @@ func (c *Campaign) RunMask(tgt Target, mask uint32) (Outcome, error) {
 		Mask:   mask,
 	})
 	if err := c.workload.Run(s); err != nil {
-		return OutcomeDUE, nil // trap: detected error
+		var trap *gpu.TrapError
+		if errors.As(err, &trap) {
+			if trap.Kind == gpu.TrapBudget {
+				return OutcomeHang, nil
+			}
+			return OutcomeDUE, nil
+		}
+		// The golden run of the same recipe succeeded, so a non-trap
+		// error here is the infrastructure failing, not the fault being
+		// detected.
+		return 0, infraErr("workload", err)
 	}
 	if err := s.Finalize(); err != nil {
-		return OutcomeMasked, err
+		return 0, infraErr("finalize", err)
 	}
 	out, err := s.OutputData()
 	if err != nil {
-		return OutcomeMasked, err
+		return 0, infraErr("output", err)
 	}
 	if bytes.Equal(out, c.golden) {
 		return OutcomeMasked, nil
@@ -130,27 +212,38 @@ func (c *Campaign) RunSingle(tgt Target) (Outcome, error) {
 	return c.RunMask(tgt, 1<<uint(tgt.Bit&31))
 }
 
-// SingleBitCampaign performs n random single-bit injections and returns
-// every result. Targets are drawn uniformly over compute unit 0's VGPR
-// file and the golden run's duration.
-func (c *Campaign) SingleBitCampaign(n int, seed int64) ([]Result, error) {
-	r := rand.New(rand.NewSource(seed))
-	threads := c.cfg.GPU.VGPRThreads()
-	out := make([]Result, 0, n)
-	for i := 0; i < n; i++ {
-		tgt := Target{
-			Cycle:  uint64(r.Int63n(int64(c.cycles + 1))),
-			Thread: r.Intn(threads),
-			Reg:    r.Intn(c.cfg.GPU.NumVRegs),
-			Bit:    r.Intn(32),
-		}
-		o, err := c.RunSingle(tgt)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, Result{Target: tgt, Outcome: o})
+// shotRand derives the RNG for shot i of a seeded campaign with a
+// splitmix64 finalizer, so every target depends only on (seed, i) and any
+// worker schedule — including fully serial — samples identical targets.
+func shotRand(seed int64, i int) *rand.Rand {
+	z := uint64(seed) + 0x9E3779B97F4A7C15*uint64(i+1)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return rand.New(rand.NewSource(int64(z)))
+}
+
+// target draws shot i's injection target uniformly over compute unit 0's
+// VGPR file and the golden run's duration.
+func (c *Campaign) target(seed int64, i int) Target {
+	r := shotRand(seed, i)
+	return Target{
+		Cycle:  uint64(r.Int63n(int64(c.cycles + 1))),
+		Thread: r.Intn(c.cfg.GPU.VGPRThreads()),
+		Reg:    r.Intn(c.cfg.GPU.NumVRegs),
+		Bit:    r.Intn(32),
 	}
-	return out, nil
+}
+
+// SingleBitCampaign performs n random single-bit injections serially and
+// returns every result. It is the Workers=1 special case of Run; on
+// error it returns the results completed so far alongside the error.
+func (c *Campaign) SingleBitCampaign(n int, seed int64) ([]Result, error) {
+	rep, err := c.Run(nil, RunConfig{N: n, Seed: seed, Workers: 1})
+	if rep == nil {
+		return nil, err
+	}
+	return rep.Results(), err
 }
 
 // SDCBits filters a campaign's results to the SDC ACE targets.
@@ -166,8 +259,11 @@ func SDCBits(results []Result) []Result {
 
 // Counts summarizes outcomes.
 type Counts struct {
-	Masked, SDC, DUE int
+	Masked, SDC, DUE, Hang, Crash int
 }
+
+// Total sums all outcome classes.
+func (c Counts) Total() int { return c.Masked + c.SDC + c.DUE + c.Hang + c.Crash }
 
 // Count tallies outcome classes.
 func Count(results []Result) Counts {
@@ -180,6 +276,10 @@ func Count(results []Result) Counts {
 			c.SDC++
 		case OutcomeDUE:
 			c.DUE++
+		case OutcomeHang:
+			c.Hang++
+		case OutcomeCrash:
+			c.Crash++
 		}
 	}
 	return c
@@ -201,31 +301,32 @@ type InterferenceResult struct {
 	ModeSize     int
 	Groups       int // multi-bit fault groups injected (one per SDC ACE bit)
 	Interference int // groups masked despite containing an SDC ACE bit
-	DUE          int // groups converted to a detected outcome
+	DUE          int // groups converted to a detected outcome (incl. hang/crash)
 }
 
 // InterferenceStudy injects, for every SDC ACE bit found by single-bit
 // injection, the multi-bit fault group of each mode size containing it
 // (same cycle, same register, adjacent bits), and counts ACE
 // interference: groups whose multi-bit outcome is masked although the
-// single-bit model predicts SDC.
+// single-bit model predicts SDC. On error the rows completed so far are
+// returned alongside the error, so a long study degrades gracefully.
 func (c *Campaign) InterferenceStudy(sdcBits []Result, modeSizes []int) ([]InterferenceResult, error) {
 	out := make([]InterferenceResult, 0, len(modeSizes))
 	for _, m := range modeSizes {
 		if m < 2 || m > 32 {
-			return nil, fmt.Errorf("inject: mode size %d out of range [2,32]", m)
+			return out, fmt.Errorf("inject: mode size %d out of range [2,32]", m)
 		}
 		res := InterferenceResult{ModeSize: m}
 		for _, sb := range sdcBits {
 			o, err := c.RunMask(sb.Target, groupMask(sb.Target.Bit, m))
 			if err != nil {
-				return nil, err
+				return out, err
 			}
 			res.Groups++
 			switch o {
 			case OutcomeMasked:
 				res.Interference++
-			case OutcomeDUE:
+			case OutcomeDUE, OutcomeHang, OutcomeCrash:
 				res.DUE++
 			}
 		}

@@ -36,7 +36,7 @@ func TestGoldenRunMatchesWorkloadGolden(t *testing.T) {
 
 func TestSingleBitCampaignOutcomes(t *testing.T) {
 	c := vecaddCampaign(t)
-	results, err := c.SingleBitCampaign(40, 1)
+	results, err := c.SingleBitCampaign(40, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +44,7 @@ func TestSingleBitCampaignOutcomes(t *testing.T) {
 		t.Fatalf("got %d results", len(results))
 	}
 	counts := Count(results)
-	if counts.Masked+counts.SDC+counts.DUE != 40 {
+	if counts.Total() != 40 {
 		t.Errorf("counts don't sum: %+v", counts)
 	}
 	// vecadd consumes registers immediately and writes output from them:
@@ -95,12 +95,47 @@ func TestGroupMask(t *testing.T) {
 		{5, 3, 0b111 << 5},
 		{31, 2, 0b11 << 30},
 		{30, 4, 0b1111 << 28},
+		// Anchor clamping near bit 31: whenever bit+m > 32 the anchor
+		// shifts down so the group stays inside the register but still
+		// contains the target bit.
+		{31, 3, 0b111 << 29},
+		{31, 4, 0b1111 << 28},
+		{29, 4, 0b1111 << 28},
+		{30, 2, 0b11 << 30},
+		{31, 32, 0xFFFFFFFF},
+		{0, 32, 0xFFFFFFFF},
+		{16, 17, 0x1FFFF << 15},
 	}
 	for _, c := range cases {
-		if got := groupMask(c.bit, c.m); got != c.want {
+		got := groupMask(c.bit, c.m)
+		if got != c.want {
 			t.Errorf("groupMask(%d,%d) = %#x, want %#x", c.bit, c.m, got, c.want)
 		}
+		if got&(1<<uint(c.bit)) == 0 {
+			t.Errorf("groupMask(%d,%d) = %#x does not contain the target bit", c.bit, c.m, got)
+		}
 	}
+	// Exhaustive invariants over the whole domain: m contiguous bits,
+	// inside the register, containing the target bit.
+	for bit := 0; bit < 32; bit++ {
+		for m := 2; m <= 32; m++ {
+			mask := groupMask(bit, m)
+			if n := popcount(mask); n != m {
+				t.Fatalf("groupMask(%d,%d) has %d bits set, want %d", bit, m, n, m)
+			}
+			if mask&(1<<uint(bit)) == 0 {
+				t.Fatalf("groupMask(%d,%d) misses the target bit", bit, m)
+			}
+		}
+	}
+}
+
+func popcount(x uint32) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
 }
 
 func TestInterferenceStudySmall(t *testing.T) {
@@ -141,7 +176,23 @@ func TestInterferenceRejectsBadModeSize(t *testing.T) {
 }
 
 func TestOutcomeStrings(t *testing.T) {
-	if OutcomeMasked.String() != "masked" || OutcomeSDC.String() != "sdc" || OutcomeDUE.String() != "due" {
-		t.Error("outcome strings wrong")
+	want := map[Outcome]string{
+		OutcomeMasked: "masked",
+		OutcomeSDC:    "sdc",
+		OutcomeDUE:    "due",
+		OutcomeHang:   "hang",
+		OutcomeCrash:  "crash",
+	}
+	for o, s := range want {
+		if o.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(o), o.String(), s)
+		}
+		parsed, err := ParseOutcome(s)
+		if err != nil || parsed != o {
+			t.Errorf("ParseOutcome(%q) = %v, %v", s, parsed, err)
+		}
+	}
+	if _, err := ParseOutcome("meltdown"); err == nil {
+		t.Error("ParseOutcome should reject unknown names")
 	}
 }

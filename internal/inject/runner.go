@@ -1,0 +1,197 @@
+package inject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ErrBudget reports that a campaign was aborted because more shots than
+// RunConfig.MaxErrors failed with infrastructure errors.
+var ErrBudget = errors.New("infrastructure error budget exceeded")
+
+// Shot is one indexed injected run within a campaign. Err is non-empty
+// when the shot failed with an infrastructure error; Outcome is
+// meaningless then (infrastructure failures are never classifications).
+type Shot struct {
+	Index   int     `json:"index"`
+	Target  Target  `json:"target"`
+	Outcome Outcome `json:"outcome"`
+	Err     string  `json:"err,omitempty"`
+}
+
+// RunConfig tunes a parallel single-bit campaign.
+type RunConfig struct {
+	// N is the number of injections.
+	N int
+	// Seed drives target sampling. Each shot derives its RNG from
+	// (Seed, shot index), so results are bit-identical for every worker
+	// count.
+	Seed int64
+	// Workers is the worker-pool size; values below 1 run serially.
+	Workers int
+	// Timeout bounds the whole run's wall clock; when it expires the
+	// pool drains in-flight shots and Run returns the completed prefix
+	// with context.DeadlineExceeded. Zero means no deadline.
+	Timeout time.Duration
+	// MaxErrors is the infrastructure-error budget: once more than
+	// MaxErrors shots have failed with errors the run aborts with
+	// ErrBudget (completed shots are still returned). Zero means no
+	// budget — every failure is recorded and the campaign keeps going.
+	MaxErrors int
+	// Completed seeds the run with shots finished by a previous
+	// (checkpointed) run; their indices are not re-executed. Shots whose
+	// index falls outside [0, N) are ignored.
+	Completed []Shot
+	// OnShot, when non-nil, observes every newly completed shot from the
+	// collector goroutine (never concurrently) — the checkpointing hook.
+	OnShot func(Shot)
+}
+
+// RunReport is the (possibly partial) product of a campaign run.
+type RunReport struct {
+	N     int    `json:"n"`
+	Seed  int64  `json:"seed"`
+	Shots []Shot `json:"shots"` // sorted by index; len < N if interrupted
+}
+
+// Complete reports whether every shot finished.
+func (r *RunReport) Complete() bool { return len(r.Shots) == r.N }
+
+// InfraErrors counts shots that failed with infrastructure errors.
+func (r *RunReport) InfraErrors() int {
+	n := 0
+	for _, s := range r.Shots {
+		if s.Err != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// Results returns the classified runs in shot order, excluding shots
+// that failed with infrastructure errors.
+func (r *RunReport) Results() []Result {
+	out := make([]Result, 0, len(r.Shots))
+	for _, s := range r.Shots {
+		if s.Err == "" {
+			out = append(out, Result{Target: s.Target, Outcome: s.Outcome})
+		}
+	}
+	return out
+}
+
+// Counts tallies the classified outcomes.
+func (r *RunReport) Counts() Counts { return Count(r.Results()) }
+
+// runShot executes one indexed injection. Panics are already absorbed by
+// RunMask, so a worker can never take the process down.
+func (c *Campaign) runShot(seed int64, i int) Shot {
+	tgt := c.target(seed, i)
+	s := Shot{Index: i, Target: tgt}
+	o, err := c.RunSingle(tgt)
+	if err != nil {
+		s.Err = err.Error()
+		return s
+	}
+	s.Outcome = o
+	return s
+}
+
+// Run executes a single-bit campaign of cfg.N shots on a worker pool.
+// Targets depend only on (cfg.Seed, shot index), so serial and parallel
+// runs produce identical reports. Cancelling ctx (or exceeding
+// cfg.Timeout) stops the feed, drains in-flight shots, and returns the
+// completed shots with the context's error — nothing already simulated
+// is lost. Per-shot infrastructure failures are recorded on the shot and
+// only abort the run once the cfg.MaxErrors budget is exceeded.
+func (c *Campaign) Run(ctx context.Context, cfg RunConfig) (*RunReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if cfg.N < 0 {
+		return nil, fmt.Errorf("inject: negative campaign size %d", cfg.N)
+	}
+	if cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+		defer cancel()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	rep := &RunReport{N: cfg.N, Seed: cfg.Seed}
+	done := make(map[int]bool, len(cfg.Completed))
+	for _, s := range cfg.Completed {
+		if s.Index >= 0 && s.Index < cfg.N && !done[s.Index] {
+			done[s.Index] = true
+			rep.Shots = append(rep.Shots, s)
+		}
+	}
+
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if pending := cfg.N - len(done); workers > pending {
+		workers = max(pending, 1)
+	}
+
+	indices := make(chan int)
+	shots := make(chan Shot)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				shots <- c.runShot(cfg.Seed, i)
+			}
+		}()
+	}
+	go func() {
+		defer close(indices)
+		for i := 0; i < cfg.N; i++ {
+			if done[i] {
+				continue
+			}
+			select {
+			case indices <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(shots)
+	}()
+
+	infraErrs := 0
+	budgetHit := false
+	for s := range shots {
+		rep.Shots = append(rep.Shots, s)
+		if s.Err != "" {
+			infraErrs++
+			if cfg.MaxErrors > 0 && infraErrs > cfg.MaxErrors && !budgetHit {
+				budgetHit = true
+				cancel() // graceful: drain in-flight shots, keep results
+			}
+		}
+		if cfg.OnShot != nil {
+			cfg.OnShot(s)
+		}
+	}
+	sort.Slice(rep.Shots, func(i, j int) bool { return rep.Shots[i].Index < rep.Shots[j].Index })
+
+	if budgetHit {
+		return rep, fmt.Errorf("inject: %w (%d shots failed)", ErrBudget, infraErrs)
+	}
+	if err := ctx.Err(); err != nil && !rep.Complete() {
+		return rep, err
+	}
+	return rep, nil
+}

@@ -20,6 +20,9 @@ type ExperimentOptions struct {
 	Windows int
 	// Seed drives injection sampling.
 	Seed int64
+	// Workers is the injection worker-pool size (0 = all CPUs); any
+	// value produces identical results.
+	Workers int
 }
 
 func (o ExperimentOptions) internal() experiments.Options {
@@ -35,6 +38,9 @@ func (o ExperimentOptions) internal() experiments.Options {
 	}
 	if o.Seed != 0 {
 		io.Seed = o.Seed
+	}
+	if o.Workers > 0 {
+		io.Workers = o.Workers
 	}
 	return io
 }
