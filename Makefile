@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race ci bench clean
+.PHONY: all build vet test race ci bench bench-baseline fuzz-smoke clean
 
 all: vet build test
 
@@ -24,6 +24,18 @@ ci: vet build race
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# One full benchmark pass in `go test -json` form, captured as the
+# machine-readable baseline for before/after performance comparisons.
+bench-baseline:
+	$(GO) test -json -bench=. -benchtime=1x -run=^$$ . > BENCH_baseline.json
+
+# Short fuzzing passes over every fuzz target (one invocation per
+# target: `go test -fuzz` accepts a single match per package).
+fuzz-smoke:
+	$(GO) test -run=^$$ -fuzz=FuzzAssembleRoundTrip -fuzztime=10s ./internal/gpu
+	$(GO) test -run=^$$ -fuzz=FuzzCheckpointRoundTrip -fuzztime=10s ./internal/inject
+	$(GO) test -run=^$$ -fuzz=FuzzHammingDecode -fuzztime=10s ./internal/ecc
 
 clean:
 	$(GO) clean ./...

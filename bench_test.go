@@ -21,6 +21,7 @@ import (
 	"mbavf/internal/ecc"
 	"mbavf/internal/experiments"
 	"mbavf/internal/interleave"
+	"mbavf/internal/obs"
 )
 
 var benchOpts = experiments.Options{
@@ -58,7 +59,24 @@ func BenchmarkFig2(b *testing.B) { benchExperiment(b, "fig2") }
 
 // BenchmarkFig4 regenerates Figure 4 (2x1 DUE MB-AVF of the L1 under
 // parity with logical / way-physical / index-physical x2 interleaving).
-func BenchmarkFig4(b *testing.B) { benchExperiment(b, "fig4") }
+// The obs sub-benchmarks measure the observability layer's cost on the
+// same pipeline: "obs=off" is the default disabled path (its overhead
+// versus an uninstrumented build must stay within noise), "obs=on" pays
+// for live counters and phase timing.
+func BenchmarkFig4(b *testing.B) {
+	b.Run("obs=off", func(b *testing.B) {
+		obs.Disable()
+		benchExperiment(b, "fig4")
+	})
+	b.Run("obs=on", func(b *testing.B) {
+		obs.Enable()
+		defer func() {
+			obs.Disable()
+			obs.Reset()
+		}()
+		benchExperiment(b, "fig4")
+	})
+}
 
 // BenchmarkFig5 regenerates Figures 5a/5b (MiniFE SB- and MB-AVF over
 // time, per interleaving style).

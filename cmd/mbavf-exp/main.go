@@ -19,6 +19,7 @@ import (
 
 	"mbavf"
 	"mbavf/internal/experiments"
+	"mbavf/internal/obs"
 	"mbavf/internal/report"
 )
 
@@ -31,7 +32,25 @@ func main() {
 	seed := flag.Int64("seed", 42, "injection sampling seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	svgDir := flag.String("svgdir", "", "also write one SVG figure per table into this directory")
+	obsFlag := flag.Bool("obs", false, "print a per-experiment observability summary (phase timings and counters)")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of all simulation/analysis phases to this file")
+	debugAddr := flag.String("debug-addr", "", "serve expvar and pprof on this address (e.g. :8080 or :0 for a free port)")
 	flag.Parse()
+
+	if *obsFlag {
+		obs.Enable()
+	}
+	if *tracePath != "" {
+		obs.StartTrace()
+	}
+	if *debugAddr != "" {
+		addr, err := obs.ServeDebug(*debugAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mbavf-exp: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "mbavf-exp: debug server on http://%s/debug/vars\n", addr)
+	}
 
 	opts := mbavf.ExperimentOptions{
 		Injections: *injections,
@@ -66,9 +85,20 @@ func main() {
 				os.Exit(1)
 			}
 		}
+		if *obsFlag {
+			fmt.Print(experiments.RenderAll(obs.SummaryTables(name), *csv))
+			obs.Reset()
+		}
 		if !*csv {
 			fmt.Printf("[%s completed in %v]\n", name, time.Since(start).Round(time.Millisecond))
 		}
+	}
+	if *tracePath != "" {
+		if err := obs.WriteTrace(*tracePath); err != nil {
+			fmt.Fprintf(os.Stderr, "mbavf-exp: trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "mbavf-exp: wrote %d trace events to %s\n", obs.TraceEventCount(), *tracePath)
 	}
 }
 

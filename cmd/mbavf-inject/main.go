@@ -25,9 +25,11 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 
 	"mbavf"
+	"mbavf/internal/obs"
 )
 
 func main() {
@@ -40,11 +42,29 @@ func main() {
 	resume := flag.Bool("resume", false, "resume from -checkpoint instead of starting over")
 	errBudget := flag.Int("error-budget", 0, "abort after this many infrastructure errors (0 = record all and keep going)")
 	interference := flag.Bool("interference", false, "run the 2x1/3x1/4x1 ACE-interference study on SDC bits")
+	obsFlag := flag.Bool("obs", false, "print an observability summary (phase timings and counters) after the campaign")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of the campaign phases to this file")
+	debugAddr := flag.String("debug-addr", "", "serve expvar and pprof on this address (e.g. :8080 or :0 for a free port); /debug/vars carries live campaign progress with shots/sec and ETA")
 	flag.Parse()
 
 	if *resume && *checkpoint == "" {
 		fmt.Fprintln(os.Stderr, "mbavf-inject: -resume requires -checkpoint")
 		os.Exit(2)
+	}
+
+	if *obsFlag {
+		obs.Enable()
+	}
+	if *tracePath != "" {
+		obs.StartTrace()
+	}
+	if *debugAddr != "" {
+		addr, err := obs.ServeDebug(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mbavf-inject:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "mbavf-inject: debug server on http://%s/debug/vars\n", addr)
 	}
 
 	// SIGINT/SIGTERM cancel the campaign context; the pool drains
@@ -88,6 +108,26 @@ func main() {
 		fmt.Printf("  infrastructure errors: %d shots unclassified\n", sum.Errors)
 	}
 
+	// finishObs emits the observability artifacts; it runs even when the
+	// campaign was interrupted — a partial trace is exactly what an
+	// operator investigating a slow or stuck run wants.
+	finishObs := func() {
+		if *obsFlag {
+			var b strings.Builder
+			for _, t := range obs.SummaryTables(*workload) {
+				t.Render(&b)
+			}
+			fmt.Print(b.String())
+		}
+		if *tracePath != "" {
+			if err := obs.WriteTrace(*tracePath); err != nil {
+				fmt.Fprintln(os.Stderr, "mbavf-inject: trace:", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "mbavf-inject: wrote %d trace events to %s\n", obs.TraceEventCount(), *tracePath)
+		}
+	}
+
 	if err != nil {
 		switch {
 		case errors.Is(err, context.Canceled):
@@ -100,6 +140,7 @@ func main() {
 		if *checkpoint != "" {
 			fmt.Fprintf(os.Stderr, "mbavf-inject: progress saved to %s; rerun with -resume to continue\n", *checkpoint)
 		}
+		finishObs()
 		os.Exit(1)
 	}
 
@@ -114,4 +155,5 @@ func main() {
 			fmt.Printf("  %dx1: %d groups, %d with interference\n", r.ModeSize, r.Groups, r.Interference)
 		}
 	}
+	finishObs()
 }

@@ -52,12 +52,13 @@ type line struct {
 }
 
 type level struct {
-	cfg     Config
-	sets    int
-	lines   []line
-	tracker *lifetime.Tracker // nil when untracked
-	hits    uint64
-	misses  uint64
+	cfg       Config
+	sets      int
+	lines     []line
+	tracker   *lifetime.Tracker // nil when untracked
+	hits      uint64
+	misses    uint64
+	evictions uint64
 }
 
 func newLevel(cfg Config) *level {
@@ -112,6 +113,7 @@ func (l *level) evict(set, way int, cycle uint64) {
 	if !ln.valid {
 		return
 	}
+	l.evictions++
 	if l.tracker != nil {
 		slot := l.slot(set, way)
 		for b := 0; b < l.cfg.LineBytes; b++ {
@@ -353,20 +355,24 @@ func (h *Hierarchy) FlushAll(cycle uint64) {
 	}
 }
 
-// Stats reports aggregate hit/miss counts.
+// Stats reports aggregate hit/miss/eviction counts. Evictions include
+// the end-of-run flushes (every resident line is closed out once).
 type Stats struct {
-	L1Hits, L1Misses uint64
-	L2Hits, L2Misses uint64
+	L1Hits, L1Misses, L1Evictions uint64
+	L2Hits, L2Misses, L2Evictions uint64
 }
 
-// Stats returns hit/miss counters summed over all L1s plus the L2.
+// Stats returns hit/miss/eviction counters summed over all L1s plus the
+// L2.
 func (h *Hierarchy) Stats() Stats {
 	var s Stats
 	for _, l1 := range h.l1s {
 		s.L1Hits += l1.hits
 		s.L1Misses += l1.misses
+		s.L1Evictions += l1.evictions
 	}
 	s.L2Hits = h.l2.hits
 	s.L2Misses = h.l2.misses
+	s.L2Evictions = h.l2.evictions
 	return s
 }

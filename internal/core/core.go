@@ -34,6 +34,16 @@ import (
 	"mbavf/internal/interleave"
 	"mbavf/internal/interval"
 	"mbavf/internal/lifetime"
+	"mbavf/internal/obs"
+)
+
+// Observability series for the MB-AVF engine. Sweep workers accumulate
+// into plain locals and publish one atomic add per shard, so the group
+// sweep's inner loop never touches shared state.
+var (
+	obsAnalyses = obs.NewCounter("core.analyses")
+	obsGroups   = obs.NewCounter("core.fault_groups")
+	obsMerges   = obs.NewCounter("core.interval_merges")
 )
 
 // Class is the outcome class of a fault group (or region) at an instant.
@@ -70,6 +80,10 @@ func (c Class) String() string {
 // Analyzer computes MB-AVFs for one hardware structure from one workload
 // run.
 type Analyzer struct {
+	// Name labels this analyzer's observability spans (typically the
+	// workload name, e.g. "minife"). Empty is fine: spans fall back to a
+	// generic label.
+	Name string
 	// Layout maps physical bits to logical words and protection domains.
 	Layout *interleave.Layout
 	// Tracker holds the structure's per-byte lifetime segments.
@@ -303,12 +317,20 @@ func (a *Analyzer) AnalyzeWindowed(scheme ecc.Scheme, mode bitgeom.FaultMode, wi
 	if err := a.Validate(); err != nil {
 		return nil, err
 	}
+	label := a.Name
+	if label == "" {
+		label = "mbavf"
+	}
+	sp := obs.StartSpan2("analyze:", label)
+	defer sp.End()
 	geom := a.Layout.Geom
 	groups := geom.GroupCount(mode)
 	if groups == 0 {
 		return nil, fmt.Errorf("core: fault mode %s does not fit geometry %dx%d",
 			mode.Name(), geom.Rows, geom.Cols)
 	}
+	obsAnalyses.Add(1)
+	obsGroups.Add(uint64(groups))
 	nWindows := 0
 	if window > 0 {
 		nWindows = int((a.TotalCycles + window - 1) / window)
@@ -468,6 +490,7 @@ type byteKey struct{ word, byteIdx int }
 func (a *Analyzer) sweepGroups(scheme ecc.Scheme, mode bitgeom.FaultMode, s *Series, window interval.Cycle, lo, hi int) {
 	geom := a.Layout.Geom
 	msize := mode.Size()
+	var merges uint64
 
 	cursors := make([]byteCursor, 0, msize)
 	regions := make([]region, 0, msize)
@@ -508,15 +531,21 @@ func (a *Analyzer) sweepGroups(scheme ecc.Scheme, mode bitgeom.FaultMode, s *Ser
 		for ri := range regions {
 			regions[ri].reaction = scheme.React(regions[ri].nbits)
 		}
-		a.sweepOneGroup(cursors, regions, s, window)
+		merges += a.sweepOneGroup(cursors, regions, s, window)
 	}
+	obsMerges.Add(merges)
 }
 
-// sweepOneGroup walks one group's merged timeline, classifying each span.
-func (a *Analyzer) sweepOneGroup(cursors []byteCursor, regions []region, s *Series, window interval.Cycle) {
+// sweepOneGroup walks one group's merged timeline, classifying each
+// span. It returns the number of interval-merge steps taken (timeline
+// points at which the cursors' piecewise-constant states were combined),
+// the engine-work measure the observability layer reports.
+func (a *Analyzer) sweepOneGroup(cursors []byteCursor, regions []region, s *Series, window interval.Cycle) uint64 {
 	states := make([]byteState, len(cursors))
+	var merges uint64
 	t := interval.Cycle(0)
 	for t < a.TotalCycles {
+		merges++
 		next := a.TotalCycles
 		for i := range cursors {
 			st, n := cursors[i].stateAt(t)
@@ -575,4 +604,5 @@ func (a *Analyzer) sweepOneGroup(cursors []byteCursor, regions []region, s *Seri
 		}
 		t = next
 	}
+	return merges
 }

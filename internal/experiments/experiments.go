@@ -13,6 +13,7 @@ import (
 
 	"mbavf/internal/core"
 	"mbavf/internal/interleave"
+	"mbavf/internal/obs"
 	"mbavf/internal/report"
 	"mbavf/internal/sim"
 	"mbavf/internal/workloads"
@@ -78,14 +79,28 @@ func run(name string) (*sim.Session, error) {
 	return s, nil
 }
 
-// ResetCache drops memoized simulation runs (for memory-constrained
-// callers).
-func ResetCache() { runCache = sync.Map{} }
+// ResetCache drops memoized simulation runs. With no arguments the whole
+// cache is cleared; with names, only those workloads' sessions are
+// dropped — so a memory-constrained caller can release one finished
+// workload while keeping the rest warm.
+func ResetCache(names ...string) {
+	if len(names) == 0 {
+		runCache.Range(func(k, _ any) bool {
+			runCache.Delete(k)
+			return true
+		})
+		return
+	}
+	for _, n := range names {
+		runCache.Delete(n)
+	}
+}
 
 // l1Analyzer builds an analyzer over CU0's L1 data array with the given
 // layout.
 func l1Analyzer(s *sim.Session, layout *interleave.Layout) *core.Analyzer {
 	return &core.Analyzer{
+		Name:        s.Label,
 		Layout:      layout,
 		Tracker:     s.L1Tracker,
 		Graph:       s.Graph,
@@ -96,6 +111,7 @@ func l1Analyzer(s *sim.Session, layout *interleave.Layout) *core.Analyzer {
 // vgprAnalyzer builds an analyzer over CU0's vector register file.
 func vgprAnalyzer(s *sim.Session, layout *interleave.Layout, preempt bool) *core.Analyzer {
 	return &core.Analyzer{
+		Name:                 s.Label,
 		Layout:               layout,
 		Tracker:              s.VGPRTracker,
 		Graph:                s.Graph,
@@ -175,7 +191,12 @@ type Experiment struct {
 var registry = map[string]Experiment{}
 
 func registerExp(name, title string, fn func(Options) ([]*report.Table, error)) {
-	registry[name] = Experiment{Name: name, Title: title, Run: fn, Chart: chartSpecs[name]}
+	wrapped := func(o Options) ([]*report.Table, error) {
+		sp := obs.StartSpan2("exp:", name)
+		defer sp.End()
+		return fn(o)
+	}
+	registry[name] = Experiment{Name: name, Title: title, Run: wrapped, Chart: chartSpecs[name]}
 }
 
 // chartSpecs maps experiments to their figure form. Bars compare

@@ -52,6 +52,35 @@ func cell(t *testing.T, tb *report.Table, rowLabel string, col int) float64 {
 	return 0
 }
 
+func TestResetCachePerWorkload(t *testing.T) {
+	ResetCache()
+	a1, err := run("vecadd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := run("prefixsum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2, _ := run("vecadd"); a2 != a1 {
+		t.Fatal("second run was not memoized")
+	}
+	// Named reset drops only that workload's session.
+	ResetCache("vecadd")
+	if a3, _ := run("vecadd"); a3 == a1 {
+		t.Fatal("ResetCache(name) did not drop the named session")
+	}
+	if b2, _ := run("prefixsum"); b2 != b1 {
+		t.Fatal("ResetCache(name) dropped a session it was not asked to drop")
+	}
+	// Bare reset drops everything.
+	ResetCache()
+	if b3, _ := run("prefixsum"); b3 == b1 {
+		t.Fatal("ResetCache() did not clear the cache")
+	}
+	ResetCache()
+}
+
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"cachesize", "fig10", "fig11", "fig2", "fig4", "fig5", "fig6", "fig8", "fig9",
 		"geometry", "l2", "locality", "schemes", "table1", "table2", "table3", "validate"}

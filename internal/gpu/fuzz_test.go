@@ -4,9 +4,12 @@ import (
 	"testing"
 )
 
-// FuzzAssemble checks that arbitrary source text never panics the
-// assembler: it must either produce a valid program or return an error.
-func FuzzAssemble(f *testing.F) {
+// FuzzAssembleRoundTrip checks that arbitrary source text never panics
+// the assembler — it must either produce a valid program or return an
+// error — and that every valid program survives a full
+// Assemble → Disassemble → Assemble round trip with the disassembly as a
+// fixed point.
+func FuzzAssembleRoundTrip(f *testing.F) {
 	f.Add(vecaddAsm)
 	f.Add("v_mov v0, tid\ns_endpgm")
 	f.Add("loop:\ns_branch loop")
@@ -21,12 +24,23 @@ func FuzzAssemble(f *testing.F) {
 		}
 		// Valid programs must round-trip through the disassembler.
 		text := Disassemble(prog)
-		prog2, err := Assemble("fuzz2", text)
+		// Re-assemble under the same name: the disassembly header names
+		// the kernel, and the fixed-point check below compares texts.
+		prog2, err := Assemble("fuzz", text)
 		if err != nil {
 			t.Fatalf("disassembly failed to re-assemble: %v\n%s", err, text)
 		}
 		if len(prog2.Code) != len(prog.Code) {
 			t.Fatalf("round trip changed instruction count %d -> %d", len(prog.Code), len(prog2.Code))
+		}
+		if prog2.NumVRegs != prog.NumVRegs || prog2.NumSRegs != prog.NumSRegs {
+			t.Fatalf("round trip changed register demand %d/%d -> %d/%d",
+				prog.NumVRegs, prog.NumSRegs, prog2.NumVRegs, prog2.NumSRegs)
+		}
+		// The disassembly must be a fixed point: disassembling the
+		// re-assembled program reproduces it byte for byte.
+		if text2 := Disassemble(prog2); text2 != text {
+			t.Fatalf("disassembly is not a fixed point:\nfirst:\n%s\nsecond:\n%s", text, text2)
 		}
 	})
 }

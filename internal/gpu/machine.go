@@ -106,6 +106,7 @@ type Machine struct {
 	cuFree   []uint64
 	endCycle uint64
 	instrs   uint64
+	stalls   uint64
 
 	injections []Injection
 	nextInj    int
@@ -158,6 +159,11 @@ func (m *Machine) Cycles() uint64 { return m.endCycle }
 
 // Instructions returns the total dynamic wavefront instructions executed.
 func (m *Machine) Instructions() uint64 { return m.instrs }
+
+// StallCycles returns the cycles compute units spent idle waiting for an
+// issued wavefront's operands (memory and execution latency) — the
+// pipeline-stall measure the observability layer reports per run.
+func (m *Machine) StallCycles() uint64 { return m.stalls }
 
 func (m *Machine) vgprWord(slot, lane, reg int) int {
 	return (slot*Lanes+lane)*m.cfg.NumVRegs + reg
@@ -254,6 +260,7 @@ func (m *Machine) RunDispatch(d Dispatch) error {
 		if w == nil {
 			break
 		}
+		m.stalls += issue - m.cuFree[w.cu] // CU idle until the wave's operands arrive
 		m.applyInjections(issue)
 		lat, err := m.step(w, issue)
 		if err != nil {

@@ -1,0 +1,71 @@
+package inject
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzCheckpointRoundTrip checks the checkpoint JSON layer three ways:
+// a structured checkpoint must survive marshal → unmarshal exactly, its
+// identity check must accept the identity it was built from and reject
+// any perturbation of it, and arbitrary bytes fed to the decoder must
+// produce an error or a checkpoint — never a panic (a resumed campaign
+// reads whatever is on disk).
+func FuzzCheckpointRoundTrip(f *testing.F) {
+	f.Add("dct", 100, int64(42), []byte{1, 2, 3}, []byte(`{"workload":"dct"}`))
+	f.Add("", 0, int64(0), []byte{}, []byte(`{`))
+	f.Add("minife", 5000, int64(-7), []byte("golden output"),
+		[]byte(`{"shots":[{"index":1,"outcome":"sdc"}]}`))
+	f.Add("w", 3, int64(1), []byte{0xFF}, []byte(`{"shots":[{"outcome":"nope"}]}`))
+	f.Fuzz(func(t *testing.T, workload string, n int, seed int64, golden []byte, raw []byte) {
+		if !utf8.ValidString(workload) {
+			// JSON encoding rewrites invalid UTF-8 to U+FFFD by design;
+			// workload names are always valid identifiers in practice.
+			t.Skip()
+		}
+		c := NewCheckpoint(workload, n, seed, golden)
+		outcomes := []Outcome{OutcomeMasked, OutcomeSDC, OutcomeDUE, OutcomeHang, OutcomeCrash}
+		for i, o := range outcomes {
+			c.Shots = append(c.Shots, Shot{
+				Index:   i,
+				Target:  Target{Cycle: uint64(seed) + uint64(i), Thread: i, Reg: i % 4, Bit: i % 32},
+				Outcome: o,
+			})
+		}
+		c.Shots = append(c.Shots, Shot{Index: len(outcomes), Err: "simulated infra failure"})
+
+		data, err := json.Marshal(c)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		var back Checkpoint
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("unmarshal of own output: %v", err)
+		}
+		if !reflect.DeepEqual(*c, back) {
+			t.Fatalf("round trip changed checkpoint:\nbefore: %+v\nafter:  %+v", *c, back)
+		}
+
+		if err := back.Matches(workload, n, seed, golden); err != nil {
+			t.Fatalf("checkpoint must match its own identity: %v", err)
+		}
+		if err := back.Matches(workload+"x", n, seed, golden); err == nil {
+			t.Fatal("Matches accepted a different workload")
+		}
+		if err := back.Matches(workload, n+1, seed, golden); err == nil {
+			t.Fatal("Matches accepted a different campaign size")
+		}
+		if err := back.Matches(workload, n, seed^1, golden); err == nil {
+			t.Fatal("Matches accepted a different seed")
+		}
+		if err := back.Matches(workload, n, seed, append([]byte{0}, golden...)); err == nil {
+			t.Fatal("Matches accepted a different golden output")
+		}
+
+		// Arbitrary bytes: the decoder may reject them, never panic.
+		var junk Checkpoint
+		_ = json.Unmarshal(raw, &junk)
+	})
+}

@@ -7,11 +7,27 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"mbavf/internal/obs"
 )
 
 // ErrBudget reports that a campaign was aborted because more shots than
 // RunConfig.MaxErrors failed with infrastructure errors.
 var ErrBudget = errors.New("infrastructure error budget exceeded")
+
+// Observability tallies for campaign runs. All adds happen on the
+// collector goroutine, one per completed shot.
+var (
+	obsShots   = obs.NewCounter("inject.shots")
+	obsInfra   = obs.NewCounter("inject.infra_errors")
+	obsOutcome = func() map[Outcome]*obs.Counter {
+		m := make(map[Outcome]*obs.Counter)
+		for _, o := range []Outcome{OutcomeMasked, OutcomeSDC, OutcomeDUE, OutcomeHang, OutcomeCrash} {
+			m[o] = obs.NewCounter("inject.outcome." + o.String())
+		}
+		return m
+	}()
+)
 
 // Shot is one indexed injected run within a campaign. Err is non-empty
 // when the shot failed with an infrastructure error; Outcome is
@@ -132,6 +148,10 @@ func (c *Campaign) Run(ctx context.Context, cfg RunConfig) (*RunReport, error) {
 		}
 	}
 
+	sp := obs.StartSpan2("campaign:", c.workload.Name)
+	defer sp.End()
+	obs.CampaignStart(c.workload.Name, cfg.N, len(done))
+
 	workers := cfg.Workers
 	if workers < 1 {
 		workers = 1
@@ -174,12 +194,17 @@ func (c *Campaign) Run(ctx context.Context, cfg RunConfig) (*RunReport, error) {
 	budgetHit := false
 	for s := range shots {
 		rep.Shots = append(rep.Shots, s)
+		obsShots.Add(1)
+		obs.CampaignShotDone()
 		if s.Err != "" {
+			obsInfra.Add(1)
 			infraErrs++
 			if cfg.MaxErrors > 0 && infraErrs > cfg.MaxErrors && !budgetHit {
 				budgetHit = true
 				cancel() // graceful: drain in-flight shots, keep results
 			}
+		} else {
+			obsOutcome[s.Outcome].Add(1)
 		}
 		if cfg.OnShot != nil {
 			cfg.OnShot(s)

@@ -1,0 +1,275 @@
+// Package obs is the repository's observability layer: named atomic
+// counters and gauges, phase wall-clock timers, a Chrome trace_event
+// exporter, and an opt-in expvar/pprof debug endpoint with live campaign
+// progress.
+//
+// The layer is off by default and designed to vanish when disabled:
+// Counter.Add and Gauge.Set are a single atomic load plus a branch, and
+// StartSpan returns an inert zero Span without allocating. Long-lived
+// subsystems (the GPU pipeline, the caches, the MB-AVF engine, the
+// injection runner) hold package-level *Counter handles created once at
+// init; hot loops accumulate into plain locals and publish a single Add
+// at phase boundaries, so even the enabled path stays off the critical
+// path.
+//
+// Enable() turns on counters and phase timing; StartTrace() additionally
+// records every completed span as a Chrome trace_event. The two are
+// independent stores: Reset() clears counters and phase accumulators
+// (the per-experiment summary lifecycle) without losing trace events.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mbavf/internal/report"
+)
+
+// enabled gates counters, gauges, and phase accumulation.
+var enabled atomic.Bool
+
+// Enable turns the observability layer on.
+func Enable() { enabled.Store(true) }
+
+// Disable turns the observability layer off. Existing values are kept
+// (call Reset to zero them).
+func Disable() { enabled.Store(false) }
+
+// Enabled reports whether the layer is collecting.
+func Enabled() bool { return enabled.Load() }
+
+// Active reports whether spans have any effect (metrics or tracing); use
+// it to skip building span labels on hot paths when everything is off.
+func Active() bool { return enabled.Load() || tracing.Load() }
+
+// registry holds every named counter and gauge ever created. Creation
+// happens at package init of the instrumented subsystems; lookups on hot
+// paths go through the returned handles, never the map.
+var registry struct {
+	sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+}
+
+// Counter is a named, monotonically increasing atomic counter. The zero
+// value is unusable; create counters with NewCounter.
+type Counter struct {
+	name string
+	v    atomic.Uint64
+}
+
+// NewCounter returns the counter with the given name, creating it on
+// first use. Calling NewCounter twice with one name returns the same
+// counter, so independent packages can share a series.
+func NewCounter(name string) *Counter {
+	registry.Lock()
+	defer registry.Unlock()
+	if registry.counters == nil {
+		registry.counters = map[string]*Counter{}
+	}
+	if c, ok := registry.counters[name]; ok {
+		return c
+	}
+	c := &Counter{name: name}
+	registry.counters[name] = c
+	return c
+}
+
+// Name returns the counter's registry name.
+func (c *Counter) Name() string { return c.name }
+
+// Add increments the counter by n when the layer is enabled.
+func (c *Counter) Add(n uint64) {
+	if !enabled.Load() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a named last-value metric (e.g. campaign shots remaining).
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// NewGauge returns the gauge with the given name, creating it on first
+// use.
+func NewGauge(name string) *Gauge {
+	registry.Lock()
+	defer registry.Unlock()
+	if registry.gauges == nil {
+		registry.gauges = map[string]*Gauge{}
+	}
+	if g, ok := registry.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{name: name}
+	registry.gauges[name] = g
+	return g
+}
+
+// Name returns the gauge's registry name.
+func (g *Gauge) Name() string { return g.name }
+
+// Set stores v when the layer is enabled.
+func (g *Gauge) Set(v int64) {
+	if !enabled.Load() {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Value returns the last stored value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// phases accumulates wall time per span name.
+var phases struct {
+	sync.Mutex
+	m map[string]*phaseStat
+}
+
+type phaseStat struct {
+	calls uint64
+	total time.Duration
+}
+
+// Span is one timed phase. The zero Span is inert: End on it does
+// nothing, so disabled StartSpan costs no allocation and no time call.
+type Span struct {
+	name  string
+	start time.Time
+}
+
+// StartSpan begins timing a phase. When the layer is disabled and no
+// trace is recording, it returns the zero Span.
+func StartSpan(name string) Span {
+	if !Active() {
+		return Span{}
+	}
+	return Span{name: name, start: time.Now()}
+}
+
+// StartSpan2 is StartSpan(prefix + name) without paying the string
+// concatenation when the layer is off — for hot call sites that label
+// spans dynamically (per workload, per campaign).
+func StartSpan2(prefix, name string) Span {
+	if !Active() {
+		return Span{}
+	}
+	return Span{name: prefix + name, start: time.Now()}
+}
+
+// End finishes the span, adding its duration to the phase accumulator
+// and, when tracing, appending a trace event.
+func (s Span) End() {
+	if s.name == "" {
+		return
+	}
+	end := time.Now()
+	dur := end.Sub(s.start)
+	if enabled.Load() {
+		phases.Lock()
+		if phases.m == nil {
+			phases.m = map[string]*phaseStat{}
+		}
+		st := phases.m[s.name]
+		if st == nil {
+			st = &phaseStat{}
+			phases.m[s.name] = st
+		}
+		st.calls++
+		st.total += dur
+		phases.Unlock()
+	}
+	traceSpan(s.name, s.start, dur)
+}
+
+// CounterSnapshot is one counter's value at snapshot time.
+type CounterSnapshot struct {
+	Name  string
+	Value uint64
+}
+
+// PhaseSnapshot is one phase's accumulated wall time.
+type PhaseSnapshot struct {
+	Name  string
+	Calls uint64
+	Total time.Duration
+}
+
+// Snapshot captures every non-zero counter and every recorded phase,
+// sorted by name.
+func Snapshot() (counters []CounterSnapshot, spans []PhaseSnapshot) {
+	registry.Lock()
+	for name, c := range registry.counters {
+		if v := c.Value(); v != 0 {
+			counters = append(counters, CounterSnapshot{Name: name, Value: v})
+		}
+	}
+	registry.Unlock()
+	phases.Lock()
+	for name, st := range phases.m {
+		spans = append(spans, PhaseSnapshot{Name: name, Calls: st.calls, Total: st.total})
+	}
+	phases.Unlock()
+	sort.Slice(counters, func(i, j int) bool { return counters[i].Name < counters[j].Name })
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Name < spans[j].Name })
+	return counters, spans
+}
+
+// Counters returns a name → value map of every non-zero counter — the
+// form the expvar endpoint and the race-consistency tests consume.
+func Counters() map[string]uint64 {
+	cs, _ := Snapshot()
+	out := make(map[string]uint64, len(cs))
+	for _, c := range cs {
+		out[c.Name] = c.Value
+	}
+	return out
+}
+
+// Reset zeroes every counter, gauge, and phase accumulator. Trace events
+// are kept (the trace spans the whole process; summaries are per
+// experiment).
+func Reset() {
+	registry.Lock()
+	for _, c := range registry.counters {
+		c.v.Store(0)
+	}
+	for _, g := range registry.gauges {
+		g.v.Store(0)
+	}
+	registry.Unlock()
+	phases.Lock()
+	phases.m = nil
+	phases.Unlock()
+}
+
+// SummaryTables renders the current snapshot as report tables: phase
+// wall-time first (the per-experiment timing summary), then counters.
+// Empty sections are omitted.
+func SummaryTables(title string) []*report.Table {
+	counters, spans := Snapshot()
+	var out []*report.Table
+	if len(spans) > 0 {
+		t := report.NewTable(title+": phase timings", "phase", "calls", "total ms", "mean ms")
+		for _, s := range spans {
+			ms := float64(s.Total) / float64(time.Millisecond)
+			t.AddRowf(s.Name, int(s.Calls), ms, ms/float64(s.Calls))
+		}
+		out = append(out, t)
+	}
+	if len(counters) > 0 {
+		t := report.NewTable(title+": counters", "counter", "value")
+		for _, c := range counters {
+			t.AddRowf(c.Name, c.Value)
+		}
+		out = append(out, t)
+	}
+	return out
+}

@@ -1,0 +1,351 @@
+package obs_test
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"mbavf/internal/bitgeom"
+	"mbavf/internal/core"
+	"mbavf/internal/ecc"
+	"mbavf/internal/inject"
+	"mbavf/internal/interleave"
+	"mbavf/internal/obs"
+	"mbavf/internal/sim"
+	"mbavf/internal/workloads"
+)
+
+// reset returns the layer to its default (disabled, zeroed, not tracing)
+// state; every test starts and ends here so ordering cannot leak state.
+func reset() {
+	obs.Disable()
+	obs.StopTrace()
+	obs.Reset()
+}
+
+func TestCounterRegistryIdempotent(t *testing.T) {
+	defer reset()
+	a := obs.NewCounter("test.registry.series")
+	b := obs.NewCounter("test.registry.series")
+	if a != b {
+		t.Fatal("NewCounter with one name must return one counter")
+	}
+	if a.Name() != "test.registry.series" {
+		t.Fatalf("Name() = %q", a.Name())
+	}
+}
+
+func TestCounterGatedByEnable(t *testing.T) {
+	defer reset()
+	c := obs.NewCounter("test.gated")
+	c.Add(5)
+	if got := c.Value(); got != 0 {
+		t.Fatalf("disabled Add must be a no-op, got %d", got)
+	}
+	obs.Enable()
+	c.Add(5)
+	c.Add(2)
+	if got := c.Value(); got != 7 {
+		t.Fatalf("enabled Add: got %d, want 7", got)
+	}
+	obs.Reset()
+	if got := c.Value(); got != 0 {
+		t.Fatalf("Reset: got %d, want 0", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	defer reset()
+	g := obs.NewGauge("test.gauge")
+	g.Set(9)
+	if g.Value() != 0 {
+		t.Fatal("disabled Set must be a no-op")
+	}
+	obs.Enable()
+	g.Set(9)
+	g.Set(4)
+	if g.Value() != 4 {
+		t.Fatalf("gauge = %d, want 4", g.Value())
+	}
+}
+
+func TestSpanPhases(t *testing.T) {
+	defer reset()
+	obs.Enable()
+	for i := 0; i < 3; i++ {
+		sp := obs.StartSpan("test-phase")
+		time.Sleep(time.Millisecond)
+		sp.End()
+	}
+	_, spans := obs.Snapshot()
+	var found bool
+	for _, s := range spans {
+		if s.Name == "test-phase" {
+			found = true
+			if s.Calls != 3 {
+				t.Fatalf("calls = %d, want 3", s.Calls)
+			}
+			if s.Total <= 0 {
+				t.Fatalf("total = %v, want > 0", s.Total)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("phase not recorded")
+	}
+}
+
+func TestSummaryTables(t *testing.T) {
+	defer reset()
+	obs.Enable()
+	obs.NewCounter("test.summary").Add(3)
+	sp := obs.StartSpan("test-summary-phase")
+	sp.End()
+	tables := obs.SummaryTables("unit")
+	if len(tables) != 2 {
+		t.Fatalf("got %d tables, want phase timings + counters", len(tables))
+	}
+}
+
+func TestTraceJSONIsChromeLoadable(t *testing.T) {
+	defer reset()
+	obs.StartTrace()
+	sp := obs.StartSpan2("simulate:", "unitwl")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	sp = obs.StartSpan("analyze:unitwl")
+	sp.End()
+	obs.StopTrace()
+
+	if n := obs.TraceEventCount(); n != 2 {
+		t.Fatalf("recorded %d events, want 2", n)
+	}
+	raw, err := obs.TraceJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Cat  string  `json:"cat"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	cats := map[string]string{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" {
+			t.Fatalf("event %q has phase %q, want complete event X", e.Name, e.Ph)
+		}
+		if e.Ts < 0 || e.Dur < 0 {
+			t.Fatalf("event %q has negative ts/dur", e.Name)
+		}
+		cats[e.Name] = e.Cat
+	}
+	if cats["simulate:unitwl"] != "simulate" || cats["analyze:unitwl"] != "analyze" {
+		t.Fatalf("categories = %v, want prefix before ':'", cats)
+	}
+}
+
+func TestTraceRestartClearsEvents(t *testing.T) {
+	defer reset()
+	obs.StartTrace()
+	obs.StartSpan("old").End()
+	obs.StartTrace()
+	obs.StartSpan("new").End()
+	obs.StopTrace()
+	if n := obs.TraceEventCount(); n != 1 {
+		t.Fatalf("restart kept %d events, want 1", n)
+	}
+}
+
+// TestZeroAllocWhenDisabled is the contract behind the <=2% overhead
+// acceptance bar: with the layer off, counters, spans, and campaign
+// progress must neither allocate nor take locks.
+func TestZeroAllocWhenDisabled(t *testing.T) {
+	defer reset()
+	c := obs.NewCounter("test.zeroalloc")
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Add(1)
+		sp := obs.StartSpan2("hot:", "loop")
+		sp.End()
+		obs.CampaignShotDone()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled path allocates %.1f per op, want 0", allocs)
+	}
+	if c.Value() != 0 {
+		t.Fatal("disabled Add must not count")
+	}
+}
+
+func TestCampaignProgress(t *testing.T) {
+	defer reset()
+	obs.Enable()
+	obs.CampaignStart("unitwl", 10, 2)
+	for i := 0; i < 3; i++ {
+		obs.CampaignShotDone()
+	}
+	p := obs.Progress()
+	if p.Workload != "unitwl" || p.Total != 10 || p.Completed != 5 {
+		t.Fatalf("progress = %+v, want unitwl 5/10", p)
+	}
+	if p.ShotsPerS <= 0 {
+		t.Fatalf("shots/sec = %v, want > 0 after fresh shots", p.ShotsPerS)
+	}
+	if p.ETASec <= 0 {
+		t.Fatalf("eta = %v, want > 0 with shots remaining", p.ETASec)
+	}
+}
+
+func TestDebugServer(t *testing.T) {
+	defer reset()
+	addr, err := obs.ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !obs.Enabled() {
+		t.Fatal("ServeDebug must enable the layer")
+	}
+	obs.NewCounter("test.debugsrv").Add(11)
+	obs.CampaignStart("unitwl", 4, 0)
+	obs.CampaignShotDone()
+
+	get := func(path string) []byte {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	var vars struct {
+		Counters map[string]uint64    `json:"mbavf_counters"`
+		Campaign obs.CampaignProgress `json:"mbavf_campaign"`
+	}
+	if err := json.Unmarshal(get("/debug/vars"), &vars); err != nil {
+		t.Fatalf("expvar output does not parse: %v", err)
+	}
+	if vars.Counters["test.debugsrv"] != 11 {
+		t.Fatalf("mbavf_counters = %v, want test.debugsrv=11", vars.Counters)
+	}
+	if vars.Campaign.Workload != "unitwl" || vars.Campaign.Completed != 1 || vars.Campaign.Total != 4 {
+		t.Fatalf("mbavf_campaign = %+v, want unitwl 1/4", vars.Campaign)
+	}
+	if vars.Campaign.ShotsPerS <= 0 {
+		t.Fatalf("mbavf_campaign shots/sec = %v, want live rate > 0", vars.Campaign.ShotsPerS)
+	}
+	if body := get("/debug/pprof/"); len(body) == 0 {
+		t.Fatal("pprof index is empty")
+	}
+}
+
+// TestCounterConsistencySerialVsParallel runs a fault-injection campaign
+// and a sharded MB-AVF analysis concurrently — the two metric producers
+// racing on the shared registry — and asserts every counter total matches
+// a fully serial run. Under -race this doubles as the data-race check for
+// the whole publish path.
+func TestCounterConsistencySerialVsParallel(t *testing.T) {
+	w, err := workloads.ByName("vecadd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build the campaign (golden run) and the instrumented session with
+	// the layer off so setup work does not pollute the compared totals.
+	reset()
+	camp, err := inject.NewCampaign(w, sim.InjectionConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.Execute(w, sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets, ways := s.Hier.L1Slots()
+	layout, err := interleave.Logical(sets*ways, s.Hier.LineBytes()*8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const shots = 24
+	run := func(workers, parallelism int) map[string]uint64 {
+		obs.Enable()
+		obs.Reset()
+		defer reset()
+		var wg sync.WaitGroup
+		var campErr, anErr error
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			_, campErr = camp.Run(context.Background(), inject.RunConfig{
+				N: shots, Seed: 7, Workers: workers,
+			})
+		}()
+		go func() {
+			defer wg.Done()
+			an := &core.Analyzer{
+				Name:        "vecadd",
+				Layout:      layout,
+				Tracker:     s.L1Tracker,
+				Graph:       s.Graph,
+				TotalCycles: s.Cycles(),
+				Parallelism: parallelism,
+			}
+			_, anErr = an.Analyze(ecc.Parity{}, bitgeom.Mx1(2))
+		}()
+		wg.Wait()
+		if campErr != nil {
+			t.Fatalf("campaign (workers=%d): %v", workers, campErr)
+		}
+		if anErr != nil {
+			t.Fatalf("analysis (parallelism=%d): %v", parallelism, anErr)
+		}
+		return obs.Counters()
+	}
+
+	serial := run(1, 1)
+	parallel := run(4, 4)
+
+	if serial["inject.shots"] != shots {
+		t.Fatalf("serial inject.shots = %d, want %d", serial["inject.shots"], shots)
+	}
+	if serial["core.analyses"] != 1 {
+		t.Fatalf("serial core.analyses = %d, want 1", serial["core.analyses"])
+	}
+	if serial["core.interval_merges"] == 0 {
+		t.Fatal("serial core.interval_merges = 0, want > 0")
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("counter totals diverge between serial and parallel runs:\nserial:   %s\nparallel: %s",
+			fmtCounters(serial), fmtCounters(parallel))
+	}
+}
+
+func fmtCounters(m map[string]uint64) string {
+	b, _ := json.Marshal(m)
+	return string(b)
+}

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// tracing gates trace-event recording, independently of Enable.
+var tracing atomic.Bool
+
+// trace is the recorded event log. Timestamps are microseconds relative
+// to traceStart, the form Chrome's trace viewer expects.
+var trace struct {
+	sync.Mutex
+	start  time.Time
+	events []traceEvent
+}
+
+// traceEvent is one Chrome trace_event "complete" event ("ph":"X").
+// See the Trace Event Format spec: ts/dur are microseconds; pid/tid
+// select the row the span renders on.
+type traceEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+}
+
+// traceFile is the Chrome trace JSON object form (preferred over the
+// bare array: it is extensible and unambiguous about time units).
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// StartTrace begins recording spans as trace events. Restarting clears
+// previously recorded events.
+func StartTrace() {
+	trace.Lock()
+	trace.start = time.Now()
+	trace.events = nil
+	trace.Unlock()
+	tracing.Store(true)
+}
+
+// StopTrace stops recording; events recorded so far stay available for
+// WriteTrace.
+func StopTrace() { tracing.Store(false) }
+
+// Tracing reports whether spans are being recorded as trace events.
+func Tracing() bool { return tracing.Load() }
+
+// traceSpan appends one completed span. The category is the span-name
+// prefix up to the first ':' ("simulate", "analyze", "exp", "campaign"),
+// which Chrome uses for filtering and coloring.
+func traceSpan(name string, start time.Time, dur time.Duration) {
+	if !tracing.Load() {
+		return
+	}
+	cat := name
+	for i := 0; i < len(name); i++ {
+		if name[i] == ':' {
+			cat = name[:i]
+			break
+		}
+	}
+	trace.Lock()
+	if !trace.start.IsZero() && !start.Before(trace.start) {
+		trace.events = append(trace.events, traceEvent{
+			Name: name,
+			Cat:  cat,
+			Ph:   "X",
+			Ts:   float64(start.Sub(trace.start)) / float64(time.Microsecond),
+			Dur:  float64(dur) / float64(time.Microsecond),
+			Pid:  1,
+			Tid:  1,
+		})
+	}
+	trace.Unlock()
+}
+
+// TraceEventCount returns the number of recorded events (for tests and
+// progress reporting).
+func TraceEventCount() int {
+	trace.Lock()
+	defer trace.Unlock()
+	return len(trace.events)
+}
+
+// TraceJSON serializes the recorded events as a Chrome-loadable trace
+// document.
+func TraceJSON() ([]byte, error) {
+	trace.Lock()
+	events := make([]traceEvent, len(trace.events))
+	copy(events, trace.events)
+	trace.Unlock()
+	return json.MarshalIndent(traceFile{TraceEvents: events, DisplayTimeUnit: "ms"}, "", " ")
+}
+
+// WriteTrace writes the recorded trace to path (chrome://tracing or
+// https://ui.perfetto.dev both load it).
+func WriteTrace(path string) error {
+	data, err := TraceJSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

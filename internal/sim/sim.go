@@ -12,6 +12,23 @@ import (
 	"mbavf/internal/gpu"
 	"mbavf/internal/lifetime"
 	"mbavf/internal/mem"
+	"mbavf/internal/obs"
+)
+
+// Observability series published per finalized run. Counters are created
+// once at init; publishing is a handful of atomic adds at Finalize, so
+// the simulation hot loops stay untouched.
+var (
+	obsRuns        = obs.NewCounter("sim.runs")
+	obsCycles      = obs.NewCounter("gpu.cycles")
+	obsInstrs      = obs.NewCounter("gpu.instructions")
+	obsStalls      = obs.NewCounter("gpu.stall_cycles")
+	obsL1Hits      = obs.NewCounter("cache.l1.hits")
+	obsL1Misses    = obs.NewCounter("cache.l1.misses")
+	obsL1Evictions = obs.NewCounter("cache.l1.evictions")
+	obsL2Hits      = obs.NewCounter("cache.l2.hits")
+	obsL2Misses    = obs.NewCounter("cache.l2.misses")
+	obsL2Evictions = obs.NewCounter("cache.l2.evictions")
 )
 
 // Config selects the machine shape and which structures to instrument.
@@ -71,6 +88,11 @@ type Session struct {
 	Graph   *dataflow.Graph
 	Hier    *cache.Hierarchy
 	Machine *gpu.Machine
+
+	// Label names the run for observability (the workload name when the
+	// session was built by Execute); it feeds span labels like
+	// "analyze:minife".
+	Label string
 
 	L1Tracker   *lifetime.Tracker
 	L2Tracker   *lifetime.Tracker
@@ -198,7 +220,27 @@ func (s *Session) Finalize() error {
 		}
 		s.Graph.Solve()
 	}
+	s.publishObs()
 	return nil
+}
+
+// publishObs rolls the run's pipeline and cache statistics into the
+// observability counters.
+func (s *Session) publishObs() {
+	if !obs.Enabled() {
+		return
+	}
+	obsRuns.Add(1)
+	obsCycles.Add(s.Machine.Cycles())
+	obsInstrs.Add(s.Machine.Instructions())
+	obsStalls.Add(s.Machine.StallCycles())
+	cs := s.Hier.Stats()
+	obsL1Hits.Add(cs.L1Hits)
+	obsL1Misses.Add(cs.L1Misses)
+	obsL1Evictions.Add(cs.L1Evictions)
+	obsL2Hits.Add(cs.L2Hits)
+	obsL2Misses.Add(cs.L2Misses)
+	obsL2Evictions.Add(cs.L2Evictions)
 }
 
 // Cycles returns the total simulated cycles.
@@ -232,10 +274,13 @@ type Workload struct {
 // Execute runs workload w on a fresh session with the given config and
 // finalizes it.
 func Execute(w Workload, cfg Config) (*Session, error) {
+	sp := obs.StartSpan2("simulate:", w.Name)
+	defer sp.End()
 	s, err := NewSession(cfg)
 	if err != nil {
 		return nil, err
 	}
+	s.Label = w.Name
 	if err := w.Run(s); err != nil {
 		return nil, fmt.Errorf("sim: workload %s: %w", w.Name, err)
 	}
