@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race ci bench bench-baseline fuzz-smoke clean
+.PHONY: all build vet test race ci bench bench-baseline bench-compare fuzz-smoke clean
 
 all: vet build test
 
@@ -29,6 +29,13 @@ bench:
 # machine-readable baseline for before/after performance comparisons.
 bench-baseline:
 	$(GO) test -json -bench=. -benchtime=1x -run=^$$ . > BENCH_baseline.json
+
+# Fresh benchmark pass diffed against the committed baseline; fails when
+# any benchmark slows down by more than the tolerance (see
+# cmd/mbavf-benchdiff -h for the knobs).
+bench-compare:
+	$(GO) test -json -bench=. -benchtime=1x -run=^$$ . > BENCH_current.json
+	$(GO) run ./cmd/mbavf-benchdiff -baseline BENCH_baseline.json -current BENCH_current.json
 
 # Short fuzzing passes over every fuzz target (one invocation per
 # target: `go test -fuzz` accepts a single match per package).

@@ -1,0 +1,128 @@
+// Command mbavf-benchdiff compares two `go test -json` benchmark captures
+// (the form `make bench-baseline` writes) and fails when any benchmark
+// regressed beyond a tolerance.
+//
+// Usage:
+//
+//	mbavf-benchdiff -baseline BENCH_baseline.json -current BENCH_current.json
+//	mbavf-benchdiff -baseline old.json -current new.json -tolerance 0.25
+//
+// Benchmarks are matched by name (the GOMAXPROCS -N suffix is stripped).
+// Sub-millisecond benchmarks are skipped by default: at -benchtime=1x a
+// single iteration of a microsecond-scale benchmark is dominated by timer
+// noise, not by the code under test.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// benchLine matches a benchmark result inside a test2json Output field,
+// e.g. "BenchmarkFig4/obs=off     \t       1\t1177733762 ns/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op`)
+
+// gomaxprocsSuffix is the trailing -N the bench runner appends when
+// GOMAXPROCS is reported; stripping it keeps names stable across hosts.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBench extracts name → ns/op from a go test -json stream. A name
+// that appears more than once keeps its last value (re-runs supersede).
+func parseBench(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]float64{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev struct {
+			Action string `json:"Action"`
+			Output string `json:"Output"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			continue // tolerate non-JSON noise (interleaved logs)
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		m := benchLine.FindStringSubmatch(ev.Output)
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		out[gomaxprocsSuffix.ReplaceAllString(m[1], "")] = ns
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results found", path)
+	}
+	return out, nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_baseline.json", "go test -json capture to compare against")
+	current := flag.String("current", "BENCH_current.json", "go test -json capture of the fresh run")
+	tolerance := flag.Float64("tolerance", 0.5, "allowed fractional slowdown before failing (0.5 = +50%)")
+	minNS := flag.Float64("min-ns", 1e6, "ignore benchmarks whose baseline is below this many ns/op (single-iteration noise)")
+	flag.Parse()
+
+	base, err := parseBench(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mbavf-benchdiff:", err)
+		os.Exit(2)
+	}
+	cur, err := parseBench(*current)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mbavf-benchdiff:", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(base))
+	for n := range base {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	regressions := 0
+	fmt.Printf("%-40s %14s %14s %8s\n", "benchmark", "baseline ns/op", "current ns/op", "delta")
+	for _, n := range names {
+		b := base[n]
+		c, ok := cur[n]
+		if !ok {
+			fmt.Printf("%-40s %14.0f %14s %8s\n", n, b, "missing", "-")
+			continue
+		}
+		delta := c/b - 1
+		mark := ""
+		if b >= *minNS && delta > *tolerance {
+			mark = "  REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-40s %14.0f %14.0f %+7.1f%%%s\n", n, b, c, 100*delta, mark)
+	}
+	for n := range cur {
+		if _, ok := base[n]; !ok {
+			fmt.Printf("%-40s %14s %14.0f %8s\n", n, "new", cur[n], "-")
+		}
+	}
+
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "mbavf-benchdiff: %d benchmark(s) regressed beyond %.0f%%\n", regressions, 100**tolerance)
+		os.Exit(1)
+	}
+	fmt.Printf("no regressions beyond %.0f%% (min %v ns/op)\n", 100**tolerance, *minNS)
+}

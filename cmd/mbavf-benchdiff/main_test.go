@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeCapture(t *testing.T, name string, lines ...string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	var data []byte
+	for _, l := range lines {
+		data = append(data, []byte(l+"\n")...)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseBench(t *testing.T) {
+	path := writeCapture(t, "cap.json",
+		`{"Action":"output","Package":"mbavf","Output":"goos: linux\n"}`,
+		`{"Action":"output","Package":"mbavf","Test":"BenchmarkFig4/obs=off","Output":"BenchmarkFig4/obs=off     \t       1\t1177733762 ns/op\n"}`,
+		`{"Action":"output","Package":"mbavf","Test":"BenchmarkTable1","Output":"BenchmarkTable1-8         \t       1\t     81611 ns/op\n"}`,
+		`not json at all`,
+		`{"Action":"pass","Package":"mbavf"}`,
+	)
+	got, err := parseBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %v", len(got), got)
+	}
+	if got["BenchmarkFig4/obs=off"] != 1177733762 {
+		t.Fatalf("obs=off = %v", got["BenchmarkFig4/obs=off"])
+	}
+	// The -8 GOMAXPROCS suffix is stripped so names match across hosts.
+	if got["BenchmarkTable1"] != 81611 {
+		t.Fatalf("Table1 = %v (suffix not stripped?)", got["BenchmarkTable1"])
+	}
+}
+
+func TestParseBenchEmpty(t *testing.T) {
+	path := writeCapture(t, "empty.json", `{"Action":"start","Package":"mbavf"}`)
+	if _, err := parseBench(path); err == nil {
+		t.Fatal("want error for a capture with no benchmark results")
+	}
+}

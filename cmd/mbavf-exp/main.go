@@ -29,12 +29,13 @@ func main() {
 	injections := flag.Int("injections", 200, "single-bit injections per benchmark for table2")
 	iworkers := flag.Int("iworkers", runtime.NumCPU(), "injection worker-pool size (identical results for any value)")
 	windows := flag.Int("windows", 12, "time windows for fig5/fig8")
+	avfWindows := flag.Int("avf-windows", 0, "emit the avft time-resolved AVF series with this many windows (adds 'avft' to -exp all)")
 	seed := flag.Int64("seed", 42, "injection sampling seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	svgDir := flag.String("svgdir", "", "also write one SVG figure per table into this directory")
 	obsFlag := flag.Bool("obs", false, "print a per-experiment observability summary (phase timings and counters)")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of all simulation/analysis phases to this file")
-	debugAddr := flag.String("debug-addr", "", "serve expvar and pprof on this address (e.g. :8080 or :0 for a free port)")
+	debugAddr := flag.String("debug-addr", "", "serve expvar, pprof, and Prometheus /metrics on this address (e.g. :8080 or :0 for a free port)")
 	flag.Parse()
 
 	if *obsFlag {
@@ -49,12 +50,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "mbavf-exp: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "mbavf-exp: debug server on http://%s/debug/vars\n", addr)
+		fmt.Fprintf(os.Stderr, "mbavf-exp: debug server on http://%s/debug/vars (Prometheus on /metrics)\n", addr)
 	}
 
 	opts := mbavf.ExperimentOptions{
 		Injections: *injections,
 		Windows:    *windows,
+		AVFWindows: *avfWindows,
 		Seed:       *seed,
 		Workers:    *iworkers,
 	}
@@ -65,6 +67,9 @@ func main() {
 	names := []string{*exp}
 	if *exp == "all" {
 		names = []string{"table1", "fig2", "fig4", "fig5", "fig6", "table2", "fig8", "fig9", "fig10", "table3", "fig11"}
+		if *avfWindows > 0 {
+			names = append(names, "avft")
+		}
 	}
 	for _, name := range names {
 		start := time.Now()
@@ -142,6 +147,9 @@ func toInternal(opts mbavf.ExperimentOptions) experiments.Options {
 	}
 	if opts.Workers > 0 {
 		io.Workers = opts.Workers
+	}
+	if opts.AVFWindows > 0 {
+		io.AVFWindows = opts.AVFWindows
 	}
 	return io
 }

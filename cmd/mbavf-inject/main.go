@@ -44,7 +44,7 @@ func main() {
 	interference := flag.Bool("interference", false, "run the 2x1/3x1/4x1 ACE-interference study on SDC bits")
 	obsFlag := flag.Bool("obs", false, "print an observability summary (phase timings and counters) after the campaign")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of the campaign phases to this file")
-	debugAddr := flag.String("debug-addr", "", "serve expvar and pprof on this address (e.g. :8080 or :0 for a free port); /debug/vars carries live campaign progress with shots/sec and ETA")
+	debugAddr := flag.String("debug-addr", "", "serve expvar, pprof, and Prometheus /metrics on this address (e.g. :8080 or :0 for a free port); /debug/vars carries live campaign progress with shots/sec and ETA")
 	flag.Parse()
 
 	if *resume && *checkpoint == "" {
@@ -64,7 +64,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "mbavf-inject:", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "mbavf-inject: debug server on http://%s/debug/vars\n", addr)
+		fmt.Fprintf(os.Stderr, "mbavf-inject: debug server on http://%s/debug/vars (Prometheus on /metrics)\n", addr)
 	}
 
 	// SIGINT/SIGTERM cancel the campaign context; the pool drains
@@ -77,6 +77,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mbavf-inject:", err)
 		os.Exit(1)
 	}
+	// finishObs emits the observability artifacts; it runs on every exit
+	// path, including interruption before any shot completes — a partial
+	// trace is exactly what an operator investigating a slow or stuck run
+	// wants.
+	finishObs := func() {
+		if *obsFlag {
+			var b strings.Builder
+			for _, t := range obs.SummaryTables(*workload) {
+				t.Render(&b)
+			}
+			fmt.Print(b.String())
+		}
+		if *tracePath != "" {
+			if err := obs.WriteTrace(*tracePath); err != nil {
+				fmt.Fprintln(os.Stderr, "mbavf-inject: trace:", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "mbavf-inject: wrote %d trace events to %s\n", obs.TraceEventCount(), *tracePath)
+		}
+	}
+
 	results, sum, err := c.RunCampaign(ctx, mbavf.CampaignRunConfig{
 		Injections:     *n,
 		Seed:           *seed,
@@ -88,6 +109,7 @@ func main() {
 	})
 	if err != nil && len(results) == 0 && sum.Errors == 0 {
 		fmt.Fprintln(os.Stderr, "mbavf-inject:", err)
+		finishObs()
 		os.Exit(1)
 	}
 
@@ -106,26 +128,6 @@ func main() {
 	fmt.Printf("  crash:  %5d (%5.1f%%)\n", sum.Crash, pct(sum.Crash))
 	if sum.Errors > 0 {
 		fmt.Printf("  infrastructure errors: %d shots unclassified\n", sum.Errors)
-	}
-
-	// finishObs emits the observability artifacts; it runs even when the
-	// campaign was interrupted — a partial trace is exactly what an
-	// operator investigating a slow or stuck run wants.
-	finishObs := func() {
-		if *obsFlag {
-			var b strings.Builder
-			for _, t := range obs.SummaryTables(*workload) {
-				t.Render(&b)
-			}
-			fmt.Print(b.String())
-		}
-		if *tracePath != "" {
-			if err := obs.WriteTrace(*tracePath); err != nil {
-				fmt.Fprintln(os.Stderr, "mbavf-inject: trace:", err)
-				return
-			}
-			fmt.Fprintf(os.Stderr, "mbavf-inject: wrote %d trace events to %s\n", obs.TraceEventCount(), *tracePath)
-		}
 	}
 
 	if err != nil {
@@ -148,6 +150,7 @@ func main() {
 		rows, err := c.RunInterference(results, []int{2, 3, 4})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mbavf-inject:", err)
+			finishObs()
 			os.Exit(1)
 		}
 		fmt.Println("\nACE-interference study (multi-bit groups around SDC ACE bits):")

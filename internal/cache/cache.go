@@ -18,6 +18,17 @@ import (
 	"mbavf/internal/dataflow"
 	"mbavf/internal/lifetime"
 	"mbavf/internal/mem"
+	"mbavf/internal/obs"
+)
+
+// Observability series: per-level cache line residency — cycles between a
+// line's fill and its eviction, the occupancy distribution that decides
+// how long a resident value is exposed to particle strikes. Recorded once
+// per eviction (far off the per-access hot path); the disabled path is
+// Histogram.Record's single atomic load.
+var (
+	obsL1Residency = obs.NewHistogram("cache.l1.residency_cycles")
+	obsL2Residency = obs.NewHistogram("cache.l2.residency_cycles")
 )
 
 // Config describes one cache level.
@@ -49,6 +60,7 @@ type line struct {
 	valid, dirty bool
 	tag          uint32
 	lastUse      uint64
+	fillCycle    uint64
 }
 
 type level struct {
@@ -56,14 +68,15 @@ type level struct {
 	sets      int
 	lines     []line
 	tracker   *lifetime.Tracker // nil when untracked
+	resHist   *obs.Histogram    // residency series for this level
 	hits      uint64
 	misses    uint64
 	evictions uint64
 }
 
-func newLevel(cfg Config) *level {
+func newLevel(cfg Config, resHist *obs.Histogram) *level {
 	sets := cfg.Sets()
-	return &level{cfg: cfg, sets: sets, lines: make([]line, sets*cfg.Ways)}
+	return &level{cfg: cfg, sets: sets, lines: make([]line, sets*cfg.Ways), resHist: resHist}
 }
 
 func (l *level) set(addr uint32) int { return int(addr/uint32(l.cfg.LineBytes)) % l.sets }
@@ -114,6 +127,9 @@ func (l *level) evict(set, way int, cycle uint64) {
 		return
 	}
 	l.evictions++
+	if cycle >= ln.fillCycle {
+		l.resHist.Record(cycle - ln.fillCycle)
+	}
 	if l.tracker != nil {
 		slot := l.slot(set, way)
 		for b := 0; b < l.cfg.LineBytes; b++ {
@@ -138,6 +154,7 @@ func (l *level) fill(addr uint32, way int, cycle uint64, memory *mem.Memory) {
 	ln.dirty = false
 	ln.tag = tag
 	ln.lastUse = cycle
+	ln.fillCycle = cycle
 	if l.tracker != nil {
 		slot := l.slot(set, way)
 		base := l.lineBase(set, tag)
@@ -239,9 +256,9 @@ func NewHierarchy(cfg HierConfig, memory *mem.Memory) (*Hierarchy, error) {
 	if cfg.L1.LineBytes != cfg.L2.LineBytes {
 		return nil, fmt.Errorf("cache: L1 and L2 line sizes differ (%d vs %d)", cfg.L1.LineBytes, cfg.L2.LineBytes)
 	}
-	h := &Hierarchy{l2: newLevel(cfg.L2), memory: memory, memLatency: cfg.MemLatency}
+	h := &Hierarchy{l2: newLevel(cfg.L2, obsL2Residency), memory: memory, memLatency: cfg.MemLatency}
 	for i := 0; i < cfg.NumCUs; i++ {
-		h.l1s = append(h.l1s, newLevel(cfg.L1))
+		h.l1s = append(h.l1s, newLevel(cfg.L1, obsL1Residency))
 	}
 	return h, nil
 }

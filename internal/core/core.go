@@ -38,12 +38,19 @@ import (
 )
 
 // Observability series for the MB-AVF engine. Sweep workers accumulate
-// into plain locals and publish one atomic add per shard, so the group
-// sweep's inner loop never touches shared state.
+// into plain locals (counters and LocalHists) and publish one atomic
+// flush per shard, so the group sweep's inner loop never touches shared
+// state.
 var (
 	obsAnalyses = obs.NewCounter("core.analyses")
 	obsGroups   = obs.NewCounter("core.fault_groups")
 	obsMerges   = obs.NewCounter("core.interval_merges")
+	// obsGroupBits is the distribution of fault-group sizes in bits (how
+	// many physical bits flip together per enumerated group).
+	obsGroupBits = obs.NewHistogram("core.group_bits")
+	// obsMergeChain is the distribution of interval-merge chain lengths:
+	// how many timeline points one group's sweep had to combine.
+	obsMergeChain = obs.NewHistogram("core.merge_chain")
 )
 
 // Class is the outcome class of a fault group (or region) at an instant.
@@ -311,6 +318,25 @@ type Series struct {
 	Windows []Result
 }
 
+// PublishGauges exposes the series' per-window DUE and SDC MB-AVF (plus
+// the whole-run totals) as observability float gauges named
+// avf.<structure>.<mode>.{due,sdc}.{total,w<i>}, so a scrape of the debug
+// endpoint's /metrics sees the time-resolved vulnerability profile of
+// every analyzed structure.
+func (s *Series) PublishGauges(structure string) {
+	if !obs.Enabled() {
+		return
+	}
+	prefix := "avf." + structure + "." + s.Total.ModeName + "."
+	obs.NewFloatGauge(prefix + "due.total").Set(s.Total.DUEMBAVF())
+	obs.NewFloatGauge(prefix + "sdc.total").Set(s.Total.SDCMBAVF())
+	for i := range s.Windows {
+		w := &s.Windows[i]
+		obs.NewFloatGauge(fmt.Sprintf("%sdue.w%03d", prefix, i)).Set(w.DUEMBAVF())
+		obs.NewFloatGauge(fmt.Sprintf("%ssdc.w%03d", prefix, i)).Set(w.SDCMBAVF())
+	}
+}
+
 // AnalyzeWindowed computes the MB-AVF of fault mode under scheme, also
 // accumulating per-window counters when window > 0.
 func (a *Analyzer) AnalyzeWindowed(scheme ecc.Scheme, mode bitgeom.FaultMode, window interval.Cycle) (*Series, error) {
@@ -491,6 +517,8 @@ func (a *Analyzer) sweepGroups(scheme ecc.Scheme, mode bitgeom.FaultMode, s *Ser
 	geom := a.Layout.Geom
 	msize := mode.Size()
 	var merges uint64
+	observing := obs.Enabled()
+	var groupBits, mergeChain obs.LocalHist
 
 	cursors := make([]byteCursor, 0, msize)
 	regions := make([]region, 0, msize)
@@ -531,9 +559,16 @@ func (a *Analyzer) sweepGroups(scheme ecc.Scheme, mode bitgeom.FaultMode, s *Ser
 		for ri := range regions {
 			regions[ri].reaction = scheme.React(regions[ri].nbits)
 		}
-		merges += a.sweepOneGroup(cursors, regions, s, window)
+		chain := a.sweepOneGroup(cursors, regions, s, window)
+		merges += chain
+		if observing {
+			groupBits.Observe(uint64(len(bitBuf)))
+			mergeChain.Observe(chain)
+		}
 	}
 	obsMerges.Add(merges)
+	groupBits.FlushTo(obsGroupBits)
+	mergeChain.FlushTo(obsMergeChain)
 }
 
 // sweepOneGroup walks one group's merged timeline, classifying each

@@ -35,6 +35,9 @@ type Options struct {
 	// Workers is the worker-pool size for injection campaigns; results
 	// are identical for any value (deterministic per-shot sampling).
 	Workers int
+	// AVFWindows is the number of time windows for the avft experiment's
+	// time-resolved AVF series; zero falls back to Windows.
+	AVFWindows int
 }
 
 // DefaultOptions returns the settings used by cmd/mbavf-exp.
@@ -203,6 +206,7 @@ func registerExp(name, title string, fn func(Options) ([]*report.Table, error)) 
 // categories (workloads, configs); lines plot time windows; the MTTF
 // sweep is log-scale lines.
 var chartSpecs = map[string]ChartSpec{
+	"avft":     {Skip: true},
 	"table1":   {Skip: true},
 	"table2":   {Skip: true},
 	"table3":   {Skip: true},

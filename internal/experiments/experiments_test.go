@@ -82,7 +82,7 @@ func TestResetCachePerWorkload(t *testing.T) {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"cachesize", "fig10", "fig11", "fig2", "fig4", "fig5", "fig6", "fig8", "fig9",
+	want := []string{"avft", "cachesize", "fig10", "fig11", "fig2", "fig4", "fig5", "fig6", "fig8", "fig9",
 		"geometry", "l2", "locality", "schemes", "table1", "table2", "table3", "validate"}
 	got := Names()
 	if len(got) != len(want) {

@@ -15,15 +15,25 @@ import (
 // RunConfig.MaxErrors failed with infrastructure errors.
 var ErrBudget = errors.New("infrastructure error budget exceeded")
 
-// Observability tallies for campaign runs. All adds happen on the
-// collector goroutine, one per completed shot.
+// Observability tallies for campaign runs. Counter adds happen on the
+// collector goroutine, one per completed shot; the latency histograms are
+// recorded on the worker that ran the shot (Histogram.Record is
+// lock-free, so workers never serialize on them).
 var (
 	obsShots   = obs.NewCounter("inject.shots")
 	obsInfra   = obs.NewCounter("inject.infra_errors")
+	obsShotNS  = obs.NewHistogram("inject.shot_ns")
 	obsOutcome = func() map[Outcome]*obs.Counter {
 		m := make(map[Outcome]*obs.Counter)
 		for _, o := range []Outcome{OutcomeMasked, OutcomeSDC, OutcomeDUE, OutcomeHang, OutcomeCrash} {
 			m[o] = obs.NewCounter("inject.outcome." + o.String())
+		}
+		return m
+	}()
+	obsOutcomeNS = func() map[Outcome]*obs.Histogram {
+		m := make(map[Outcome]*obs.Histogram)
+		for _, o := range []Outcome{OutcomeMasked, OutcomeSDC, OutcomeDUE, OutcomeHang, OutcomeCrash} {
+			m[o] = obs.NewHistogram("inject.shot_ns." + o.String())
 		}
 		return m
 	}()
@@ -108,7 +118,18 @@ func (r *RunReport) Counts() Counts { return Count(r.Results()) }
 func (c *Campaign) runShot(seed int64, i int) Shot {
 	tgt := c.target(seed, i)
 	s := Shot{Index: i, Target: tgt}
+	var began time.Time
+	if obs.Enabled() {
+		began = time.Now()
+	}
 	o, err := c.RunSingle(tgt)
+	if !began.IsZero() {
+		ns := uint64(time.Since(began))
+		obsShotNS.Record(ns)
+		if err == nil {
+			obsOutcomeNS[o].Record(ns)
+		}
+	}
 	if err != nil {
 		s.Err = err.Error()
 		return s

@@ -25,6 +25,16 @@ import (
 
 	"mbavf/internal/dataflow"
 	"mbavf/internal/interval"
+	"mbavf/internal/obs"
+)
+
+// Observability series: the distribution of lifetime-segment lengths in
+// cycles, split by resolved ACEness kind. Recorded once per tracker at
+// Finish (a single pass over the finished timeline), never on the
+// per-event hot path.
+var (
+	obsACESegCycles     = obs.NewHistogram("lifetime.ace_seg_cycles")
+	obsPendingSegCycles = obs.NewHistogram("lifetime.pending_seg_cycles")
 )
 
 // SegKind classifies a lifetime segment's microarchitectural ACEness.
@@ -159,6 +169,28 @@ func (t *Tracker) Finish(end interval.Cycle) {
 			t.held[i] = false
 		}
 	}
+	t.publishObs()
+}
+
+// publishObs records the finished timeline's ACE and pending segment
+// lengths into the lifetime histograms via goroutine-local accumulators.
+func (t *Tracker) publishObs() {
+	if !obs.Enabled() {
+		return
+	}
+	var ace, pending obs.LocalHist
+	for _, segs := range t.segs {
+		for _, s := range segs {
+			switch s.Kind {
+			case SegACE:
+				ace.Observe(s.End - s.Start)
+			case SegPending:
+				pending.Observe(s.End - s.Start)
+			}
+		}
+	}
+	ace.FlushTo(obsACESegCycles)
+	pending.FlushTo(obsPendingSegCycles)
 }
 
 // Segments returns the lifetime segments of byte b of word. The slice is

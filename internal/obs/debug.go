@@ -36,6 +36,15 @@ func CampaignStart(workload string, total, preseeded int) {
 	campaign.startNS.Store(time.Now().UnixNano())
 }
 
+// resetCampaign clears the live progress (part of Reset's lifecycle).
+func resetCampaign() {
+	campaign.total.Store(0)
+	campaign.preseeded.Store(0)
+	campaign.completed.Store(0)
+	campaign.startNS.Store(0)
+	campaign.name.Store("")
+}
+
 // CampaignShotDone records one completed shot.
 func CampaignShotDone() {
 	if !enabled.Load() {
@@ -86,9 +95,10 @@ var publishOnce sync.Once
 func publishExpvars() {
 	publishOnce.Do(func() {
 		expvar.Publish("mbavf_counters", expvar.Func(func() any { return Counters() }))
+		expvar.Publish("mbavf_gauges", expvar.Func(func() any { return Gauges() }))
 		expvar.Publish("mbavf_campaign", expvar.Func(func() any { return Progress() }))
 		expvar.Publish("mbavf_phases", expvar.Func(func() any {
-			_, spans := Snapshot()
+			_, _, spans := Snapshot()
 			out := make(map[string]float64, len(spans))
 			for _, s := range spans {
 				out[s.Name] = float64(s.Total) / float64(time.Millisecond)
@@ -100,9 +110,10 @@ func publishExpvars() {
 
 // ServeDebug starts an HTTP debug server on addr (":0" picks a free
 // port) exposing expvar at /debug/vars — including live mbavf_counters,
-// mbavf_phases, and mbavf_campaign (completed/total, shots/sec, ETA) —
-// and the full pprof suite at /debug/pprof/. It enables the layer,
-// serves in a background goroutine, and returns the bound address.
+// mbavf_gauges, mbavf_phases, and mbavf_campaign (completed/total,
+// shots/sec, ETA) — Prometheus text exposition at /metrics, and the full
+// pprof suite at /debug/pprof/. It enables the layer, serves in a
+// background goroutine, and returns the bound address.
 func ServeDebug(addr string) (string, error) {
 	Enable()
 	publishExpvars()
@@ -112,6 +123,10 @@ func ServeDebug(addr string) (string, error) {
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc(PromHandlerPath, func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WritePrometheus(w)
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

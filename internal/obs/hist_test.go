@@ -1,0 +1,176 @@
+package obs_test
+
+import (
+	"math/bits"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"mbavf/internal/obs"
+)
+
+func TestHistogramRegistryIdempotent(t *testing.T) {
+	defer reset()
+	a := obs.NewHistogram("test.hist.registry")
+	b := obs.NewHistogram("test.hist.registry")
+	if a != b {
+		t.Fatal("NewHistogram with one name must return one histogram")
+	}
+	if a.Name() != "test.hist.registry" {
+		t.Fatalf("Name() = %q", a.Name())
+	}
+}
+
+func TestBucketUpperBound(t *testing.T) {
+	cases := map[int]uint64{
+		-1: 0, 0: 0, 1: 1, 2: 3, 3: 7, 10: 1023,
+		63: 1<<63 - 1, 64: ^uint64(0), 70: ^uint64(0),
+	}
+	for i, want := range cases {
+		if got := obs.BucketUpperBound(i); got != want {
+			t.Fatalf("BucketUpperBound(%d) = %d, want %d", i, got, want)
+		}
+	}
+	// Every value lands in the bucket whose bound first covers it.
+	rng := rand.New(rand.NewSource(3))
+	for n := 0; n < 1000; n++ {
+		v := rng.Uint64()
+		b := bits.Len64(v)
+		if obs.BucketUpperBound(b) < v {
+			t.Fatalf("value %d exceeds its bucket bound %d", v, obs.BucketUpperBound(b))
+		}
+		if b > 0 && obs.BucketUpperBound(b-1) >= v {
+			t.Fatalf("value %d fits the previous bucket bound %d", v, obs.BucketUpperBound(b-1))
+		}
+	}
+}
+
+func TestHistogramBucketSemantics(t *testing.T) {
+	reset()
+	defer reset()
+	obs.Enable()
+	h := obs.NewHistogram("test.hist.sem")
+	for _, v := range []uint64{0, 1, 2, 3, 100} {
+		h.Record(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 || s.Sum != 106 {
+		t.Fatalf("count/sum = %d/%d, want 5/106", s.Count, s.Sum)
+	}
+	want := map[int]uint64{0: 1, 1: 1, 2: 2, 7: 1}
+	for i, n := range s.Buckets {
+		if n != want[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, n, want[i])
+		}
+	}
+	if s.MaxBound() != 127 {
+		t.Fatalf("MaxBound = %d, want 127", s.MaxBound())
+	}
+	if s.Mean() != 106.0/5 {
+		t.Fatalf("Mean = %v, want %v", s.Mean(), 106.0/5)
+	}
+}
+
+// randomValues draws n values spread across magnitudes (uniform draws
+// alone almost never exercise small buckets). Values stay below 2^62 so
+// the 2v quantile-slack bound cannot overflow.
+func randomValues(rng *rand.Rand, n int) []uint64 {
+	vals := make([]uint64, n)
+	for i := range vals {
+		vals[i] = rng.Uint64() >> (2 + rng.Intn(62))
+	}
+	return vals
+}
+
+// TestHistogramQuantileProperty checks the power-of-two bucket estimate
+// guarantee against exact order statistics: for a true quantile value v,
+// the estimate e satisfies v <= e, and e < 2v when v > 0.
+func TestHistogramQuantileProperty(t *testing.T) {
+	reset()
+	defer reset()
+	obs.Enable()
+	rng := rand.New(rand.NewSource(7))
+	h := obs.NewHistogram("test.hist.quantile")
+	vals := randomValues(rng, 2000)
+	for _, v := range vals {
+		h.Record(v)
+	}
+	s := h.Snapshot()
+	sorted := append([]uint64(nil), vals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, q := range []float64{0.01, 0.25, 0.50, 0.90, 0.99, 1.0} {
+		rank := int(q * float64(len(sorted)))
+		if float64(rank) < q*float64(len(sorted)) || rank == 0 {
+			rank++
+		}
+		v := sorted[rank-1]
+		e := s.Quantile(q)
+		if e < v {
+			t.Fatalf("q=%v: estimate %d below true quantile %d", q, e, v)
+		}
+		if v > 0 && e >= 2*v {
+			t.Fatalf("q=%v: estimate %d not within 2x of true quantile %d", q, e, v)
+		}
+	}
+	if s.Quantile(1.0) != s.MaxBound() {
+		t.Fatalf("Quantile(1.0) = %d, want MaxBound %d", s.Quantile(1.0), s.MaxBound())
+	}
+	if s.Quantile(0.5) > s.Quantile(0.9) || s.Quantile(0.9) > s.Quantile(0.99) {
+		t.Fatal("quantile estimates must be monotone in q")
+	}
+}
+
+// TestHistogramMergeProperty checks that merging partial snapshots is
+// exactly equivalent to recording everything into one histogram — the
+// contract that lets shards accumulate locally and combine later.
+func TestHistogramMergeProperty(t *testing.T) {
+	reset()
+	defer reset()
+	obs.Enable()
+	rng := rand.New(rand.NewSource(11))
+	vals := randomValues(rng, 1000)
+	whole := obs.NewHistogram("test.hist.whole")
+	left := obs.NewHistogram("test.hist.left")
+	right := obs.NewHistogram("test.hist.right")
+	for i, v := range vals {
+		whole.Record(v)
+		if i%2 == 0 {
+			left.Record(v)
+		} else {
+			right.Record(v)
+		}
+	}
+	merged := left.Snapshot()
+	merged.Merge(right.Snapshot())
+	w := whole.Snapshot()
+	if merged.Count != w.Count || merged.Sum != w.Sum || merged.Buckets != w.Buckets {
+		t.Fatalf("merged snapshot diverges from whole:\nmerged: %+v\nwhole:  %+v", merged, w)
+	}
+}
+
+// TestLocalHistFlushEquivalence checks the goroutine-local accumulator
+// publishes exactly what direct Records would have.
+func TestLocalHistFlushEquivalence(t *testing.T) {
+	reset()
+	defer reset()
+	obs.Enable()
+	rng := rand.New(rand.NewSource(13))
+	vals := randomValues(rng, 500)
+	direct := obs.NewHistogram("test.hist.direct")
+	flushed := obs.NewHistogram("test.hist.flushed")
+	var local obs.LocalHist
+	for _, v := range vals {
+		direct.Record(v)
+		local.Observe(v)
+	}
+	local.FlushTo(flushed)
+	d, f := direct.Snapshot(), flushed.Snapshot()
+	if d.Count != f.Count || d.Sum != f.Sum || d.Buckets != f.Buckets {
+		t.Fatalf("flushed snapshot diverges from direct records")
+	}
+	// FlushTo zeroes the local state: a second flush adds nothing.
+	local.FlushTo(flushed)
+	if f2 := flushed.Snapshot(); f2.Count != f.Count {
+		t.Fatalf("second flush added %d observations, want 0", f2.Count-f.Count)
+	}
+}

@@ -19,6 +19,7 @@
 package obs
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -44,13 +45,20 @@ func Enabled() bool { return enabled.Load() }
 // it to skip building span labels on hot paths when everything is off.
 func Active() bool { return enabled.Load() || tracing.Load() }
 
-// registry holds every named counter and gauge ever created. Creation
-// happens at package init of the instrumented subsystems; lookups on hot
-// paths go through the returned handles, never the map.
+// registry holds every named counter, gauge, and histogram ever created.
+// Creation happens at package init of the instrumented subsystems;
+// lookups on hot paths go through the returned handles, never the map.
 var registry struct {
 	sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
+	counters    map[string]*Counter
+	gauges      map[string]*Gauge
+	floatGauges map[string]*FloatGauge
+	histograms  map[string]*Histogram
+}
+
+// sortByName orders snapshot slices for deterministic output.
+func sortByName[T any](s []T, name func(T) string) {
+	sort.Slice(s, func(i, j int) bool { return name(s[i]) < name(s[j]) })
 }
 
 // Counter is a named, monotonically increasing atomic counter. The zero
@@ -127,6 +135,43 @@ func (g *Gauge) Set(v int64) {
 // Value returns the last stored value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
+// FloatGauge is a named last-value metric for fractional series (AVFs,
+// rates). Stored as float64 bits in a uint64, so Set/Value stay lock-free.
+type FloatGauge struct {
+	name string
+	bits atomic.Uint64
+}
+
+// NewFloatGauge returns the float gauge with the given name, creating it
+// on first use.
+func NewFloatGauge(name string) *FloatGauge {
+	registry.Lock()
+	defer registry.Unlock()
+	if registry.floatGauges == nil {
+		registry.floatGauges = map[string]*FloatGauge{}
+	}
+	if g, ok := registry.floatGauges[name]; ok {
+		return g
+	}
+	g := &FloatGauge{name: name}
+	registry.floatGauges[name] = g
+	return g
+}
+
+// Name returns the gauge's registry name.
+func (g *FloatGauge) Name() string { return g.name }
+
+// Set stores v when the layer is enabled.
+func (g *FloatGauge) Set(v float64) {
+	if !enabled.Load() {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the last stored value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
 // phases accumulates wall time per span name.
 var phases struct {
 	sync.Mutex
@@ -195,6 +240,14 @@ type CounterSnapshot struct {
 	Value uint64
 }
 
+// GaugeSnapshot is one gauge's value at snapshot time. Integer and float
+// gauges share the snapshot form (int64 values fit float64 exactly for
+// every magnitude these series reach).
+type GaugeSnapshot struct {
+	Name  string
+	Value float64
+}
+
 // PhaseSnapshot is one phase's accumulated wall time.
 type PhaseSnapshot struct {
 	Name  string
@@ -202,13 +255,23 @@ type PhaseSnapshot struct {
 	Total time.Duration
 }
 
-// Snapshot captures every non-zero counter and every recorded phase,
-// sorted by name.
-func Snapshot() (counters []CounterSnapshot, spans []PhaseSnapshot) {
+// Snapshot captures every non-zero counter, every non-zero gauge (integer
+// and float), and every recorded phase, sorted by name.
+func Snapshot() (counters []CounterSnapshot, gauges []GaugeSnapshot, spans []PhaseSnapshot) {
 	registry.Lock()
 	for name, c := range registry.counters {
 		if v := c.Value(); v != 0 {
 			counters = append(counters, CounterSnapshot{Name: name, Value: v})
+		}
+	}
+	for name, g := range registry.gauges {
+		if v := g.Value(); v != 0 {
+			gauges = append(gauges, GaugeSnapshot{Name: name, Value: float64(v)})
+		}
+	}
+	for name, g := range registry.floatGauges {
+		if v := g.Value(); v != 0 {
+			gauges = append(gauges, GaugeSnapshot{Name: name, Value: v})
 		}
 	}
 	registry.Unlock()
@@ -217,15 +280,16 @@ func Snapshot() (counters []CounterSnapshot, spans []PhaseSnapshot) {
 		spans = append(spans, PhaseSnapshot{Name: name, Calls: st.calls, Total: st.total})
 	}
 	phases.Unlock()
-	sort.Slice(counters, func(i, j int) bool { return counters[i].Name < counters[j].Name })
-	sort.Slice(spans, func(i, j int) bool { return spans[i].Name < spans[j].Name })
-	return counters, spans
+	sortByName(counters, func(s CounterSnapshot) string { return s.Name })
+	sortByName(gauges, func(s GaugeSnapshot) string { return s.Name })
+	sortByName(spans, func(s PhaseSnapshot) string { return s.Name })
+	return counters, gauges, spans
 }
 
 // Counters returns a name → value map of every non-zero counter — the
 // form the expvar endpoint and the race-consistency tests consume.
 func Counters() map[string]uint64 {
-	cs, _ := Snapshot()
+	cs, _, _ := Snapshot()
 	out := make(map[string]uint64, len(cs))
 	for _, c := range cs {
 		out[c.Name] = c.Value
@@ -233,9 +297,20 @@ func Counters() map[string]uint64 {
 	return out
 }
 
-// Reset zeroes every counter, gauge, and phase accumulator. Trace events
-// are kept (the trace spans the whole process; summaries are per
-// experiment).
+// Gauges returns a name → value map of every non-zero gauge, integer and
+// float — the form the expvar endpoint consumes.
+func Gauges() map[string]float64 {
+	_, gs, _ := Snapshot()
+	out := make(map[string]float64, len(gs))
+	for _, g := range gs {
+		out[g.Name] = g.Value
+	}
+	return out
+}
+
+// Reset zeroes every counter, gauge, histogram, phase accumulator, and
+// the live campaign progress. Trace events are kept (the trace spans the
+// whole process; summaries are per experiment).
 func Reset() {
 	registry.Lock()
 	for _, c := range registry.counters {
@@ -244,17 +319,24 @@ func Reset() {
 	for _, g := range registry.gauges {
 		g.v.Store(0)
 	}
+	for _, g := range registry.floatGauges {
+		g.bits.Store(0)
+	}
+	for _, h := range registry.histograms {
+		h.reset()
+	}
 	registry.Unlock()
 	phases.Lock()
 	phases.m = nil
 	phases.Unlock()
+	resetCampaign()
 }
 
 // SummaryTables renders the current snapshot as report tables: phase
-// wall-time first (the per-experiment timing summary), then counters.
-// Empty sections are omitted.
+// wall-time first (the per-experiment timing summary), then counters,
+// gauges, and histogram quantile summaries. Empty sections are omitted.
 func SummaryTables(title string) []*report.Table {
-	counters, spans := Snapshot()
+	counters, gauges, spans := Snapshot()
 	var out []*report.Table
 	if len(spans) > 0 {
 		t := report.NewTable(title+": phase timings", "phase", "calls", "total ms", "mean ms")
@@ -268,6 +350,21 @@ func SummaryTables(title string) []*report.Table {
 		t := report.NewTable(title+": counters", "counter", "value")
 		for _, c := range counters {
 			t.AddRowf(c.Name, c.Value)
+		}
+		out = append(out, t)
+	}
+	if len(gauges) > 0 {
+		t := report.NewTable(title+": gauges", "gauge", "value")
+		for _, g := range gauges {
+			t.AddRowf(g.Name, g.Value)
+		}
+		out = append(out, t)
+	}
+	if hists := Histograms(); len(hists) > 0 {
+		t := report.NewTable(title+": histograms", "histogram", "count", "mean", "p50", "p90", "p99", "max")
+		for _, h := range hists {
+			t.AddRowf(h.Name, h.Count, h.Mean(),
+				h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99), h.MaxBound())
 		}
 		out = append(out, t)
 	}

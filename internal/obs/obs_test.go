@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -82,7 +83,7 @@ func TestSpanPhases(t *testing.T) {
 		time.Sleep(time.Millisecond)
 		sp.End()
 	}
-	_, spans := obs.Snapshot()
+	_, _, spans := obs.Snapshot()
 	var found bool
 	for _, s := range spans {
 		if s.Name == "test-phase" {
@@ -109,6 +110,37 @@ func TestSummaryTables(t *testing.T) {
 	tables := obs.SummaryTables("unit")
 	if len(tables) != 2 {
 		t.Fatalf("got %d tables, want phase timings + counters", len(tables))
+	}
+	// Gauge and histogram sections appear once those series exist.
+	obs.NewFloatGauge("test.summary.gauge").Set(0.25)
+	obs.NewHistogram("test.summary.hist").Record(16)
+	tables = obs.SummaryTables("unit")
+	if len(tables) != 4 {
+		t.Fatalf("got %d tables, want phases + counters + gauges + histograms", len(tables))
+	}
+}
+
+func TestFloatGauge(t *testing.T) {
+	defer reset()
+	g := obs.NewFloatGauge("test.fgauge")
+	g.Set(0.5)
+	if g.Value() != 0 {
+		t.Fatal("disabled Set must be a no-op")
+	}
+	obs.Enable()
+	g.Set(0.5)
+	g.Set(0.125)
+	if g.Value() != 0.125 {
+		t.Fatalf("gauge = %v, want 0.125", g.Value())
+	}
+	obs.NewGauge("test.igauge").Set(3)
+	gauges := obs.Gauges()
+	if gauges["test.fgauge"] != 0.125 || gauges["test.igauge"] != 3 {
+		t.Fatalf("Gauges() = %v, want both series", gauges)
+	}
+	obs.Reset()
+	if g.Value() != 0 {
+		t.Fatalf("Reset: got %v, want 0", g.Value())
 	}
 }
 
@@ -162,6 +194,60 @@ func TestTraceJSONIsChromeLoadable(t *testing.T) {
 	}
 }
 
+// TestTraceTidsPerGoroutine checks that spans ending on different
+// goroutines land on different trace rows: tids are small stable ids
+// assigned per goroutine in order of first appearance, so parallel
+// campaign workers render as parallel tracks in Perfetto.
+func TestTraceTidsPerGoroutine(t *testing.T) {
+	defer reset()
+	obs.StartTrace()
+	const workers = 4
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sp := obs.StartSpan("worker:span")
+			time.Sleep(time.Millisecond)
+			sp.End()
+		}()
+	}
+	wg.Wait()
+	obs.StartSpan("main:span").End()
+	obs.StopTrace()
+
+	raw, err := obs.TraceJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Pid  int    `json:"pid"`
+			Tid  int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != workers+1 {
+		t.Fatalf("recorded %d events, want %d", len(doc.TraceEvents), workers+1)
+	}
+	tids := map[int]bool{}
+	for _, e := range doc.TraceEvents {
+		if e.Pid != 1 {
+			t.Fatalf("event %q has pid %d, want 1", e.Name, e.Pid)
+		}
+		if e.Tid < 1 || e.Tid > workers+1 {
+			t.Fatalf("event %q has tid %d outside the dense range [1,%d]", e.Name, e.Tid, workers+1)
+		}
+		tids[e.Tid] = true
+	}
+	if len(tids) != workers+1 {
+		t.Fatalf("%d distinct tids across %d goroutines, want %d", len(tids), workers+1, workers+1)
+	}
+}
+
 func TestTraceRestartClearsEvents(t *testing.T) {
 	defer reset()
 	obs.StartTrace()
@@ -175,13 +261,20 @@ func TestTraceRestartClearsEvents(t *testing.T) {
 }
 
 // TestZeroAllocWhenDisabled is the contract behind the <=2% overhead
-// acceptance bar: with the layer off, counters, spans, and campaign
-// progress must neither allocate nor take locks.
+// acceptance bar: with the layer off, counters, gauges, histograms,
+// spans, and campaign progress must neither allocate nor take locks.
 func TestZeroAllocWhenDisabled(t *testing.T) {
 	defer reset()
 	c := obs.NewCounter("test.zeroalloc")
+	h := obs.NewHistogram("test.zeroalloc.hist")
+	g := obs.NewFloatGauge("test.zeroalloc.fgauge")
+	var local obs.LocalHist
 	allocs := testing.AllocsPerRun(1000, func() {
 		c.Add(1)
+		h.Record(1)
+		g.Set(0.5)
+		local.Observe(7)
+		local.FlushTo(h)
 		sp := obs.StartSpan2("hot:", "loop")
 		sp.End()
 		obs.CampaignShotDone()
@@ -191,6 +284,12 @@ func TestZeroAllocWhenDisabled(t *testing.T) {
 	}
 	if c.Value() != 0 {
 		t.Fatal("disabled Add must not count")
+	}
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Fatalf("disabled Record/FlushTo must not count, got %d", s.Count)
+	}
+	if g.Value() != 0 {
+		t.Fatal("disabled Set must not store")
 	}
 }
 
@@ -266,9 +365,10 @@ func TestDebugServer(t *testing.T) {
 
 // TestCounterConsistencySerialVsParallel runs a fault-injection campaign
 // and a sharded MB-AVF analysis concurrently — the two metric producers
-// racing on the shared registry — and asserts every counter total matches
-// a fully serial run. Under -race this doubles as the data-race check for
-// the whole publish path.
+// racing on the shared registry — and asserts every counter total and
+// histogram count matches a fully serial run (and, for the wall-clock-free
+// core.* series, the full bucket distribution). Under -race this doubles
+// as the data-race check for the whole publish path.
 func TestCounterConsistencySerialVsParallel(t *testing.T) {
 	w, err := workloads.ByName("vecadd")
 	if err != nil {
@@ -292,7 +392,7 @@ func TestCounterConsistencySerialVsParallel(t *testing.T) {
 	}
 
 	const shots = 24
-	run := func(workers, parallelism int) map[string]uint64 {
+	run := func(workers, parallelism int) (map[string]uint64, map[string]obs.HistSnapshot) {
 		obs.Enable()
 		obs.Reset()
 		defer reset()
@@ -324,11 +424,15 @@ func TestCounterConsistencySerialVsParallel(t *testing.T) {
 		if anErr != nil {
 			t.Fatalf("analysis (parallelism=%d): %v", parallelism, anErr)
 		}
-		return obs.Counters()
+		hists := map[string]obs.HistSnapshot{}
+		for _, h := range obs.Histograms() {
+			hists[h.Name] = h
+		}
+		return obs.Counters(), hists
 	}
 
-	serial := run(1, 1)
-	parallel := run(4, 4)
+	serial, serialH := run(1, 1)
+	parallel, parallelH := run(4, 4)
 
 	if serial["inject.shots"] != shots {
 		t.Fatalf("serial inject.shots = %d, want %d", serial["inject.shots"], shots)
@@ -342,6 +446,35 @@ func TestCounterConsistencySerialVsParallel(t *testing.T) {
 	if !reflect.DeepEqual(serial, parallel) {
 		t.Fatalf("counter totals diverge between serial and parallel runs:\nserial:   %s\nparallel: %s",
 			fmtCounters(serial), fmtCounters(parallel))
+	}
+
+	// Histograms: every series must record the same number of observations
+	// in both runs (shot-latency counts are deterministic even though the
+	// latencies themselves are wall clock). The core.* distributions are
+	// pure functions of the workload, so they must match bucket-for-bucket.
+	if serialH["inject.shot_ns"].Count != shots {
+		t.Fatalf("serial inject.shot_ns count = %d, want %d", serialH["inject.shot_ns"].Count, shots)
+	}
+	if serialH["core.group_bits"].Count == 0 {
+		t.Fatal("serial core.group_bits is empty, want one observation per fault group")
+	}
+	for name, sh := range serialH {
+		ph, ok := parallelH[name]
+		if !ok {
+			t.Fatalf("histogram %s recorded serially but not in parallel", name)
+		}
+		if sh.Count != ph.Count {
+			t.Fatalf("histogram %s count diverges: serial %d, parallel %d", name, sh.Count, ph.Count)
+		}
+		if strings.HasPrefix(name, "core.") && (sh.Buckets != ph.Buckets || sh.Sum != ph.Sum) {
+			t.Fatalf("histogram %s distribution diverges between serial and parallel runs:\nserial:   %v\nparallel: %v",
+				name, sh.Buckets, ph.Buckets)
+		}
+	}
+	for name := range parallelH {
+		if _, ok := serialH[name]; !ok {
+			t.Fatalf("histogram %s recorded in parallel but not serially", name)
+		}
 	}
 }
 

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text-format exposition (version 0.0.4) of the full metric
+// registry: counters, gauges (integer and float), phase timers, campaign
+// progress, and histograms with cumulative _bucket/_sum/_count series.
+// Registry names like "cache.l1.hits" become "mbavf_cache_l1_hits";
+// phase timers keep their span name in a label so dynamic labels
+// ("analyze:minife") never mint new metric families.
+
+// promName sanitizes a registry name into a legal Prometheus metric name
+// ([a-zA-Z_:][a-zA-Z0-9_:]*) with the repository prefix.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 6)
+	b.WriteString("mbavf_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promLabel escapes a label value per the exposition format.
+func promLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// promFloat renders a float64 without losing precision (Prometheus
+// accepts the full Go 'g' forms including scientific notation).
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes the current state of every metric as Prometheus
+// text exposition format. Zero-valued series are skipped, matching
+// Snapshot's convention.
+func WritePrometheus(w io.Writer) {
+	counters, gauges, spans := Snapshot()
+	for _, c := range counters {
+		n := promName(c.Name)
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, c.Value)
+	}
+	for _, g := range gauges {
+		n := promName(g.Name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", n, n, promFloat(g.Value))
+	}
+	if len(spans) > 0 {
+		fmt.Fprintf(w, "# TYPE mbavf_phase_calls_total counter\n")
+		for _, s := range spans {
+			fmt.Fprintf(w, "mbavf_phase_calls_total{phase=\"%s\"} %d\n", promLabel(s.Name), s.Calls)
+		}
+		fmt.Fprintf(w, "# TYPE mbavf_phase_seconds_total counter\n")
+		for _, s := range spans {
+			fmt.Fprintf(w, "mbavf_phase_seconds_total{phase=\"%s\"} %s\n",
+				promLabel(s.Name), promFloat(s.Total.Seconds()))
+		}
+	}
+	writeCampaignProm(w)
+	for _, h := range Histograms() {
+		writeHistProm(w, h)
+	}
+}
+
+// writeCampaignProm exports the live campaign progress as gauges, the
+// series an operator graphs while a long run is in flight.
+func writeCampaignProm(w io.Writer) {
+	p := Progress()
+	if p.Total == 0 {
+		return
+	}
+	wl := promLabel(p.Workload)
+	fmt.Fprintf(w, "# TYPE mbavf_campaign_shots_total gauge\nmbavf_campaign_shots_total{workload=\"%s\"} %d\n", wl, p.Total)
+	fmt.Fprintf(w, "# TYPE mbavf_campaign_shots_completed gauge\nmbavf_campaign_shots_completed{workload=\"%s\"} %d\n", wl, p.Completed)
+	fmt.Fprintf(w, "# TYPE mbavf_campaign_shots_per_second gauge\nmbavf_campaign_shots_per_second{workload=\"%s\"} %s\n", wl, promFloat(p.ShotsPerS))
+	fmt.Fprintf(w, "# TYPE mbavf_campaign_eta_seconds gauge\nmbavf_campaign_eta_seconds{workload=\"%s\"} %s\n", wl, promFloat(p.ETASec))
+}
+
+// writeHistProm emits one histogram as cumulative buckets. Empty buckets
+// between observations are skipped (cumulative counts stay correct with
+// sparse boundaries); the +Inf bucket always equals the total count.
+func writeHistProm(w io.Writer, h HistSnapshot) {
+	n := promName(h.Name)
+	fmt.Fprintf(w, "# TYPE %s histogram\n", n)
+	var cum uint64
+	for i, c := range h.Buckets {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", n, BucketUpperBound(i), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, h.Count)
+	fmt.Fprintf(w, "%s_sum %d\n", n, h.Sum)
+	fmt.Fprintf(w, "%s_count %d\n", n, h.Count)
+}
+
+// PromHandlerPath is the exposition endpoint registered by ServeDebug.
+const PromHandlerPath = "/metrics"

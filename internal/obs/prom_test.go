@@ -1,0 +1,127 @@
+package obs_test
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"mbavf/internal/obs"
+)
+
+// TestPrometheusGolden pins the exposition format byte-for-byte for one
+// of each metric kind. Snapshot skips zero-valued series, so after Reset
+// the registry contributes exactly the series this test creates.
+func TestPrometheusGolden(t *testing.T) {
+	reset()
+	defer reset()
+	obs.Enable()
+	obs.NewCounter("test.prom.counter").Add(7)
+	obs.NewFloatGauge("test.prom.fgauge").Set(0.25)
+	obs.NewGauge("test.prom.igauge").Set(3)
+	h := obs.NewHistogram("test.prom.hist")
+	for _, v := range []uint64{1, 2, 3, 100} {
+		h.Record(v)
+	}
+
+	var b strings.Builder
+	obs.WritePrometheus(&b)
+	want := `# TYPE mbavf_test_prom_counter counter
+mbavf_test_prom_counter 7
+# TYPE mbavf_test_prom_fgauge gauge
+mbavf_test_prom_fgauge 0.25
+# TYPE mbavf_test_prom_igauge gauge
+mbavf_test_prom_igauge 3
+# TYPE mbavf_test_prom_hist histogram
+mbavf_test_prom_hist_bucket{le="1"} 1
+mbavf_test_prom_hist_bucket{le="3"} 3
+mbavf_test_prom_hist_bucket{le="127"} 4
+mbavf_test_prom_hist_bucket{le="+Inf"} 4
+mbavf_test_prom_hist_sum 106
+mbavf_test_prom_hist_count 4
+`
+	if got := b.String(); got != want {
+		t.Fatalf("exposition diverges from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestPrometheusPhasesAndCampaign covers the labeled series: phase timers
+// keep the span name in a label, and a live campaign exports progress
+// gauges.
+func TestPrometheusPhasesAndCampaign(t *testing.T) {
+	reset()
+	defer reset()
+	obs.Enable()
+	sp := obs.StartSpan("analyze:promwl")
+	sp.End()
+	obs.CampaignStart("promwl", 8, 0)
+	obs.CampaignShotDone()
+
+	var b strings.Builder
+	obs.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		`mbavf_phase_calls_total{phase="analyze:promwl"} 1`,
+		`# TYPE mbavf_phase_seconds_total counter`,
+		`mbavf_campaign_shots_total{workload="promwl"} 8`,
+		`mbavf_campaign_shots_completed{workload="promwl"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestMetricsEndpoint exercises the live /metrics handler end to end:
+// valid content type and at least one histogram _bucket series, the form
+// a Prometheus scraper needs.
+func TestMetricsEndpoint(t *testing.T) {
+	reset()
+	defer reset()
+	addr, err := obs.ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs.NewCounter("test.prom.live").Add(2)
+	obs.NewHistogram("test.prom.live_hist").Record(42)
+
+	resp, err := http.Get("http://" + addr + obs.PromHandlerPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type = %q, want Prometheus text format 0.0.4", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	for _, want := range []string{
+		"mbavf_test_prom_live 2",
+		"# TYPE mbavf_test_prom_live_hist histogram",
+		`mbavf_test_prom_live_hist_bucket{le="63"} 1`,
+		`mbavf_test_prom_live_hist_bucket{le="+Inf"} 1`,
+		"mbavf_test_prom_live_hist_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPromNameSanitization(t *testing.T) {
+	reset()
+	defer reset()
+	obs.Enable()
+	obs.NewCounter("cache.l1-d/hits per set").Add(1)
+	var b strings.Builder
+	obs.WritePrometheus(&b)
+	if !strings.Contains(b.String(), "mbavf_cache_l1_d_hits_per_set 1") {
+		t.Fatalf("name not sanitized:\n%s", b.String())
+	}
+}

@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"os"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -17,6 +18,31 @@ var trace struct {
 	sync.Mutex
 	start  time.Time
 	events []traceEvent
+	// tids maps runtime goroutine ids to small stable track ids assigned
+	// in order of first appearance, so parallel campaign workers render
+	// on separate Perfetto rows instead of one overlapping flat row.
+	tids map[uint64]int
+}
+
+// goroutineID parses the current goroutine's runtime id from the
+// "goroutine N [...]" stack header. Only called while tracing, where a
+// fixed 32-byte stack dump per span end is noise next to the span itself.
+func goroutineID() uint64 {
+	var buf [32]byte
+	n := runtime.Stack(buf[:], false)
+	s := buf[:n]
+	const prefix = "goroutine "
+	if len(s) < len(prefix) {
+		return 0
+	}
+	var id uint64
+	for _, c := range s[len(prefix):] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
 }
 
 // traceEvent is one Chrome trace_event "complete" event ("ph":"X").
@@ -45,6 +71,7 @@ func StartTrace() {
 	trace.Lock()
 	trace.start = time.Now()
 	trace.events = nil
+	trace.tids = nil
 	trace.Unlock()
 	tracing.Store(true)
 }
@@ -70,8 +97,17 @@ func traceSpan(name string, start time.Time, dur time.Duration) {
 			break
 		}
 	}
+	gid := goroutineID()
 	trace.Lock()
 	if !trace.start.IsZero() && !start.Before(trace.start) {
+		tid, ok := trace.tids[gid]
+		if !ok {
+			if trace.tids == nil {
+				trace.tids = map[uint64]int{}
+			}
+			tid = len(trace.tids) + 1
+			trace.tids[gid] = tid
+		}
 		trace.events = append(trace.events, traceEvent{
 			Name: name,
 			Cat:  cat,
@@ -79,7 +115,7 @@ func traceSpan(name string, start time.Time, dur time.Duration) {
 			Ts:   float64(start.Sub(trace.start)) / float64(time.Microsecond),
 			Dur:  float64(dur) / float64(time.Microsecond),
 			Pid:  1,
-			Tid:  1,
+			Tid:  tid,
 		})
 	}
 	trace.Unlock()

@@ -23,6 +23,9 @@ type ExperimentOptions struct {
 	// Workers is the injection worker-pool size (0 = all CPUs); any
 	// value produces identical results.
 	Workers int
+	// AVFWindows is the number of time windows for the avft experiment's
+	// time-resolved AVF series (0 = the Windows default).
+	AVFWindows int
 }
 
 func (o ExperimentOptions) internal() experiments.Options {
@@ -41,6 +44,9 @@ func (o ExperimentOptions) internal() experiments.Options {
 	}
 	if o.Workers > 0 {
 		io.Workers = o.Workers
+	}
+	if o.AVFWindows > 0 {
+		io.AVFWindows = o.AVFWindows
 	}
 	return io
 }
