@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race ci bench bench-baseline bench-compare fuzz-smoke clean
+.PHONY: all build vet test race ci bench bench-baseline bench-compare fuzz-smoke serve-smoke clean
 
 all: vet build test
 
@@ -13,12 +13,20 @@ vet:
 test:
 	$(GO) test ./...
 
-# The injection campaign runner is a worker pool; race-check it (and
-# everything else) the way CI does. -short skips the full experiment
-# pipelines, which exceed the test timeout under the race detector's
-# slowdown; `make test` still runs them race-free.
+# The injection campaign runner and the analysis service
+# (internal/serve: concurrent caches, singleflight, worker pools) are the
+# most concurrency-heavy code here; race-check them (and everything else)
+# the way CI does. -short skips the full experiment pipelines, which
+# exceed the test timeout under the race detector's slowdown; `make test`
+# still runs them race-free.
 race:
 	$(GO) test -race -short ./...
+
+# End-to-end smoke of the analysis service: boot it, hit the health,
+# query, and metrics endpoints, then drain it with SIGTERM. CI runs the
+# same sequence inline.
+serve-smoke:
+	./scripts/serve-smoke.sh
 
 ci: vet build race
 

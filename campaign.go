@@ -56,11 +56,18 @@ type InjectionCampaign struct {
 
 // NewInjectionCampaign records the golden run of the named workload.
 func NewInjectionCampaign(workload string) (*InjectionCampaign, error) {
+	return NewInjectionCampaignContext(context.Background(), workload)
+}
+
+// NewInjectionCampaignContext is NewInjectionCampaign under a context:
+// cancelling ctx aborts the golden reference run, so a serving layer can
+// tear down a campaign job before its setup completes.
+func NewInjectionCampaignContext(ctx context.Context, workload string) (*InjectionCampaign, error) {
 	w, err := workloads.ByName(workload)
 	if err != nil {
 		return nil, err
 	}
-	c, err := inject.NewCampaign(w, sim.InjectionConfig())
+	c, err := inject.NewCampaignContext(ctx, w, sim.InjectionConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -123,6 +130,11 @@ type CampaignRunConfig struct {
 	// already holds. The checkpoint must match the campaign's workload,
 	// size, seed, and golden-output digest.
 	Resume bool
+	// Progress, when non-nil, observes campaign progress after every
+	// completed shot (never concurrently). Completed includes shots
+	// restored from a checkpoint — the hook async job queues use for
+	// status polling.
+	Progress func(completed, total int)
 }
 
 // RunCampaign executes a parallel single-bit campaign with panic
@@ -155,6 +167,7 @@ func (ic *InjectionCampaign) RunCampaign(ctx context.Context, cfg CampaignRunCon
 		}
 	}
 
+	var onCheckpoint func(inject.Shot)
 	if cfg.CheckpointPath != "" {
 		every := cfg.CheckpointEvery
 		if every <= 0 {
@@ -162,13 +175,25 @@ func (ic *InjectionCampaign) RunCampaign(ctx context.Context, cfg CampaignRunCon
 		}
 		ck.Shots = append(ck.Shots, rc.Completed...)
 		sinceWrite := 0
-		rc.OnShot = func(s inject.Shot) {
+		onCheckpoint = func(s inject.Shot) {
 			ck.Shots = append(ck.Shots, s)
 			sinceWrite++
 			if sinceWrite >= every {
 				sinceWrite = 0
 				// Best effort mid-run; the final write reports errors.
 				_ = ck.Save(cfg.CheckpointPath)
+			}
+		}
+	}
+	if onCheckpoint != nil || cfg.Progress != nil {
+		completed := len(rc.Completed)
+		rc.OnShot = func(s inject.Shot) {
+			if onCheckpoint != nil {
+				onCheckpoint(s)
+			}
+			if cfg.Progress != nil {
+				completed++
+				cfg.Progress(completed, cfg.Injections)
 			}
 		}
 	}

@@ -1,0 +1,80 @@
+// Command mbavf-serve runs the MB-AVF analysis service: an HTTP/JSON API
+// over the simulator that caches completed workload runs, deduplicates
+// concurrent identical queries down to a single simulation, and executes
+// fault-injection campaigns and paper experiments as pollable
+// asynchronous jobs.
+//
+//	mbavf-serve -addr :8080
+//	curl 'localhost:8080/api/v1/avf?workload=vecadd&structure=l1&scheme=sec-ded&style=logical&factor=4&mode=4'
+//
+// On SIGINT/SIGTERM the server drains: new requests get 503 (so health
+// checks fail and load balancers stop routing), queued jobs are shed,
+// and in-flight work gets -drain-timeout to finish before being
+// cancelled.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mbavf/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		maxSims      = flag.Int("max-sims", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		maxJobs      = flag.Int("max-jobs", 1, "max concurrent asynchronous jobs")
+		runsCached   = flag.Int("runs-per-shard", 4, "cached runs per cache shard")
+		reqTimeout   = flag.Duration("request-timeout", 5*time.Minute, "per-request deadline")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain deadline on shutdown")
+	)
+	flag.Parse()
+
+	s := serve.New(serve.Config{
+		MaxSims:        *maxSims,
+		MaxJobs:        *maxJobs,
+		RunsPerShard:   *runsCached,
+		RequestTimeout: *reqTimeout,
+	})
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "mbavf-serve: listening on %s\n", *addr)
+
+	select {
+	case err := <-errCh:
+		fmt.Fprintf(os.Stderr, "mbavf-serve: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(os.Stderr, "mbavf-serve: draining (up to %s)\n", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := s.Drain(dctx)
+	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "mbavf-serve: shutdown: %v\n", err)
+	}
+	<-errCh // ListenAndServe has returned http.ErrServerClosed
+	if drainErr != nil {
+		fmt.Fprintf(os.Stderr, "mbavf-serve: drain incomplete: %v\n", drainErr)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "mbavf-serve: drained cleanly")
+}

@@ -22,7 +22,7 @@ func locality(o Options) ([]*report.Table, error) {
 		"workload", "logical loc", "logical MB/SB", "way-phys loc", "way-phys MB/SB", "index-phys loc", "index-phys MB/SB")
 	t.Caption = "Higher locality -> lower MB/SB ratio; logical interleaving maximizes locality by construction."
 	for _, name := range o.workloadNames() {
-		s, err := run(name)
+		s, err := run(o, name)
 		if err != nil {
 			return nil, err
 		}
@@ -61,7 +61,7 @@ func schemes(o Options) ([]*report.Table, error) {
 	t := report.NewTable("Ablation: protection schemes on 4x1 faults, x2 way-physical interleaving", header...)
 	t.Caption = "Each domain sees 2 flips: parity undetected, SEC-DED detected, DEC-TED corrected, CRC detected."
 	for _, name := range o.workloadNames() {
-		s, err := run(name)
+		s, err := run(o, name)
 		if err != nil {
 			return nil, err
 		}
@@ -101,7 +101,7 @@ func geometry(o Options) ([]*report.Table, error) {
 	t := report.NewTable("Ablation: contiguous vs rectangular fault geometries (CRC-8, x2 way-physical, DUE/SB)", header...)
 	t.Caption = "Mode names are width x height. CRC-8 detects every tested size, so DUE/SB isolates pure geometry: rectangular faults span wordlines, touch more distinct lines, and push MB-AVF higher than same-size contiguous faults."
 	for _, name := range o.workloadNames() {
-		s, err := run(name)
+		s, err := run(o, name)
 		if err != nil {
 			return nil, err
 		}
@@ -139,7 +139,7 @@ func l2(o Options) ([]*report.Table, error) {
 	t.Caption = "The shared L2 filters L1 hits: its residency and locality profile differ from the L1's."
 	mode := bitgeom.Mx1(2)
 	for _, name := range o.workloadNames() {
-		s, err := run(name)
+		s, err := run(o, name)
 		if err != nil {
 			return nil, err
 		}

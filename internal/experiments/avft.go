@@ -34,7 +34,7 @@ func avft(o Options) ([]*report.Table, error) {
 		"workload", "structure", "mode", "window", "cycles", "DUE MB-AVF", "SDC MB-AVF", "SB-AVF")
 	t.Caption = "Per-window AVFs are exact over the window's cycles; the cycle-weighted mean of the windows reproduces the TOTAL row."
 	for _, name := range o.workloadNames() {
-		s, err := run(name)
+		s, err := run(o, name)
 		if err != nil {
 			return nil, err
 		}

@@ -19,7 +19,7 @@ func TestAVFTWindowedMeanMatchesTotal(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full simulation; skipped in -short")
 	}
-	s, err := run("minife")
+	s, err := run(Options{}, "minife")
 	if err != nil {
 		t.Fatal(err)
 	}

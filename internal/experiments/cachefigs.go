@@ -19,7 +19,7 @@ func fig4(o Options) ([]*report.Table, error) {
 	t.Caption = "Ratios lie in [1x, 2x]; logical interleaving tracks the 1x floor (highest ACE locality)."
 	var logR, wayR, idxR []float64
 	for _, name := range o.workloadNames() {
-		s, err := run(name)
+		s, err := run(o, name)
 		if err != nil {
 			return nil, err
 		}
@@ -50,7 +50,7 @@ func fig4(o Options) ([]*report.Table, error) {
 // fig5 plots MiniFE's SB-AVF and 2x1 MB-AVF over time, plus the 2x1
 // MB-AVF of each interleaving style over time (paper Figures 5a and 5b).
 func fig5(o Options) ([]*report.Table, error) {
-	s, err := run("minife")
+	s, err := run(o, "minife")
 	if err != nil {
 		return nil, err
 	}
@@ -110,7 +110,7 @@ func fig6(o Options) ([]*report.Table, error) {
 		sums := make([]float64, len(modes))
 		n := 0
 		for _, name := range o.workloadNames() {
-			s, err := run(name)
+			s, err := run(o, name)
 			if err != nil {
 				return nil, err
 			}
@@ -162,7 +162,7 @@ func fig6(o Options) ([]*report.Table, error) {
 // index- vs way-physical interleaving on MiniFE, over time (paper
 // Figure 8).
 func fig8(o Options) ([]*report.Table, error) {
-	s, err := run("minife")
+	s, err := run(o, "minife")
 	if err != nil {
 		return nil, err
 	}
@@ -212,7 +212,7 @@ func fig9(o Options) ([]*report.Table, error) {
 	t := report.NewTable("Figure 9: L1 SDC MB-AVF / SB-AVF, SEC-DED, x2 way-physical", header...)
 	t.Caption = "SDC jumps from 5x1 to 6x1 (5x1 leaves one detectable 2-flip domain) then plateaus through 8x1 (high in-line ACE locality)."
 	for _, name := range o.workloadNames() {
-		s, err := run(name)
+		s, err := run(o, name)
 		if err != nil {
 			return nil, err
 		}
@@ -248,7 +248,7 @@ func fig10(o Options) ([]*report.Table, error) {
 	t := report.NewTable("Figure 10: true vs false DUE MB-AVF by fault mode, parity, x4 way-physical", header...)
 	t.Caption = "False DUE is small on average but benchmark-dependent; its share shifts with fault-mode size."
 	for _, name := range o.workloadNames() {
-		s, err := run(name)
+		s, err := run(o, name)
 		if err != nil {
 			return nil, err
 		}

@@ -60,7 +60,7 @@ func fig11(o Options) ([]*report.Table, error) {
 	for _, cfg := range configs {
 		var sdcMB, sdcApprox, dueMB []float64
 		for _, name := range names {
-			s, err := run(name)
+			s, err := run(o, name)
 			if err != nil {
 				return nil, err
 			}

@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -38,6 +39,18 @@ type Options struct {
 	// AVFWindows is the number of time windows for the avft experiment's
 	// time-resolved AVF series; zero falls back to Windows.
 	AVFWindows int
+	// Context, when non-nil, bounds the experiment: simulations and
+	// injection campaigns poll it and a cancellation aborts the run with
+	// the context's error. Nil means context.Background().
+	Context context.Context
+}
+
+// ctx returns the experiment's context, never nil.
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
 }
 
 // DefaultOptions returns the settings used by cmd/mbavf-exp.
@@ -65,8 +78,9 @@ func (o Options) workloadNames() []string {
 // same lifetime/dataflow artifacts per workload.
 var runCache sync.Map // name -> *sim.Session
 
-// run returns the finalized, instrumented session for a workload.
-func run(name string) (*sim.Session, error) {
+// run returns the finalized, instrumented session for a workload,
+// simulating it under the options' context on a cache miss.
+func run(o Options, name string) (*sim.Session, error) {
 	if v, ok := runCache.Load(name); ok {
 		return v.(*sim.Session), nil
 	}
@@ -74,7 +88,7 @@ func run(name string) (*sim.Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	s, err := sim.Execute(w, sim.DefaultConfig())
+	s, err := sim.ExecuteContext(o.ctx(), w, sim.DefaultConfig())
 	if err != nil {
 		return nil, err
 	}

@@ -54,28 +54,28 @@ func cell(t *testing.T, tb *report.Table, rowLabel string, col int) float64 {
 
 func TestResetCachePerWorkload(t *testing.T) {
 	ResetCache()
-	a1, err := run("vecadd")
+	a1, err := run(Options{}, "vecadd")
 	if err != nil {
 		t.Fatal(err)
 	}
-	b1, err := run("prefixsum")
+	b1, err := run(Options{}, "prefixsum")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a2, _ := run("vecadd"); a2 != a1 {
+	if a2, _ := run(Options{}, "vecadd"); a2 != a1 {
 		t.Fatal("second run was not memoized")
 	}
 	// Named reset drops only that workload's session.
 	ResetCache("vecadd")
-	if a3, _ := run("vecadd"); a3 == a1 {
+	if a3, _ := run(Options{}, "vecadd"); a3 == a1 {
 		t.Fatal("ResetCache(name) did not drop the named session")
 	}
-	if b2, _ := run("prefixsum"); b2 != b1 {
+	if b2, _ := run(Options{}, "prefixsum"); b2 != b1 {
 		t.Fatal("ResetCache(name) dropped a session it was not asked to drop")
 	}
 	// Bare reset drops everything.
 	ResetCache()
-	if b3, _ := run("prefixsum"); b3 == b1 {
+	if b3, _ := run(Options{}, "prefixsum"); b3 == b1 {
 		t.Fatal("ResetCache() did not clear the cache")
 	}
 	ResetCache()

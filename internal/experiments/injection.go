@@ -36,11 +36,11 @@ func table2(o Options) ([]*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		c, err := inject.NewCampaign(w, sim.InjectionConfig())
+		c, err := inject.NewCampaignContext(o.ctx(), w, sim.InjectionConfig())
 		if err != nil {
 			return nil, err
 		}
-		rep, err := c.Run(nil, inject.RunConfig{N: o.Injections, Seed: o.Seed, Workers: o.Workers})
+		rep, err := c.Run(o.ctx(), inject.RunConfig{N: o.Injections, Seed: o.Seed, Workers: o.Workers})
 		if err != nil {
 			return nil, err
 		}

@@ -31,7 +31,7 @@ func validate(o Options) ([]*report.Table, error) {
 		names = table2Workloads()
 	}
 	for _, name := range names {
-		s, err := run(name)
+		s, err := run(o, name)
 		if err != nil {
 			return nil, err
 		}
@@ -49,11 +49,11 @@ func validate(o Options) ([]*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		c, err := inject.NewCampaign(w, sim.InjectionConfig())
+		c, err := inject.NewCampaignContext(o.ctx(), w, sim.InjectionConfig())
 		if err != nil {
 			return nil, err
 		}
-		rep, err := c.Run(nil, inject.RunConfig{N: o.Injections, Seed: o.Seed, Workers: o.Workers})
+		rep, err := c.Run(o.ctx(), inject.RunConfig{N: o.Injections, Seed: o.Seed, Workers: o.Workers})
 		if err != nil {
 			return nil, err
 		}

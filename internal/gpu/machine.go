@@ -110,7 +110,17 @@ type Machine struct {
 
 	injections []Injection
 	nextInj    int
+
+	// cancel, when non-nil, is polled between instructions (every
+	// cancelCheckMask+1 issues); a non-nil return aborts the dispatch
+	// with that error. It is how context cancellation reaches the
+	// otherwise context-free execution loop.
+	cancel func() error
 }
+
+// cancelCheckMask throttles cancellation polls to one per 4096
+// instructions, keeping the hook invisible on the issue path.
+const cancelCheckMask = 4096 - 1
 
 // New builds a machine over the given memory and cache hierarchy.
 func New(cfg Config, memory *mem.Memory, caches *cache.Hierarchy) (*Machine, error) {
@@ -136,6 +146,12 @@ func (m *Machine) Config() Config { return m.cfg }
 // AttachGraph enables dataflow recording into g. It must be set before any
 // dispatch runs and cannot be combined with injections.
 func (m *Machine) AttachGraph(g *dataflow.Graph) { m.graph = g }
+
+// SetCancel installs a cancellation poll (typically context.Context.Err)
+// checked periodically during dispatch execution. A non-nil return makes
+// the running dispatch stop and surface that error; the machine is not
+// usable afterwards. A nil hook disables polling.
+func (m *Machine) SetCancel(f func() error) { m.cancel = f }
 
 // TrackVGPR attaches a lifetime tracker to the given CU's vector register
 // file. The tracker must have VGPRThreads()*NumVRegs words of 4 bytes:
@@ -224,6 +240,11 @@ func (m *Machine) RunDispatch(d Dispatch) error {
 	if d.Prog == nil || d.Waves < 1 {
 		return fmt.Errorf("gpu: dispatch needs a program and at least one wave")
 	}
+	if m.cancel != nil {
+		if err := m.cancel(); err != nil {
+			return fmt.Errorf("gpu: dispatch cancelled: %w", err)
+		}
+	}
 	if d.Prog.NumVRegs > m.cfg.NumVRegs || d.Prog.NumSRegs > m.cfg.NumSRegs {
 		return fmt.Errorf("gpu: program %q needs %d vregs / %d sregs, machine has %d / %d",
 			d.Prog.Name, d.Prog.NumVRegs, d.Prog.NumSRegs, m.cfg.NumVRegs, m.cfg.NumSRegs)
@@ -273,6 +294,12 @@ func (m *Machine) RunDispatch(d Dispatch) error {
 		m.instrs++
 		if m.instrs > m.cfg.MaxInstructions {
 			return trapf(TrapBudget, "gpu: instruction budget %d exceeded (livelock?)", m.cfg.MaxInstructions)
+		}
+		if m.cancel != nil && m.instrs&cancelCheckMask == 0 {
+			if err := m.cancel(); err != nil {
+				m.endCycle = max(m.endCycle, issue+1)
+				return fmt.Errorf("gpu: dispatch cancelled: %w", err)
+			}
 		}
 		if w.done {
 			idx := w.cu*m.cfg.WaveSlotsPerCU + w.slot

@@ -22,6 +22,7 @@ package inject
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -137,7 +138,15 @@ type Campaign struct {
 
 // NewCampaign performs the fault-free reference run.
 func NewCampaign(w sim.Workload, cfg sim.Config) (*Campaign, error) {
-	s, err := sim.Execute(w, cfg)
+	return NewCampaignContext(context.Background(), w, cfg)
+}
+
+// NewCampaignContext is NewCampaign under a context: cancelling ctx
+// aborts the golden reference run — the adapter that lets a serving
+// layer tear down queued campaign jobs before their (expensive) setup
+// completes.
+func NewCampaignContext(ctx context.Context, w sim.Workload, cfg sim.Config) (*Campaign, error) {
+	s, err := sim.ExecuteContext(ctx, w, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("inject: golden run: %w", err)
 	}

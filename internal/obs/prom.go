@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"net/http"
 	"strconv"
 	"strings"
 )
@@ -108,3 +109,13 @@ func writeHistProm(w io.Writer, h HistSnapshot) {
 
 // PromHandlerPath is the exposition endpoint registered by ServeDebug.
 const PromHandlerPath = "/metrics"
+
+// PromHandler returns the Prometheus exposition endpoint as a reusable
+// http.Handler, so any server (the debug listener, the analysis service)
+// mounts the same /metrics behavior.
+func PromHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WritePrometheus(w)
+	})
+}

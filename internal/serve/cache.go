@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"hash/fnv"
+	"sync"
+
+	"mbavf/internal/obs"
+)
+
+// Cache is a sharded LRU with singleflight deduplication: N concurrent
+// Gets for the same missing key trigger exactly one build; everyone else
+// blocks on the leader's result. It backs both the run cache (a handful
+// of heavyweight *mbavf.Run sessions) and the query-result cache (many
+// tiny AVF/SER values) of the analysis service.
+//
+// The build function is intentionally context-free: the leader completes
+// the build even if the request that started it is abandoned, because the
+// result is about to be shared with every waiter and cached for every
+// future query. Callers bound builds with the server's lifecycle context,
+// not a request context; the per-request context only limits how long a
+// waiter is willing to block.
+type Cache[V any] struct {
+	shards []*shard[V]
+
+	hits   *obs.Counter
+	misses *obs.Counter
+	joins  *obs.Counter // Gets coalesced onto an in-flight build
+	evicts *obs.Counter
+}
+
+type shard[V any] struct {
+	mu       sync.Mutex
+	cap      int
+	order    *list.List               // front = most recently used
+	entries  map[string]*list.Element // value: *entry[V]
+	inflight map[string]*flight[V]
+}
+
+type entry[V any] struct {
+	key string
+	val V
+}
+
+type flight[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// NewCache builds a cache of nShards shards holding up to perShard
+// entries each. The name prefixes the cache's observability series
+// (<name>.hits, .misses, .joins, .evictions).
+func NewCache[V any](name string, nShards, perShard int) *Cache[V] {
+	if nShards < 1 {
+		nShards = 1
+	}
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &Cache[V]{
+		shards: make([]*shard[V], nShards),
+		hits:   obs.NewCounter(name + ".hits"),
+		misses: obs.NewCounter(name + ".misses"),
+		joins:  obs.NewCounter(name + ".joins"),
+		evicts: obs.NewCounter(name + ".evictions"),
+	}
+	for i := range c.shards {
+		c.shards[i] = &shard[V]{
+			cap:      perShard,
+			order:    list.New(),
+			entries:  map[string]*list.Element{},
+			inflight: map[string]*flight[V]{},
+		}
+	}
+	return c
+}
+
+func (c *Cache[V]) shardFor(key string) *shard[V] {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return c.shards[h.Sum32()%uint32(len(c.shards))]
+}
+
+// Get returns the cached value for key, or builds it. The second result
+// reports whether the value came from the cache (true) as opposed to a
+// fresh or joined build (false). Waiters give up when ctx is cancelled,
+// but an in-flight build always runs to completion and is cached so the
+// work is never wasted. Build errors are not cached.
+func (c *Cache[V]) Get(ctx context.Context, key string, build func() (V, error)) (V, bool, error) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	if el, ok := s.entries[key]; ok {
+		s.order.MoveToFront(el)
+		v := el.Value.(*entry[V]).val
+		s.mu.Unlock()
+		c.hits.Add(1)
+		return v, true, nil
+	}
+	if f, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		c.joins.Add(1)
+		var zero V
+		select {
+		case <-f.done:
+			return f.val, false, f.err
+		case <-ctx.Done():
+			return zero, false, ctx.Err()
+		}
+	}
+	f := &flight[V]{done: make(chan struct{})}
+	s.inflight[key] = f
+	s.mu.Unlock()
+	c.misses.Add(1)
+
+	f.val, f.err = build()
+
+	s.mu.Lock()
+	delete(s.inflight, key)
+	if f.err == nil {
+		s.entries[key] = s.order.PushFront(&entry[V]{key: key, val: f.val})
+		for s.order.Len() > s.cap {
+			oldest := s.order.Back()
+			s.order.Remove(oldest)
+			delete(s.entries, oldest.Value.(*entry[V]).key)
+			c.evicts.Add(1)
+		}
+	}
+	s.mu.Unlock()
+	close(f.done)
+	return f.val, false, f.err
+}
+
+// Len returns the number of cached entries across all shards.
+func (c *Cache[V]) Len() int {
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += s.order.Len()
+		s.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,321 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mbavf/internal/obs"
+)
+
+// Job states. A job moves queued -> running -> done/failed, or to
+// cancelled from either live state.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+var (
+	obsJobsStarted   = obs.NewCounter("serve.jobs.started")
+	obsJobsDone      = obs.NewCounter("serve.jobs.done")
+	obsJobsFailed    = obs.NewCounter("serve.jobs.failed")
+	obsJobsCancelled = obs.NewCounter("serve.jobs.cancelled")
+	obsJobsRunning   = obs.NewGauge("serve.jobs.running")
+	obsJobsQueued    = obs.NewGauge("serve.jobs.queued")
+)
+
+// JobStatus is the wire view of a job, the /api/v1/jobs payload.
+type JobStatus struct {
+	ID      string `json:"id"`
+	Kind    string `json:"kind"`
+	State   string `json:"state"`
+	Detail  string `json:"detail"` // workload or experiment name
+	Created string `json:"created"`
+	Started string `json:"started,omitempty"`
+	Ended   string `json:"ended,omitempty"`
+	// Completed/Total report campaign progress (zero for jobs without
+	// incremental progress).
+	Completed int64  `json:"completed"`
+	Total     int64  `json:"total"`
+	Error     string `json:"error,omitempty"`
+	Result    any    `json:"result,omitempty"`
+}
+
+// job is one asynchronous unit of work: an injection campaign or an
+// experiment regeneration.
+type job struct {
+	id     string
+	kind   string
+	detail string
+
+	completed atomic.Int64
+	total     atomic.Int64
+
+	mu       sync.Mutex
+	state    string
+	created  time.Time
+	started  time.Time
+	ended    time.Time
+	err      string
+	result   any
+	cancel   context.CancelFunc
+	finished chan struct{}
+}
+
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:        j.id,
+		Kind:      j.kind,
+		State:     j.state,
+		Detail:    j.detail,
+		Created:   j.created.UTC().Format(time.RFC3339Nano),
+		Completed: j.completed.Load(),
+		Total:     j.total.Load(),
+		Error:     j.err,
+	}
+	if !j.started.IsZero() {
+		st.Started = j.started.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.ended.IsZero() {
+		st.Ended = j.ended.UTC().Format(time.RFC3339Nano)
+	}
+	if j.state == StateDone {
+		st.Result = j.result
+	}
+	return st
+}
+
+// jobManager owns the asynchronous jobs: a bounded worker pool (slots
+// concurrent jobs), status registry, cancellation, and bounded retention
+// of finished jobs.
+type jobManager struct {
+	base      context.Context
+	slots     chan struct{}
+	retention int
+
+	mu     sync.Mutex
+	nextID int
+	jobs   map[string]*job
+
+	wg sync.WaitGroup
+}
+
+func newJobManager(base context.Context, slots, retention int) *jobManager {
+	if slots < 1 {
+		slots = 1
+	}
+	if retention < 1 {
+		retention = 64
+	}
+	return &jobManager{
+		base:      base,
+		slots:     make(chan struct{}, slots),
+		retention: retention,
+		jobs:      map[string]*job{},
+	}
+}
+
+// submit registers a job and starts its goroutine. run executes under a
+// context cancelled by Cancel or server shutdown; its result (on nil
+// error) becomes the job's Result. The job's total progress is seeded
+// with total (0 for jobs without incremental progress).
+func (m *jobManager) submit(kind, detail string, total int64, run func(ctx context.Context, j *job) (any, error)) *job {
+	ctx, cancel := context.WithCancel(m.base)
+	j := &job{
+		kind:     kind,
+		detail:   detail,
+		state:    StateQueued,
+		created:  time.Now(),
+		cancel:   cancel,
+		finished: make(chan struct{}),
+	}
+	j.total.Store(total)
+
+	m.mu.Lock()
+	m.nextID++
+	j.id = fmt.Sprintf("job-%06d", m.nextID)
+	m.jobs[j.id] = j
+	m.evictFinishedLocked()
+	m.mu.Unlock()
+	obsJobsQueued.Set(int64(m.countState(StateQueued)))
+
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		defer cancel()
+		defer close(j.finished)
+
+		// One bounded pool for all jobs: heavy campaigns queue here
+		// instead of oversubscribing the simulation workers.
+		select {
+		case m.slots <- struct{}{}:
+			defer func() { <-m.slots }()
+		case <-ctx.Done():
+			m.finish(j, nil, ctx.Err())
+			return
+		}
+
+		j.mu.Lock()
+		if j.state != StateQueued { // cancelled while waiting for a slot
+			j.mu.Unlock()
+			return
+		}
+		j.state = StateRunning
+		j.started = time.Now()
+		j.mu.Unlock()
+		obsJobsStarted.Add(1)
+		obsJobsRunning.Set(int64(m.countState(StateRunning)))
+		obsJobsQueued.Set(int64(m.countState(StateQueued)))
+
+		res, err := run(ctx, j)
+		m.finish(j, res, err)
+	}()
+	return j
+}
+
+// finish records a job's terminal state.
+func (m *jobManager) finish(j *job, res any, err error) {
+	j.mu.Lock()
+	if j.state == StateCancelled {
+		j.mu.Unlock()
+		return
+	}
+	j.ended = time.Now()
+	switch {
+	case err != nil && context.Cause(m.base) != nil:
+		// Server shutdown: the job did not fail, it was drained.
+		j.state = StateCancelled
+		j.err = err.Error()
+		obsJobsCancelled.Add(1)
+	case err != nil:
+		j.state = StateFailed
+		j.err = err.Error()
+		obsJobsFailed.Add(1)
+	default:
+		j.state = StateDone
+		j.result = res
+		obsJobsDone.Add(1)
+	}
+	j.mu.Unlock()
+	obsJobsRunning.Set(int64(m.countState(StateRunning)))
+	obsJobsQueued.Set(int64(m.countState(StateQueued)))
+}
+
+// get returns a job by id.
+func (m *jobManager) get(id string) (*job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// cancel transitions a job to cancelled and stops its context. It
+// returns false when the job does not exist, and reports whether the job
+// was still live (queued or running) when cancelled.
+func (m *jobManager) cancelJob(id string) (found, wasLive bool) {
+	j, ok := m.get(id)
+	if !ok {
+		return false, false
+	}
+	j.mu.Lock()
+	live := j.state == StateQueued || j.state == StateRunning
+	if live {
+		j.state = StateCancelled
+		j.ended = time.Now()
+		if j.err == "" {
+			j.err = "cancelled by request"
+		}
+	}
+	j.mu.Unlock()
+	j.cancel()
+	if live {
+		obsJobsCancelled.Add(1)
+		obsJobsRunning.Set(int64(m.countState(StateRunning)))
+		obsJobsQueued.Set(int64(m.countState(StateQueued)))
+	}
+	return true, live
+}
+
+// cancelQueued cancels every job that has not started yet (the drain
+// policy: running jobs get a grace period, queued work is shed).
+func (m *jobManager) cancelQueued() {
+	m.mu.Lock()
+	ids := make([]string, 0, len(m.jobs))
+	for id, j := range m.jobs {
+		j.mu.Lock()
+		if j.state == StateQueued {
+			ids = append(ids, id)
+		}
+		j.mu.Unlock()
+	}
+	m.mu.Unlock()
+	for _, id := range ids {
+		m.cancelJob(id)
+	}
+}
+
+// list returns every job's status, newest first.
+func (m *jobManager) list() []JobStatus {
+	m.mu.Lock()
+	jobs := make([]*job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	m.mu.Unlock()
+	out := make([]JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.status())
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID > out[k].ID })
+	return out
+}
+
+func (m *jobManager) countState(state string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, j := range m.jobs {
+		j.mu.Lock()
+		if j.state == state {
+			n++
+		}
+		j.mu.Unlock()
+	}
+	return n
+}
+
+// evictFinishedLocked bounds the registry: when more than retention jobs
+// are held, the oldest finished ones are dropped (live jobs are never
+// evicted). Caller holds m.mu.
+func (m *jobManager) evictFinishedLocked() {
+	if len(m.jobs) <= m.retention {
+		return
+	}
+	type done struct {
+		id    string
+		ended time.Time
+	}
+	var finished []done
+	for id, j := range m.jobs {
+		j.mu.Lock()
+		if j.state == StateDone || j.state == StateFailed || j.state == StateCancelled {
+			finished = append(finished, done{id, j.ended})
+		}
+		j.mu.Unlock()
+	}
+	sort.Slice(finished, func(i, k int) bool { return finished[i].ended.Before(finished[k].ended) })
+	for _, f := range finished {
+		if len(m.jobs) <= m.retention {
+			break
+		}
+		delete(m.jobs, f.id)
+	}
+}

@@ -1,0 +1,193 @@
+// Package serve is the MB-AVF analysis service: an HTTP/JSON layer that
+// decouples expensive workload simulation from cheap repeated
+// vulnerability queries. One simulated Run answers any number of
+// (structure, scheme, interleaving, mode) questions, so the server keeps
+// a sharded LRU of completed runs with singleflight deduplication — N
+// concurrent requests for the same workload trigger exactly one
+// simulation — plus a second-level cache of computed AVF/SER results, a
+// bounded simulation worker pool, per-request timeouts, asynchronous
+// fault-injection and experiment jobs, and graceful drain.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mbavf"
+	"mbavf/internal/obs"
+	"mbavf/internal/workloads"
+)
+
+// Request- and pool-level observability series; /metrics exposes them as
+// mbavf_serve_* alongside the simulator's own counters.
+var (
+	obsRequests   = obs.NewCounter("serve.requests")
+	obsResponses5 = obs.NewCounter("serve.errors_5xx")
+	obsResponses4 = obs.NewCounter("serve.errors_4xx")
+	obsReqNS      = obs.NewHistogram("serve.request_ns")
+	obsInflight   = obs.NewGauge("serve.inflight_requests")
+	obsSims       = obs.NewCounter("serve.simulations")
+	obsSimWaiting = obs.NewGauge("serve.sim_queue_depth")
+)
+
+// Config tunes the analysis service.
+type Config struct {
+	// CacheShards is the shard count of both caches (default 4).
+	CacheShards int
+	// RunsPerShard bounds the heavyweight run cache: each shard keeps at
+	// most this many instrumented simulation sessions (default 4).
+	RunsPerShard int
+	// ResultsPerShard bounds the per-query AVF/SER result cache
+	// (default 512).
+	ResultsPerShard int
+	// MaxSims bounds concurrent simulations (default GOMAXPROCS).
+	MaxSims int
+	// MaxJobs bounds concurrent asynchronous jobs (default 1; campaigns
+	// parallelize internally).
+	MaxJobs int
+	// JobRetention is how many finished jobs stay queryable (default 64).
+	JobRetention int
+	// RequestTimeout bounds one synchronous request, including any
+	// simulation it has to wait for (default 5m; jobs are not subject to
+	// it).
+	RequestTimeout time.Duration
+	// MaxBatch bounds the number of queries in one batch request
+	// (default 256).
+	MaxBatch int
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheShards <= 0 {
+		c.CacheShards = 4
+	}
+	if c.RunsPerShard <= 0 {
+		c.RunsPerShard = 4
+	}
+	if c.ResultsPerShard <= 0 {
+		c.ResultsPerShard = 512
+	}
+	if c.MaxSims <= 0 {
+		c.MaxSims = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1
+	}
+	if c.JobRetention <= 0 {
+		c.JobRetention = 64
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 5 * time.Minute
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	return c
+}
+
+// Server is the analysis service. Build one with New, mount Handler on
+// an http.Server, and call Drain on shutdown.
+type Server struct {
+	cfg Config
+
+	runs    *Cache[*mbavf.Run]
+	results *Cache[any]
+	jobs    *jobManager
+
+	simSem     chan struct{}
+	simWaiting atomic.Int64
+	inflight   atomic.Int64
+
+	base     context.Context
+	stop     context.CancelCauseFunc
+	draining atomic.Bool
+	reqWG    sync.WaitGroup
+
+	descriptions map[string]string
+}
+
+// New builds a Server. The observability layer is enabled as a side
+// effect: a service without metrics is undebuggable.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	obs.Enable()
+	base, stop := context.WithCancelCause(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		runs:    NewCache[*mbavf.Run]("serve.cache.runs", cfg.CacheShards, cfg.RunsPerShard),
+		results: NewCache[any]("serve.cache.results", cfg.CacheShards, cfg.ResultsPerShard),
+		simSem:  make(chan struct{}, cfg.MaxSims),
+		base:    base,
+		stop:    stop,
+
+		descriptions: map[string]string{},
+	}
+	s.jobs = newJobManager(base, cfg.MaxJobs, cfg.JobRetention)
+	for _, name := range workloads.Names() {
+		if d, err := mbavf.WorkloadDescription(name); err == nil {
+			s.descriptions[name] = d
+		}
+	}
+	return s
+}
+
+// run returns the instrumented Run of a workload, simulating at most
+// once no matter how many requests ask concurrently. The bool reports a
+// cache hit. The simulation itself runs under the server's lifecycle
+// context — an abandoned request must not kill a result that every
+// queued waiter (and future request) will reuse.
+func (s *Server) run(ctx context.Context, name string) (*mbavf.Run, bool, error) {
+	if _, ok := s.descriptions[name]; !ok {
+		return nil, false, fmt.Errorf("%w: %q", errUnknownWorkload, name)
+	}
+	return s.runs.Get(ctx, name, func() (*mbavf.Run, error) {
+		obsSimWaiting.Set(s.simWaiting.Add(1))
+		select {
+		case s.simSem <- struct{}{}:
+		case <-s.base.Done():
+			obsSimWaiting.Set(s.simWaiting.Add(-1))
+			return nil, context.Cause(s.base)
+		}
+		obsSimWaiting.Set(s.simWaiting.Add(-1))
+		defer func() { <-s.simSem }()
+		obsSims.Add(1)
+		return mbavf.RunWorkloadContext(s.base, name)
+	})
+}
+
+// errUnknownWorkload marks queries naming a workload the server does not
+// have; handlers map it to 404.
+var errUnknownWorkload = errors.New("unknown workload")
+
+// Draining reports whether the server has begun shutting down.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain gracefully shuts the server down: new requests are refused with
+// 503 (health checks start failing so load balancers stop routing),
+// queued jobs are shed, and in-flight requests and running jobs are
+// given until ctx expires to finish. On expiry everything still running
+// is cancelled — simulations poll their context, so stragglers unwind
+// promptly — and ctx's error is returned.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	s.jobs.cancelQueued()
+	done := make(chan struct{})
+	go func() {
+		s.reqWG.Wait()
+		s.jobs.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.stop(errors.New("serve: drained"))
+		return nil
+	case <-ctx.Done():
+		s.stop(fmt.Errorf("serve: drain deadline: %w", ctx.Err()))
+		<-done
+		return ctx.Err()
+	}
+}

@@ -5,6 +5,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"mbavf/internal/cache"
@@ -105,6 +106,14 @@ type Session struct {
 
 // NewSession builds a fresh simulator.
 func NewSession(cfg Config) (*Session, error) {
+	return NewSessionContext(context.Background(), cfg)
+}
+
+// NewSessionContext builds a fresh simulator whose dispatches poll ctx:
+// cancelling it (or exceeding its deadline) aborts the running kernel
+// between instructions with the context's error. Background or nil
+// contexts cost nothing on the execution path.
+func NewSessionContext(ctx context.Context, cfg Config) (*Session, error) {
 	if cfg.MemBytes <= 0 {
 		return nil, fmt.Errorf("sim: MemBytes must be positive")
 	}
@@ -131,6 +140,9 @@ func NewSession(cfg Config) (*Session, error) {
 	s.Machine, err = gpu.New(cfg.GPU, s.Mem, s.Hier)
 	if err != nil {
 		return nil, err
+	}
+	if ctx != nil && ctx.Done() != nil {
+		s.Machine.SetCancel(ctx.Err)
 	}
 	if cfg.TrackVGPR {
 		s.VGPRTracker = lifetime.NewTracker(cfg.GPU.VGPRThreads()*cfg.GPU.NumVRegs, 4)
@@ -274,9 +286,21 @@ type Workload struct {
 // Execute runs workload w on a fresh session with the given config and
 // finalizes it.
 func Execute(w Workload, cfg Config) (*Session, error) {
+	return ExecuteContext(context.Background(), w, cfg)
+}
+
+// ExecuteContext is Execute under a context: the workload's dispatches
+// poll ctx and a cancellation aborts the run with the context's error.
+func ExecuteContext(ctx context.Context, w Workload, cfg Config) (*Session, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	sp := obs.StartSpan2("simulate:", w.Name)
 	defer sp.End()
-	s, err := NewSession(cfg)
+	s, err := NewSessionContext(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}

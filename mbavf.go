@@ -21,13 +21,13 @@
 package mbavf
 
 import (
+	"context"
 	"fmt"
 
 	"mbavf/internal/bitgeom"
 	"mbavf/internal/core"
 	"mbavf/internal/dataflow"
 	"mbavf/internal/ecc"
-	"mbavf/internal/faultrate"
 	"mbavf/internal/interleave"
 	"mbavf/internal/lifetime"
 	"mbavf/internal/sim"
@@ -56,7 +56,7 @@ func (s Scheme) impl() (ecc.Scheme, error) {
 	case DECTED:
 		return ecc.DECTED{}, nil
 	default:
-		return nil, fmt.Errorf("mbavf: unknown scheme %q", s)
+		return nil, fmt.Errorf("%w: unknown scheme %q", ErrBadOption, s)
 	}
 }
 
@@ -180,11 +180,19 @@ func WorkloadDescription(name string) (string, error) {
 // RunWorkload executes the named workload on the default APU
 // configuration with full instrumentation.
 func RunWorkload(name string) (*Run, error) {
+	return RunWorkloadContext(context.Background(), name)
+}
+
+// RunWorkloadContext is RunWorkload under a context: cancelling ctx (or
+// exceeding its deadline) aborts the simulation between instructions and
+// returns the context's error. Long-running servers use it to bound
+// simulation time per request; the CLI entry points keep RunWorkload.
+func RunWorkloadContext(ctx context.Context, name string) (*Run, error) {
 	w, err := workloads.ByName(name)
 	if err != nil {
 		return nil, err
 	}
-	s, err := sim.Execute(w, sim.DefaultConfig())
+	s, err := sim.ExecuteContext(ctx, w, sim.DefaultConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -206,7 +214,7 @@ func cacheLayout(il Interleaving, sets, ways, lineBits int) (*interleave.Layout,
 	case StyleIndexPhysical:
 		return interleave.IndexPhysical(sets, ways, lineBits, il.Factor)
 	default:
-		return nil, fmt.Errorf("mbavf: interleaving style %q not valid for caches", il.Style)
+		return nil, fmt.Errorf("%w: interleaving style %q not valid for caches", ErrBadOption, il.Style)
 	}
 }
 
@@ -227,7 +235,7 @@ func (r *Run) vgprLayout(il Interleaving) (*interleave.Layout, bool, error) {
 		l, err := interleave.InterThread(r.vgprThreads, r.vgprRegs, 32, il.Factor)
 		return l, true, err
 	default:
-		return nil, false, fmt.Errorf("mbavf: interleaving style %q not valid for register files", il.Style)
+		return nil, false, fmt.Errorf("%w: interleaving style %q not valid for register files", ErrBadOption, il.Style)
 	}
 }
 
@@ -235,9 +243,6 @@ func (r *Run) analyze(a *core.Analyzer, scheme Scheme, modeBits int) (AVF, error
 	impl, err := scheme.impl()
 	if err != nil {
 		return AVF{}, err
-	}
-	if modeBits < 1 {
-		return AVF{}, fmt.Errorf("mbavf: fault mode must span at least 1 bit")
 	}
 	res, err := a.Analyze(impl, bitgeom.Mx1(modeBits))
 	if err != nil {
@@ -248,51 +253,31 @@ func (r *Run) analyze(a *core.Analyzer, scheme Scheme, modeBits int) (AVF, error
 
 // L1AVF measures the MB-AVF of an Mx1 fault mode (modeBits adjacent bits
 // along a wordline) in compute unit 0's L1 data array.
+//
+// Deprecated: use Run.AVF with the L1 structure; this wrapper remains for
+// source compatibility and forwards to the unified path unchanged.
 func (r *Run) L1AVF(scheme Scheme, il Interleaving, modeBits int) (AVF, error) {
-	lay, err := r.l1Layout(il)
-	if err != nil {
-		return AVF{}, err
-	}
-	return r.analyze(&core.Analyzer{
-		Layout:      lay,
-		Tracker:     r.l1Tracker,
-		Graph:       r.graph,
-		TotalCycles: r.cycles,
-	}, scheme, modeBits)
+	return r.AVF(L1, scheme, il, modeBits)
 }
 
 // L2AVF measures the MB-AVF of an Mx1 fault mode in the shared L2 data
 // array.
+//
+// Deprecated: use Run.AVF with the L2 structure; this wrapper remains for
+// source compatibility and forwards to the unified path unchanged.
 func (r *Run) L2AVF(scheme Scheme, il Interleaving, modeBits int) (AVF, error) {
-	lay, err := r.l2Layout(il)
-	if err != nil {
-		return AVF{}, err
-	}
-	return r.analyze(&core.Analyzer{
-		Layout:      lay,
-		Tracker:     r.l2Tracker,
-		Graph:       r.graph,
-		TotalCycles: r.cycles,
-	}, scheme, modeBits)
+	return r.AVF(L2, scheme, il, modeBits)
 }
 
 // VGPRAVF measures the MB-AVF of an Mx1 fault mode in compute unit 0's
 // vector register file. Inter-thread interleaving applies the paper's
 // detection-preempts-SDC rule (registers of a 16-thread group are read in
 // lock-step, so an adjacent thread's DUE fires before an SDC propagates).
+//
+// Deprecated: use Run.AVF with the VGPR structure; this wrapper remains
+// for source compatibility and forwards to the unified path unchanged.
 func (r *Run) VGPRAVF(scheme Scheme, il Interleaving, modeBits int) (AVF, error) {
-	lay, preempt, err := r.vgprLayout(il)
-	if err != nil {
-		return AVF{}, err
-	}
-	return r.analyze(&core.Analyzer{
-		Layout:               lay,
-		Tracker:              r.vgprTracker,
-		Graph:                r.graph,
-		WordVersions:         true,
-		TotalCycles:          r.cycles,
-		DetectionPreemptsSDC: preempt,
-	}, scheme, modeBits)
+	return r.AVF(VGPR, scheme, il, modeBits)
 }
 
 // SER is a soft-error-rate roll-up over all fault modes of Table III.
@@ -305,15 +290,9 @@ type SER struct {
 
 // VGPRSER rolls the register file's per-mode AVFs into SDC and DUE soft
 // error rates using the paper's Table III raw fault rates (total = 100).
+//
+// Deprecated: use Run.SER with the VGPR structure; this wrapper remains
+// for source compatibility and forwards to the unified path unchanged.
 func (r *Run) VGPRSER(scheme Scheme, il Interleaving) (SER, error) {
-	var out SER
-	for _, mr := range faultrate.TableIII() {
-		avf, err := r.VGPRAVF(scheme, il, mr.Width)
-		if err != nil {
-			return SER{}, err
-		}
-		out.SDC += faultrate.SER(mr.FIT, avf.SDC)
-		out.DUE += faultrate.SER(mr.FIT, avf.TrueDUE+avf.FalseDUE)
-	}
-	return out, nil
+	return r.SER(VGPR, scheme, il)
 }

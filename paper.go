@@ -1,6 +1,8 @@
 package mbavf
 
 import (
+	"context"
+	"fmt"
 	"strings"
 
 	"mbavf/internal/experiments"
@@ -28,37 +30,68 @@ type ExperimentOptions struct {
 	AVFWindows int
 }
 
-func (o ExperimentOptions) internal() experiments.Options {
+// internal validates the options and translates them to the experiment
+// registry's form. Zero values select defaults; negative values are
+// rejected with an error wrapping ErrBadOption (they used to be silently
+// replaced, which hid caller bugs and made remote queries undebuggable).
+func (o ExperimentOptions) internal() (experiments.Options, error) {
 	io := experiments.DefaultOptions()
+	for _, f := range []struct {
+		name string
+		v    int
+		dst  *int
+	}{
+		{"Injections", o.Injections, &io.Injections},
+		{"Windows", o.Windows, &io.Windows},
+		{"Workers", o.Workers, &io.Workers},
+		{"AVFWindows", o.AVFWindows, &io.AVFWindows},
+	} {
+		if f.v < 0 {
+			return experiments.Options{}, fmt.Errorf("%w: %s must not be negative (got %d)", ErrBadOption, f.name, f.v)
+		}
+		if f.v > 0 {
+			*f.dst = f.v
+		}
+	}
 	if len(o.Workloads) > 0 {
 		io.Workloads = o.Workloads
-	}
-	if o.Injections > 0 {
-		io.Injections = o.Injections
-	}
-	if o.Windows > 0 {
-		io.Windows = o.Windows
 	}
 	if o.Seed != 0 {
 		io.Seed = o.Seed
 	}
-	if o.Workers > 0 {
-		io.Workers = o.Workers
-	}
-	if o.AVFWindows > 0 {
-		io.AVFWindows = o.AVFWindows
-	}
-	return io
+	return io, nil
+}
+
+// Validate checks the options without running anything, reporting any
+// invalid field with an error wrapping ErrBadOption — the pre-flight
+// check serving layers use before queueing an experiment job.
+func (o ExperimentOptions) Validate() error {
+	_, err := o.internal()
+	return err
 }
 
 // RunExperiment regenerates one of the paper's tables or figures and
-// returns its rendered text.
+// returns its rendered text. Invalid options are reported with an error
+// wrapping ErrBadOption.
 func RunExperiment(name string, opts ExperimentOptions) (string, error) {
+	return RunExperimentContext(context.Background(), name, opts)
+}
+
+// RunExperimentContext is RunExperiment under a context: cancelling ctx
+// aborts the experiment's simulations and injection campaigns and returns
+// the context's error — the entry point the analysis service's experiment
+// jobs run through.
+func RunExperimentContext(ctx context.Context, name string, opts ExperimentOptions) (string, error) {
 	e, err := experiments.ByName(name)
 	if err != nil {
 		return "", err
 	}
-	tables, err := e.Run(opts.internal())
+	io, err := opts.internal()
+	if err != nil {
+		return "", err
+	}
+	io.Context = ctx
+	tables, err := e.Run(io)
 	if err != nil {
 		return "", err
 	}

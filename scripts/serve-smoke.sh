@@ -1,0 +1,47 @@
+#!/bin/sh
+# End-to-end smoke test of the mbavf-serve analysis service: build it,
+# boot it on a private port, exercise the health/query/metrics endpoints,
+# and verify SIGTERM drains it cleanly (exit 0). Used by `make
+# serve-smoke` and the CI server-smoke step.
+set -eu
+
+ADDR="127.0.0.1:18080"
+BIN="$(mktemp -d)/mbavf-serve"
+trap 'kill "$PID" 2>/dev/null || true; rm -rf "$(dirname "$BIN")"' EXIT
+
+go build -o "$BIN" ./cmd/mbavf-serve
+"$BIN" -addr "$ADDR" -drain-timeout 30s &
+PID=$!
+
+# Wait for the listener (the binary prints "listening" before serving,
+# so poll the socket rather than racing the log line).
+for i in $(seq 1 50); do
+    if curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; then break; fi
+    if ! kill -0 "$PID" 2>/dev/null; then echo "server died during boot" >&2; exit 1; fi
+    sleep 0.2
+done
+
+echo "--- healthz"
+curl -sf "http://$ADDR/healthz"
+
+echo "--- catalog"
+curl -sf "http://$ADDR/api/v1/catalog" | grep -q '"vecadd"'
+
+echo "--- avf query (cold: simulates; warm: cache hit)"
+URL="http://$ADDR/api/v1/avf?workload=vecadd&structure=l1&scheme=sec-ded&style=logical&factor=2&mode=2"
+curl -sf "$URL" | grep -q '"sb_avf"'
+curl -sf "$URL" | grep -q '"cached": true'
+
+echo "--- bad query maps to 400"
+CODE=$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR/api/v1/avf?workload=vecadd&structure=l1&scheme=nope&style=logical&factor=2&mode=2")
+[ "$CODE" = "400" ] || { echo "want 400, got $CODE" >&2; exit 1; }
+
+echo "--- metrics"
+curl -sf "http://$ADDR/metrics" | grep -q '^mbavf_serve_requests'
+curl -sf "http://$ADDR/metrics" | grep -q '^mbavf_serve_cache_runs_misses'
+
+echo "--- graceful drain on SIGTERM"
+kill -TERM "$PID"
+wait "$PID"
+
+echo "serve-smoke: OK"

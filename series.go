@@ -22,10 +22,7 @@ func seriesOf(a *core.Analyzer, scheme Scheme, modeBits int, windows int) (AVFSe
 		return AVFSeries{}, err
 	}
 	if windows < 1 {
-		return AVFSeries{}, fmt.Errorf("mbavf: need at least one window")
-	}
-	if modeBits < 1 {
-		return AVFSeries{}, fmt.Errorf("mbavf: fault mode must span at least 1 bit")
+		return AVFSeries{}, fmt.Errorf("%w: need at least one window (got %d)", ErrBadOption, windows)
 	}
 	win := (a.TotalCycles + uint64(windows) - 1) / uint64(windows)
 	if win == 0 {
@@ -44,31 +41,17 @@ func seriesOf(a *core.Analyzer, scheme Scheme, modeBits int, windows int) (AVFSe
 
 // L1AVFSeries measures the L1 MB-AVF over time, split into the given
 // number of windows.
+//
+// Deprecated: use Run.AVFSeries with the L1 structure; this wrapper
+// remains for source compatibility and forwards to the unified path.
 func (r *Run) L1AVFSeries(scheme Scheme, il Interleaving, modeBits, windows int) (AVFSeries, error) {
-	lay, err := r.l1Layout(il)
-	if err != nil {
-		return AVFSeries{}, err
-	}
-	return seriesOf(&core.Analyzer{
-		Layout:      lay,
-		Tracker:     r.l1Tracker,
-		Graph:       r.graph,
-		TotalCycles: r.cycles,
-	}, scheme, modeBits, windows)
+	return r.AVFSeries(L1, scheme, il, modeBits, windows)
 }
 
 // VGPRAVFSeries measures the register-file MB-AVF over time.
+//
+// Deprecated: use Run.AVFSeries with the VGPR structure; this wrapper
+// remains for source compatibility and forwards to the unified path.
 func (r *Run) VGPRAVFSeries(scheme Scheme, il Interleaving, modeBits, windows int) (AVFSeries, error) {
-	lay, preempt, err := r.vgprLayout(il)
-	if err != nil {
-		return AVFSeries{}, err
-	}
-	return seriesOf(&core.Analyzer{
-		Layout:               lay,
-		Tracker:              r.vgprTracker,
-		Graph:                r.graph,
-		WordVersions:         true,
-		TotalCycles:          r.cycles,
-		DetectionPreemptsSDC: preempt,
-	}, scheme, modeBits, windows)
+	return r.AVFSeries(VGPR, scheme, il, modeBits, windows)
 }
