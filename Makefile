@@ -51,6 +51,7 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzAssembleRoundTrip -fuzztime=10s ./internal/gpu
 	$(GO) test -run=^$$ -fuzz=FuzzCheckpointRoundTrip -fuzztime=10s ./internal/inject
 	$(GO) test -run=^$$ -fuzz=FuzzHammingDecode -fuzztime=10s ./internal/ecc
+	$(GO) test -run=^$$ -fuzz=FuzzStoreRoundTrip -fuzztime=10s ./internal/store
 
 clean:
 	$(GO) clean ./...

@@ -1,106 +1,49 @@
 package mbavf
 
 import (
-	"encoding/gob"
 	"fmt"
 	"io"
 
-	"mbavf/internal/dataflow"
-	"mbavf/internal/lifetime"
+	"mbavf/internal/sim"
+	"mbavf/internal/store"
 )
 
-// runArtifact is the serialized form of a Run: the lifetime segments of
-// every instrumented structure plus the solved liveness state — the
-// "event-tracking phase" output, which is the expensive part. Reloading
-// it skips simulation entirely; every AVF analysis works unchanged.
-type runArtifact struct {
-	FormatVersion int
-	Cycles        uint64
-	Instructions  uint64
-	VGPRThreads   int
-	VGPRRegs      int
-	L1Sets        int
-	L1Ways        int
-	L2Sets        int
-	L2Ways        int
-	LineBytes     int
-	L1            lifetime.Snapshot
-	L2            lifetime.Snapshot
-	VGPR          lifetime.Snapshot
-	Graph         dataflow.Snapshot
-}
-
-// artifactFormat identifies the on-disk layout; bump when the artifact
-// structure changes.
-const artifactFormat = 1
-
-// Save serializes the run's measurement artifacts (gob-encoded). A saved
-// run reloads with LoadRun and supports every analysis method without
-// re-simulation — "measure once, analyze many".
+// Save serializes the run's measurement artifact in the compact binary
+// store format: varint/delta-encoded lifetime segments, the solved
+// liveness graph, cycle counts, and the machine-config fingerprint, all
+// in CRC-checked sections. A saved run reloads with LoadRun and supports
+// every analysis method without re-simulation, bit-identically —
+// "measure once, analyze many". For a managed on-disk collection keyed
+// by (workload, machine config), use RunStore instead of raw files.
 func (r *Run) Save(w io.Writer) error {
-	if r.l1Tracker == nil || r.l2Tracker == nil || r.vgprTracker == nil || r.graph == nil {
+	m, err := r.measurements()
+	if err != nil {
+		return err
+	}
+	if !m.Instrumented() {
 		return fmt.Errorf("mbavf: run is not fully instrumented; nothing to save")
 	}
-	art := runArtifact{
-		FormatVersion: artifactFormat,
-		Cycles:        r.cycles,
-		Instructions:  r.instructions,
-		VGPRThreads:   r.vgprThreads,
-		VGPRRegs:      r.vgprRegs,
-		L1Sets:        r.l1Sets,
-		L1Ways:        r.l1Ways,
-		L2Sets:        r.l2Sets,
-		L2Ways:        r.l2Ways,
-		LineBytes:     r.lineBytes,
-		L1:            r.l1Tracker.Snapshot(),
-		L2:            r.l2Tracker.Snapshot(),
-		VGPR:          r.vgprTracker.Snapshot(),
-		Graph:         r.graph.Snapshot(),
-	}
-	return gob.NewEncoder(w).Encode(&art)
+	return store.Encode(w, m)
 }
 
-// LoadRun revives a Run saved with Save.
+// measurements returns the run's complete measurement set. For a run
+// backed by a store artifact it forces any not-yet-decoded sections
+// (reusing the ones queries already decoded); for a simulated run it is
+// free.
+func (r *Run) measurements() (*sim.Measurements, error) {
+	if r.art != nil {
+		return r.art.Measurements()
+	}
+	return r.m, nil
+}
+
+// LoadRun revives a Run saved with Save. Damaged or truncated input is
+// rejected with a typed error (the format CRC-checks every section);
+// analysis never runs over partially decoded artifacts.
 func LoadRun(rd io.Reader) (*Run, error) {
-	var art runArtifact
-	if err := gob.NewDecoder(rd).Decode(&art); err != nil {
+	m, err := store.DecodeReader(rd)
+	if err != nil {
 		return nil, fmt.Errorf("mbavf: decoding run artifact: %w", err)
 	}
-	if art.FormatVersion != artifactFormat {
-		return nil, fmt.Errorf("mbavf: artifact format %d, this build reads %d", art.FormatVersion, artifactFormat)
-	}
-	l1, err := lifetime.FromSnapshot(art.L1)
-	if err != nil {
-		return nil, err
-	}
-	l2, err := lifetime.FromSnapshot(art.L2)
-	if err != nil {
-		return nil, err
-	}
-	vgpr, err := lifetime.FromSnapshot(art.VGPR)
-	if err != nil {
-		return nil, err
-	}
-	g, err := dataflow.Restore(art.Graph)
-	if err != nil {
-		return nil, err
-	}
-	if art.Cycles == 0 {
-		return nil, fmt.Errorf("mbavf: artifact has zero cycles")
-	}
-	return &Run{
-		cycles:       art.Cycles,
-		instructions: art.Instructions,
-		vgprThreads:  art.VGPRThreads,
-		vgprRegs:     art.VGPRRegs,
-		l1Sets:       art.L1Sets,
-		l1Ways:       art.L1Ways,
-		l2Sets:       art.L2Sets,
-		l2Ways:       art.L2Ways,
-		lineBytes:    art.LineBytes,
-		l1Tracker:    l1,
-		l2Tracker:    l2,
-		vgprTracker:  vgpr,
-		graph:        g,
-	}, nil
+	return &Run{m: m}, nil
 }

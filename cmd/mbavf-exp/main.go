@@ -36,6 +36,7 @@ func main() {
 	obsFlag := flag.Bool("obs", false, "print a per-experiment observability summary (phase timings and counters)")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of all simulation/analysis phases to this file")
 	debugAddr := flag.String("debug-addr", "", "serve expvar, pprof, and Prometheus /metrics on this address (e.g. :8080 or :0 for a free port)")
+	storeDir := flag.String("store", "", "persistent run-artifact store directory: load recorded runs instead of simulating, record fresh ones")
 	flag.Parse()
 
 	if *obsFlag {
@@ -59,6 +60,7 @@ func main() {
 		AVFWindows: *avfWindows,
 		Seed:       *seed,
 		Workers:    *iworkers,
+		StoreDir:   *storeDir,
 	}
 	if *workloadsFlag != "" {
 		opts.Workloads = strings.Split(*workloadsFlag, ",")
@@ -151,5 +153,6 @@ func toInternal(opts mbavf.ExperimentOptions) experiments.Options {
 	if opts.AVFWindows > 0 {
 		io.AVFWindows = opts.AVFWindows
 	}
+	io.StoreDir = opts.StoreDir
 	return io
 }

@@ -24,6 +24,7 @@ import (
 	"syscall"
 	"time"
 
+	"mbavf"
 	"mbavf/internal/serve"
 )
 
@@ -35,14 +36,26 @@ func main() {
 		runsCached   = flag.Int("runs-per-shard", 4, "cached runs per cache shard")
 		reqTimeout   = flag.Duration("request-timeout", 5*time.Minute, "per-request deadline")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain deadline on shutdown")
+		storeDir     = flag.String("store", "", "persistent run-artifact store directory (empty = memory-only caching)")
 	)
 	flag.Parse()
+
+	var rs *mbavf.RunStore
+	if *storeDir != "" {
+		var err error
+		if rs, err = mbavf.OpenRunStore(*storeDir); err != nil {
+			fmt.Fprintf(os.Stderr, "mbavf-serve: opening store: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "mbavf-serve: run-artifact store at %s\n", rs.Dir())
+	}
 
 	s := serve.New(serve.Config{
 		MaxSims:        *maxSims,
 		MaxJobs:        *maxJobs,
 		RunsPerShard:   *runsCached,
 		RequestTimeout: *reqTimeout,
+		Store:          rs,
 	})
 	hs := &http.Server{
 		Addr:              *addr,

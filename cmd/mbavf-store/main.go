@@ -1,0 +1,220 @@
+// Command mbavf-store manages a persistent run-artifact store: the
+// "record once, analyze forever" companion to mbavf-exp and mbavf-serve.
+// Recording simulates a workload once and commits its instrumented
+// measurements (lifetime segments, solved liveness graph, cycle counts,
+// machine fingerprint) as a compact CRC-checked artifact; every later
+// analysis — any structure, scheme, interleaving, or fault mode — loads
+// it back in milliseconds, bit-identical to a fresh simulation.
+//
+// Usage:
+//
+//	mbavf-store -dir runs record minife comd   # simulate + record
+//	mbavf-store -dir runs record all           # record every workload
+//	mbavf-store -dir runs ls                   # list artifacts
+//	mbavf-store -dir runs inspect <key>        # metadata + section layout
+//	mbavf-store -dir runs verify               # full decode of every artifact
+//	mbavf-store -dir runs gc -max-bytes 100000000
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mbavf"
+	"mbavf/internal/store"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: mbavf-store -dir <store> <command> [args]
+
+commands:
+  record <workload>... | all   simulate workloads and record their artifacts
+  ls                           list stored artifacts (damaged ones flagged)
+  inspect <key>                show one artifact's metadata and sections
+  verify [<key>...]            fully decode artifacts, report damage
+  gc [-max-bytes N]            sweep quarantine/temp files, evict oldest over N
+`)
+	os.Exit(2)
+}
+
+func main() {
+	dir := flag.String("dir", "", "store directory (required)")
+	flag.Usage = usage
+	flag.Parse()
+	if *dir == "" || flag.NArg() < 1 {
+		usage()
+	}
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+
+	var err error
+	switch cmd {
+	case "record":
+		err = record(*dir, args)
+	case "ls":
+		err = ls(*dir)
+	case "inspect":
+		if len(args) != 1 {
+			usage()
+		}
+		err = inspect(*dir, args[0])
+	case "verify":
+		err = verify(*dir, args)
+	case "gc":
+		err = gc(*dir, args)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mbavf-store: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// record simulates each named workload (or all of them) and commits its
+// artifact. Already-recorded workloads are skipped — recording is
+// idempotent — and SIGINT stops between workloads, keeping everything
+// committed so far.
+func record(dir string, names []string) error {
+	rs, err := mbavf.OpenRunStore(dir)
+	if err != nil {
+		return err
+	}
+	if len(names) == 1 && names[0] == "all" {
+		names = mbavf.Workloads()
+	}
+	if len(names) == 0 {
+		return errors.New("record: no workloads named (use 'all' for every workload)")
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	for _, name := range names {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if rs.Has(name) {
+			if _, err := rs.Load(name); err == nil {
+				fmt.Printf("%s  %s (already recorded)\n", rs.Key(name), name)
+				continue
+			}
+			// Damaged artifact: Load quarantined it; re-record below.
+		}
+		start := time.Now()
+		r, err := mbavf.RunWorkloadContext(ctx, name)
+		if err != nil {
+			return fmt.Errorf("record %s: %w", name, err)
+		}
+		if err := rs.Save(name, r); err != nil {
+			return fmt.Errorf("record %s: %w", name, err)
+		}
+		fmt.Printf("%s  %s (simulated %d cycles in %v)\n",
+			rs.Key(name), name, r.Cycles(), time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+func ls(dir string) error {
+	st, err := store.Open(dir)
+	if err != nil {
+		return err
+	}
+	infos, err := st.List()
+	if err != nil {
+		return err
+	}
+	if len(infos) == 0 {
+		fmt.Println("(empty store)")
+		return nil
+	}
+	fmt.Printf("%-32s  %-12s  %10s  %12s  %s\n", "KEY", "WORKLOAD", "BYTES", "CYCLES", "RECORDED")
+	for _, in := range infos {
+		if in.Err != nil {
+			fmt.Printf("%-32s  DAMAGED: %v\n", in.Key, in.Err)
+			continue
+		}
+		fmt.Printf("%-32s  %-12s  %10d  %12d  %s\n",
+			in.Key, in.Meta.Workload, in.Bytes, in.Meta.Cycles, in.ModTime.Format(time.RFC3339))
+	}
+	return nil
+}
+
+func inspect(dir, key string) error {
+	st, err := store.Open(dir)
+	if err != nil {
+		return err
+	}
+	in, err := st.Inspect(key)
+	if err != nil {
+		return err
+	}
+	m := in.Meta
+	fmt.Printf("key:          %s\n", in.Key)
+	fmt.Printf("workload:     %s\n", m.Workload)
+	fmt.Printf("config:       %s\n", m.ConfigFP)
+	fmt.Printf("cycles:       %d\n", m.Cycles)
+	fmt.Printf("instructions: %d\n", m.Instructions)
+	fmt.Printf("l1 geometry:  %d sets x %d ways x %dB lines\n", m.L1Sets, m.L1Ways, m.LineBytes)
+	fmt.Printf("l2 geometry:  %d sets x %d ways\n", m.L2Sets, m.L2Ways)
+	fmt.Printf("vgpr:         %d threads x %d regs\n", m.VGPRThreads, m.VGPRRegs)
+	fmt.Printf("file:         %d bytes, recorded %s\n", in.Bytes, in.ModTime.Format(time.RFC3339))
+	fmt.Println("sections:")
+	for _, s := range in.Sections {
+		fmt.Printf("  %-6s %8d bytes  crc ok\n", s.Name, s.Bytes)
+	}
+	return nil
+}
+
+// verify fully decodes the named artifacts (or every artifact), so every
+// CRC and payload invariant is exercised. Damage is reported, not
+// quarantined — verify is a diagnostic.
+func verify(dir string, keys []string) error {
+	st, err := store.Open(dir)
+	if err != nil {
+		return err
+	}
+	if len(keys) == 0 {
+		infos, err := st.List()
+		if err != nil {
+			return err
+		}
+		for _, in := range infos {
+			keys = append(keys, in.Key)
+		}
+	}
+	bad := 0
+	for _, key := range keys {
+		if err := st.Verify(key); err != nil {
+			bad++
+			fmt.Printf("%s  FAIL: %v\n", key, err)
+		} else {
+			fmt.Printf("%s  ok\n", key)
+		}
+	}
+	if bad > 0 {
+		return fmt.Errorf("verify: %d damaged artifact(s)", bad)
+	}
+	return nil
+}
+
+func gc(dir string, args []string) error {
+	fs := flag.NewFlagSet("gc", flag.ExitOnError)
+	maxBytes := fs.Int64("max-bytes", 0, "evict oldest artifacts until the store fits (0 = only sweep quarantine and temp files)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	st, err := store.Open(dir)
+	if err != nil {
+		return err
+	}
+	removed, freed, err := st.GC(*maxBytes)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("gc: removed %d file(s), freed %d bytes\n", removed, freed)
+	return nil
+}

@@ -65,8 +65,8 @@ func schemes(o Options) ([]*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		sets, ways := s.Hier.L1Slots()
-		lay, err := interleave.WayPhysical(sets, ways, s.Hier.LineBytes()*8, 2)
+		sets, ways := s.L1Slots()
+		lay, err := interleave.WayPhysical(sets, ways, s.LineBytes*8, 2)
 		if err != nil {
 			return nil, err
 		}
@@ -105,8 +105,8 @@ func geometry(o Options) ([]*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		sets, ways := s.Hier.L1Slots()
-		lay, err := interleave.WayPhysical(sets, ways, s.Hier.LineBytes()*8, 2)
+		sets, ways := s.L1Slots()
+		lay, err := interleave.WayPhysical(sets, ways, s.LineBytes*8, 2)
 		if err != nil {
 			return nil, err
 		}
@@ -143,8 +143,8 @@ func l2(o Options) ([]*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		lineBits := s.Hier.LineBytes() * 8
-		l1sets, l1ways := s.Hier.L1Slots()
+		lineBits := s.LineBytes * 8
+		l1sets, l1ways := s.L1Slots()
 		l1lay, err := interleave.WayPhysical(l1sets, l1ways, lineBits, 2)
 		if err != nil {
 			return nil, err
@@ -153,7 +153,7 @@ func l2(o Options) ([]*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		l2sets, l2ways := s.Hier.L2Slots()
+		l2sets, l2ways := s.L2Slots()
 		l2lay, err := interleave.WayPhysical(l2sets, l2ways, lineBits, 2)
 		if err != nil {
 			return nil, err
@@ -162,7 +162,7 @@ func l2(o Options) ([]*report.Table, error) {
 			Layout:      l2lay,
 			Tracker:     s.L2Tracker,
 			Graph:       s.Graph,
-			TotalCycles: s.Cycles(),
+			TotalCycles: s.Cycles,
 		}
 		res2, err := r2.Analyze(ecc.Parity{}, mode)
 		if err != nil {

@@ -38,8 +38,8 @@ func avft(o Options) ([]*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		sets, ways := s.Hier.L1Slots()
-		l1lay, err := interleave.WayPhysical(sets, ways, s.Hier.LineBytes()*8, 2)
+		sets, ways := s.L1Slots()
+		l1lay, err := interleave.WayPhysical(sets, ways, s.LineBytes*8, 2)
 		if err != nil {
 			return nil, err
 		}
@@ -47,7 +47,7 @@ func avft(o Options) ([]*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		window := (s.Cycles() + uint64(n) - 1) / uint64(n)
+		window := (s.Cycles + uint64(n) - 1) / uint64(n)
 		if window == 0 {
 			window = 1
 		}

@@ -23,8 +23,8 @@ func TestAVFTWindowedMeanMatchesTotal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sets, ways := s.Hier.L1Slots()
-	l1lay, err := interleave.WayPhysical(sets, ways, s.Hier.LineBytes()*8, 2)
+	sets, ways := s.L1Slots()
+	l1lay, err := interleave.WayPhysical(sets, ways, s.LineBytes*8, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +33,7 @@ func TestAVFTWindowedMeanMatchesTotal(t *testing.T) {
 		t.Fatal(err)
 	}
 	const n = 8
-	window := (s.Cycles() + n - 1) / n
+	window := (s.Cycles + n - 1) / n
 	structures := []struct {
 		label string
 		an    *core.Analyzer

@@ -58,7 +58,7 @@ func fig5(o Options) ([]*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	window := (s.Cycles() + uint64(o.Windows) - 1) / uint64(o.Windows)
+	window := (s.Cycles + uint64(o.Windows) - 1) / uint64(o.Windows)
 	if window == 0 {
 		window = 1
 	}
@@ -114,8 +114,8 @@ func fig6(o Options) ([]*report.Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			sets, ways := s.Hier.L1Slots()
-			lay, err := interleave.WayPhysical(sets, ways, s.Hier.LineBytes()*8, 4)
+			sets, ways := s.L1Slots()
+			lay, err := interleave.WayPhysical(sets, ways, s.LineBytes*8, 4)
 			if err != nil {
 				return nil, err
 			}
@@ -170,7 +170,7 @@ func fig8(o Options) ([]*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	window := (s.Cycles() + uint64(o.Windows) - 1) / uint64(o.Windows)
+	window := (s.Cycles + uint64(o.Windows) - 1) / uint64(o.Windows)
 	if window == 0 {
 		window = 1
 	}
@@ -216,8 +216,8 @@ func fig9(o Options) ([]*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		sets, ways := s.Hier.L1Slots()
-		lay, err := interleave.WayPhysical(sets, ways, s.Hier.LineBytes()*8, 2)
+		sets, ways := s.L1Slots()
+		lay, err := interleave.WayPhysical(sets, ways, s.LineBytes*8, 2)
 		if err != nil {
 			return nil, err
 		}
@@ -252,8 +252,8 @@ func fig10(o Options) ([]*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		sets, ways := s.Hier.L1Slots()
-		lay, err := interleave.WayPhysical(sets, ways, s.Hier.LineBytes()*8, 4)
+		sets, ways := s.L1Slots()
+		lay, err := interleave.WayPhysical(sets, ways, s.LineBytes*8, 4)
 		if err != nil {
 			return nil, err
 		}

@@ -40,12 +40,13 @@ func cachesize(o Options) ([]*report.Table, error) {
 			cfg.Caches.L1.SizeBytes = sz
 			cfg.TrackL2 = false
 			cfg.TrackVGPR = false
-			s, err := sim.Execute(w, cfg)
+			sess, err := sim.Execute(w, cfg)
 			if err != nil {
 				return nil, err
 			}
-			sets, ways := s.Hier.L1Slots()
-			lay, err := interleave.WayPhysical(sets, ways, s.Hier.LineBytes()*8, 2)
+			s := sess.Measurements()
+			sets, ways := s.L1Slots()
+			lay, err := interleave.WayPhysical(sets, ways, s.LineBytes*8, 2)
 			if err != nil {
 				return nil, err
 			}

@@ -228,6 +228,21 @@ func (t *Tracker) Snapshot() Snapshot {
 	return s
 }
 
+// Adopt builds a finished tracker directly over segs without copying:
+// the caller hands over ownership of the slice and must not mutate it
+// afterwards. It is the rehydration path of the run-artifact store,
+// where the decoded segments are freshly allocated and copying them
+// again would double decode cost.
+func Adopt(words, bytesPerWord int, segs [][]Seg) (*Tracker, error) {
+	if words <= 0 || bytesPerWord <= 0 || len(segs) != words*bytesPerWord {
+		return nil, fmt.Errorf("lifetime: inconsistent adoption (%d words x %d bytes, %d slots)",
+			words, bytesPerWord, len(segs))
+	}
+	t := NewTracker(words, bytesPerWord)
+	t.segs = segs
+	return t, nil
+}
+
 // FromSnapshot reconstructs a finished tracker from a snapshot.
 func FromSnapshot(s Snapshot) (*Tracker, error) {
 	if s.Words <= 0 || s.BytesPerWord <= 0 || len(s.Segs) != s.Words*s.BytesPerWord {

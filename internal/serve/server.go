@@ -59,6 +59,11 @@ type Config struct {
 	// MaxBatch bounds the number of queries in one batch request
 	// (default 256).
 	MaxBatch int
+	// Store, when non-nil, is the persistent run-artifact tier below the
+	// in-memory run cache: cache miss -> store load (milliseconds) ->
+	// simulate and record. A warm store lets a cold process answer
+	// queries without simulating at all.
+	Store *mbavf.RunStore
 }
 
 func (c Config) withDefaults() Config {
@@ -154,8 +159,11 @@ func (s *Server) run(ctx context.Context, name string) (*mbavf.Run, bool, error)
 		}
 		obsSimWaiting.Set(s.simWaiting.Add(-1))
 		defer func() { <-s.simSem }()
-		obsSims.Add(1)
-		return mbavf.RunWorkloadContext(s.base, name)
+		r, fromStore, err := mbavf.RunWorkloadStored(s.base, name, s.cfg.Store)
+		if err == nil && !fromStore {
+			obsSims.Add(1)
+		}
+		return r, err
 	})
 }
 

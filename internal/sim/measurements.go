@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"mbavf/internal/dataflow"
+	"mbavf/internal/lifetime"
+)
+
+// Measurements is the analysis-relevant residue of a simulation run: the
+// per-structure lifetime trackers, the solved dataflow graph, the cycle
+// counts, and the structure geometry — everything MB-AVF analysis
+// consumes, and nothing tied to the live machine (memory contents, cache
+// state, pipeline state). It is the unit the run-artifact store persists:
+// a Measurements rebuilt from a stored artifact answers every analysis
+// query bit-identically to the freshly simulated original.
+type Measurements struct {
+	// Workload names the benchmark that produced the run.
+	Workload string
+	// ConfigFP is the machine-config fingerprint (Config.Fingerprint) of
+	// the simulator that produced the run; the artifact store keys on it
+	// so artifacts from differently shaped machines never alias.
+	ConfigFP string
+	// Cycles is the run duration; Instructions the dynamic wavefront
+	// instruction count.
+	Cycles       uint64
+	Instructions uint64
+
+	// Geometry of the instrumented structures.
+	L1Sets, L1Ways int
+	L2Sets, L2Ways int
+	LineBytes      int
+	VGPRThreads    int
+	VGPRRegs       int
+
+	// Per-structure lifetime timelines (nil when the structure was not
+	// instrumented) and the solved liveness graph.
+	L1Tracker   *lifetime.Tracker
+	L2Tracker   *lifetime.Tracker
+	VGPRTracker *lifetime.Tracker
+	Graph       *dataflow.Graph
+}
+
+// L1Slots returns the L1 data array geometry as (sets, ways).
+func (m *Measurements) L1Slots() (int, int) { return m.L1Sets, m.L1Ways }
+
+// L2Slots returns the L2 data array geometry as (sets, ways).
+func (m *Measurements) L2Slots() (int, int) { return m.L2Sets, m.L2Ways }
+
+// Instrumented reports whether the measurements carry every artifact the
+// full analysis suite needs (all three trackers plus the graph).
+func (m *Measurements) Instrumented() bool {
+	return m.L1Tracker != nil && m.L2Tracker != nil && m.VGPRTracker != nil && m.Graph != nil
+}
+
+// Measurements extracts the session's analysis artifacts. Call after
+// Finalize: the trackers must be closed and the graph solved.
+func (s *Session) Measurements() *Measurements {
+	m := &Measurements{
+		Workload:     s.Label,
+		ConfigFP:     s.Cfg.Fingerprint(),
+		Cycles:       s.Cycles(),
+		Instructions: s.Machine.Instructions(),
+		LineBytes:    s.Hier.LineBytes(),
+		VGPRThreads:  s.Cfg.GPU.VGPRThreads(),
+		VGPRRegs:     s.Cfg.GPU.NumVRegs,
+		L1Tracker:    s.L1Tracker,
+		L2Tracker:    s.L2Tracker,
+		VGPRTracker:  s.VGPRTracker,
+		Graph:        s.Graph,
+	}
+	m.L1Sets, m.L1Ways = s.Hier.L1Slots()
+	m.L2Sets, m.L2Ways = s.Hier.L2Slots()
+	return m
+}

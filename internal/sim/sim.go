@@ -6,6 +6,8 @@ package sim
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 
 	"mbavf/internal/cache"
@@ -62,6 +64,27 @@ func DefaultConfig() Config {
 		TrackVGPR:   true,
 		EnableGraph: true,
 	}
+}
+
+// Fingerprint returns a stable 16-hex-digit digest of the machine shape:
+// every field that changes what a simulation run measures. Two configs
+// with equal fingerprints produce bit-identical measurement artifacts for
+// the same workload, so the run-artifact store keys on it. The canonical
+// string spells out every field by name — adding a Config field without
+// extending it would silently alias stored artifacts across machine
+// shapes, so keep it exhaustive.
+func (c Config) Fingerprint() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "mem=%d\n", c.MemBytes)
+	fmt.Fprintf(h, "gpu.cus=%d gpu.waveslots=%d gpu.vregs=%d gpu.sregs=%d gpu.maxinstrs=%d\n",
+		c.GPU.NumCUs, c.GPU.WaveSlotsPerCU, c.GPU.NumVRegs, c.GPU.NumSRegs, c.GPU.MaxInstructions)
+	fmt.Fprintf(h, "hier.cus=%d hier.memlat=%d\n", c.Caches.NumCUs, c.Caches.MemLatency)
+	fmt.Fprintf(h, "l1.size=%d l1.line=%d l1.ways=%d l1.lat=%d\n",
+		c.Caches.L1.SizeBytes, c.Caches.L1.LineBytes, c.Caches.L1.Ways, c.Caches.L1.HitLatency)
+	fmt.Fprintf(h, "l2.size=%d l2.line=%d l2.ways=%d l2.lat=%d\n",
+		c.Caches.L2.SizeBytes, c.Caches.L2.LineBytes, c.Caches.L2.Ways, c.Caches.L2.HitLatency)
+	fmt.Fprintf(h, "track=%t,%t,%t graph=%t\n", c.TrackL1, c.TrackL2, c.TrackVGPR, c.EnableGraph)
+	return hex.EncodeToString(h.Sum(nil))[:16]
 }
 
 // InjectionConfig returns a lean configuration for fault-injection

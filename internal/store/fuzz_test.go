@@ -1,0 +1,95 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"mbavf/internal/dataflow"
+	"mbavf/internal/lifetime"
+	"mbavf/internal/sim"
+)
+
+// tinyMeasurements hand-builds the smallest valid artifact content: a
+// 1x1x1B L1 and L2, a 1-thread 1-register VGPR, and a 2-version graph.
+// Fuzzing mutates this ~100-byte seed thousands of times faster than the
+// half-megabyte simulated one.
+func tinyMeasurements(f *testing.F) *sim.Measurements {
+	f.Helper()
+	g, err := dataflow.Restore(dataflow.Snapshot{
+		Live:     []uint32{0, 1},
+		LastRead: []uint64{0, 7},
+		EverRead: []bool{false, true},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	seg := []lifetime.Seg{{Start: 1, End: 5, Kind: lifetime.SegACE, Version: 1}}
+	l1, err := lifetime.Adopt(1, 1, [][]lifetime.Seg{seg})
+	if err != nil {
+		f.Fatal(err)
+	}
+	l2, err := lifetime.Adopt(1, 1, [][]lifetime.Seg{{}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	vgpr, err := lifetime.Adopt(1, 4, [][]lifetime.Seg{seg, {}, {}, {}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	return &sim.Measurements{
+		Workload: "tiny", ConfigFP: "fp", Cycles: 10, Instructions: 3,
+		L1Sets: 1, L1Ways: 1, L2Sets: 1, L2Ways: 1, LineBytes: 1,
+		VGPRThreads: 1, VGPRRegs: 1,
+		L1Tracker: l1, L2Tracker: l2, VGPRTracker: vgpr, Graph: g,
+	}
+}
+
+// FuzzStoreRoundTrip drives the artifact decoder with hostile bytes: it
+// must never panic, never allocate unboundedly, and reject every invalid
+// input with a typed error (ErrFormat or ErrCorrupt). Inputs that do
+// decode must round-trip bit-identically through re-encoding — the
+// store's "never silently analyze damage" contract, mechanized.
+func FuzzStoreRoundTrip(f *testing.F) {
+	// Seed with a genuine (tiny) artifact so the fuzzer starts from
+	// valid framing and mutates inward past the CRCs, plus the classic
+	// adversarial shapes.
+	valid, err := EncodedBytes(tinyMeasurements(f))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("MBAV"))
+	f.Add([]byte{'M', 'B', 'A', 'V', version})
+	f.Add(append(bytes.Clone(valid[:len(valid)/2]), 0xff))
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := Decode(data)
+		if err != nil {
+			if !errors.Is(err, ErrFormat) && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		if !dec.Instrumented() {
+			t.Fatal("decode returned uninstrumented measurements")
+		}
+		again, err := EncodedBytes(dec)
+		if err != nil {
+			t.Fatalf("re-encode of decoded artifact failed: %v", err)
+		}
+		if !bytes.Equal(data, again) {
+			t.Fatalf("decode/encode not bit-identical: %d in, %d out", len(data), len(again))
+		}
+		// The lightweight metadata path must agree with the full decode.
+		meta, _, err := DecodeMeta(data)
+		if err != nil {
+			t.Fatalf("DecodeMeta rejected what Decode accepted: %v", err)
+		}
+		if meta.Workload != dec.Workload || meta.Cycles != dec.Cycles {
+			t.Fatalf("DecodeMeta disagrees with Decode: %+v vs %+v", meta, dec)
+		}
+	})
+}

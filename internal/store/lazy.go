@@ -1,0 +1,149 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mbavf/internal/dataflow"
+	"mbavf/internal/lifetime"
+	"mbavf/internal/sim"
+)
+
+// Artifact is a parsed run artifact whose measurement payloads decode on
+// first use. Parse validates everything structural up front — magic,
+// version, section framing, every CRC — so any byte-level damage is
+// caught before an Artifact exists; the per-section payload decoding
+// (the expensive part, millions of varint-packed segments) is deferred
+// until an analysis actually touches that structure. A single L1 query
+// against a big artifact therefore pays for the meta, graph and L1
+// sections only, never for the L2 and register-file timelines.
+//
+// All methods are safe for concurrent use: each section decodes at most
+// once (sync.Once) and is immutable afterwards, matching the read-only
+// sharing contract of analysis over a fresh simulation.
+type Artifact struct {
+	meta Meta
+	secs map[byte][]byte
+
+	graphOnce sync.Once
+	graph     *dataflow.Graph
+	nVers     int
+	graphErr  error
+
+	trackers [3]lazyTracker // indexed by secL1/secL2/secVGPR - secL1
+}
+
+type lazyTracker struct {
+	once sync.Once
+	t    *lifetime.Tracker
+	err  error
+}
+
+// Parse validates an artifact's header, section framing and checksums
+// and decodes its meta section. Hostile or damaged input fails here with
+// ErrFormat or ErrCorrupt; the returned Artifact's payloads are
+// CRC-clean and decode lazily.
+func Parse(data []byte) (*Artifact, error) {
+	secs, err := splitSections(data)
+	if err != nil {
+		return nil, err
+	}
+	meta, err := decodeMeta(secs[secMeta])
+	if err != nil {
+		return nil, err
+	}
+	return &Artifact{meta: meta, secs: secs}, nil
+}
+
+// Meta returns the artifact's identity and geometry (decoded by Parse).
+func (a *Artifact) Meta() Meta { return a.meta }
+
+// Graph returns the solved liveness graph, decoding it on first call.
+func (a *Artifact) Graph() (*dataflow.Graph, error) {
+	a.graphOnce.Do(func() {
+		start := time.Now()
+		a.graph, a.nVers, a.graphErr = decodeGraph(a.secs[secGraph])
+		if a.graphErr == nil {
+			obsDecodeNS.Record(uint64(time.Since(start).Nanoseconds()))
+		}
+	})
+	return a.graph, a.graphErr
+}
+
+// tracker decodes one structure's tracker on first call. The graph
+// decodes first if needed: segment version ids are validated against
+// its length.
+func (a *Artifact) tracker(id byte, name string, words, bpw int) (*lifetime.Tracker, error) {
+	lt := &a.trackers[id-secL1]
+	lt.once.Do(func() {
+		if _, err := a.Graph(); err != nil {
+			lt.err = fmt.Errorf("%s tracker needs the graph: %w", name, err)
+			return
+		}
+		start := time.Now()
+		lt.t, lt.err = decodeTracker(name, a.secs[id], words, bpw, uint64(a.nVers))
+		if lt.err == nil {
+			obsDecodeNS.Record(uint64(time.Since(start).Nanoseconds()))
+		}
+	})
+	return lt.t, lt.err
+}
+
+// L1 returns the L1 data array's lifetime tracker, decoding on first
+// call.
+func (a *Artifact) L1() (*lifetime.Tracker, error) {
+	return a.tracker(secL1, "l1", a.meta.L1Sets*a.meta.L1Ways, a.meta.LineBytes)
+}
+
+// L2 returns the L2 data array's lifetime tracker, decoding on first
+// call.
+func (a *Artifact) L2() (*lifetime.Tracker, error) {
+	return a.tracker(secL2, "l2", a.meta.L2Sets*a.meta.L2Ways, a.meta.LineBytes)
+}
+
+// VGPR returns the vector register file's lifetime tracker, decoding on
+// first call.
+func (a *Artifact) VGPR() (*lifetime.Tracker, error) {
+	return a.tracker(secVGPR, "vgpr", a.meta.VGPRThreads*a.meta.VGPRRegs, vgprBytesPerWord)
+}
+
+// Measurements decodes every remaining section and assembles the full
+// measurement set — the eager path behind Decode and Verify. Sections
+// already decoded are reused, so calling it after queries costs only
+// what the queries have not yet paid.
+func (a *Artifact) Measurements() (*sim.Measurements, error) {
+	g, err := a.Graph()
+	if err != nil {
+		return nil, err
+	}
+	l1, err := a.L1()
+	if err != nil {
+		return nil, err
+	}
+	l2, err := a.L2()
+	if err != nil {
+		return nil, err
+	}
+	vgpr, err := a.VGPR()
+	if err != nil {
+		return nil, err
+	}
+	return &sim.Measurements{
+		Workload:     a.meta.Workload,
+		ConfigFP:     a.meta.ConfigFP,
+		Cycles:       a.meta.Cycles,
+		Instructions: a.meta.Instructions,
+		L1Sets:       a.meta.L1Sets,
+		L1Ways:       a.meta.L1Ways,
+		L2Sets:       a.meta.L2Sets,
+		L2Ways:       a.meta.L2Ways,
+		LineBytes:    a.meta.LineBytes,
+		VGPRThreads:  a.meta.VGPRThreads,
+		VGPRRegs:     a.meta.VGPRRegs,
+		L1Tracker:    l1,
+		L2Tracker:    l2,
+		VGPRTracker:  vgpr,
+		Graph:        g,
+	}, nil
+}

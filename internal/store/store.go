@@ -1,0 +1,393 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"time"
+
+	"mbavf/internal/obs"
+	"mbavf/internal/sim"
+)
+
+// Observability series; /metrics exposes them as mbavf_store_*. A
+// cold-start query that answers without simulating shows up as a
+// store.hits increment with store.misses (and serve.simulations) flat.
+var (
+	obsHits         = obs.NewCounter("store.hits")
+	obsMisses       = obs.NewCounter("store.misses")
+	obsPuts         = obs.NewCounter("store.puts")
+	obsCorrupt      = obs.NewCounter("store.corrupt")
+	obsQuarantined  = obs.NewCounter("store.quarantined")
+	obsGCRemoved    = obs.NewCounter("store.gc_removed")
+	obsBytesRead    = obs.NewCounter("store.bytes_read")
+	obsBytesWritten = obs.NewCounter("store.bytes_written")
+	// obsDecodeNS records one sample per decoded section payload (graph
+	// or tracker); lazily loaded artifacts contribute only the sections
+	// their queries actually touched.
+	obsDecodeNS = obs.NewHistogram("store.decode_ns")
+)
+
+// ErrNotFound marks a Get/Inspect for a key the store does not hold;
+// callers fall through to simulation.
+var ErrNotFound = errors.New("store: artifact not found")
+
+// artifactExt is the on-disk suffix of stored artifacts.
+const artifactExt = ".mbavf"
+
+// quarantineDir collects artifacts that failed decoding. They are kept
+// (renamed, not deleted) so an operator can post-mortem the damage, and
+// reclaimed by GC.
+const quarantineDir = "quarantine"
+
+// KeyFor returns the content address of a (workload, machine config)
+// pair: a 32-hex-digit digest stable across processes and hosts. The
+// workload name covers the workload's parameters too — bundled
+// workloads bake their sizes into their identity — and the config
+// fingerprint covers every field of the machine shape.
+func KeyFor(workload string, cfg sim.Config) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "workload=%s\nconfig=%s\n", workload, cfg.Fingerprint())
+	return hex.EncodeToString(h.Sum(nil))[:32]
+}
+
+// keyRE validates externally supplied keys before they touch the
+// filesystem (they become file names).
+var keyRE = regexp.MustCompile(`^[0-9a-f]{32}$`)
+
+// Store is a content-addressed directory of run artifacts. All methods
+// are safe for concurrent use by independent processes: writers commit
+// via temp-file-plus-rename, so readers only ever observe complete
+// files, and a crashed writer leaves at worst an orphaned temp file for
+// GC to sweep.
+type Store struct {
+	dir string
+}
+
+// Open returns a store rooted at dir, creating the directory if needed.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Path returns the file path an artifact with the given key lives at.
+func (s *Store) Path(key string) string { return filepath.Join(s.dir, key+artifactExt) }
+
+func checkKey(key string) error {
+	if !keyRE.MatchString(key) {
+		return fmt.Errorf("store: malformed key %q", key)
+	}
+	return nil
+}
+
+// Get loads and decodes the artifact stored under key. A missing
+// artifact returns ErrNotFound; a damaged one is quarantined and
+// returns an error wrapping ErrCorrupt or ErrFormat — it is never
+// silently analyzed, and the caller's fallback is re-simulation.
+func (s *Store) Get(key string) (*sim.Measurements, error) {
+	if err := checkKey(key); err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(s.Path(key))
+	if errors.Is(err, fs.ErrNotExist) {
+		obsMisses.Add(1)
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	obsBytesRead.Add(uint64(len(data)))
+	m, err := Decode(data)
+	if err != nil {
+		if errors.Is(err, ErrCorrupt) || errors.Is(err, ErrFormat) {
+			obsCorrupt.Add(1)
+			s.quarantine(key)
+		}
+		return nil, err
+	}
+	obsHits.Add(1)
+	return m, nil
+}
+
+// GetArtifact loads the artifact stored under key as a lazily decoding
+// Artifact: the framing and every CRC are verified before it returns (a
+// damaged file is quarantined exactly as in Get), but the measurement
+// payloads decode on first use. This is the serving tier's load path —
+// reviving a run costs low milliseconds, and each analysis then decodes
+// only the sections it touches.
+func (s *Store) GetArtifact(key string) (*Artifact, error) {
+	if err := checkKey(key); err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(s.Path(key))
+	if errors.Is(err, fs.ErrNotExist) {
+		obsMisses.Add(1)
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	obsBytesRead.Add(uint64(len(data)))
+	a, err := Parse(data)
+	if err != nil {
+		if errors.Is(err, ErrCorrupt) || errors.Is(err, ErrFormat) {
+			obsCorrupt.Add(1)
+			s.quarantine(key)
+		}
+		return nil, err
+	}
+	obsHits.Add(1)
+	return a, nil
+}
+
+// quarantine moves a damaged artifact out of the addressable namespace
+// so the next Get for its key misses cleanly. Best-effort: a failed
+// rename falls back to removal, and a failed removal leaves the file to
+// fail CRC again.
+func (s *Store) quarantine(key string) {
+	qdir := filepath.Join(s.dir, quarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err == nil {
+		if os.Rename(s.Path(key), filepath.Join(qdir, key+artifactExt)) == nil {
+			obsQuarantined.Add(1)
+			return
+		}
+	}
+	_ = os.Remove(s.Path(key))
+}
+
+// Put encodes m and commits it under key atomically: the artifact is
+// written to a temp file in the store directory and renamed into place,
+// so a crash mid-write never leaves a partial artifact addressable.
+func (s *Store) Put(key string, m *sim.Measurements) error {
+	if err := checkKey(key); err != nil {
+		return err
+	}
+	data, err := EncodedBytes(m)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.Path(key)); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	obsPuts.Add(1)
+	obsBytesWritten.Add(uint64(len(data)))
+	return nil
+}
+
+// Has reports whether an artifact is stored under key (without
+// validating it; Get still decides whether it is usable).
+func (s *Store) Has(key string) bool {
+	if checkKey(key) != nil {
+		return false
+	}
+	_, err := os.Stat(s.Path(key))
+	return err == nil
+}
+
+// Delete removes the artifact stored under key, if any.
+func (s *Store) Delete(key string) error {
+	if err := checkKey(key); err != nil {
+		return err
+	}
+	if err := os.Remove(s.Path(key)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Info describes one stored artifact for listing and inspection.
+type Info struct {
+	Key      string
+	Bytes    int64
+	ModTime  time.Time
+	Meta     Meta
+	Sections []SectionInfo
+	// Err carries the decode failure of a damaged artifact in List
+	// output (Inspect returns it as an error instead).
+	Err error
+}
+
+// keys returns the stored artifact keys, sorted.
+func (s *Store) keys() ([]string, error) {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var keys []string
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if filepath.Ext(name) != artifactExt {
+			continue
+		}
+		key := name[:len(name)-len(artifactExt)]
+		if keyRE.MatchString(key) {
+			keys = append(keys, key)
+		}
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Inspect reads one artifact's metadata and section layout, verifying
+// its framing and CRCs but not decoding the measurement payloads.
+func (s *Store) Inspect(key string) (Info, error) {
+	if err := checkKey(key); err != nil {
+		return Info{}, err
+	}
+	st, err := os.Stat(s.Path(key))
+	if errors.Is(err, fs.ErrNotExist) {
+		return Info{}, fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	if err != nil {
+		return Info{}, fmt.Errorf("store: %w", err)
+	}
+	data, err := os.ReadFile(s.Path(key))
+	if err != nil {
+		return Info{}, fmt.Errorf("store: %w", err)
+	}
+	meta, secs, err := DecodeMeta(data)
+	if err != nil {
+		return Info{}, err
+	}
+	return Info{Key: key, Bytes: st.Size(), ModTime: st.ModTime(), Meta: meta, Sections: secs}, nil
+}
+
+// List enumerates the stored artifacts. Damaged artifacts are included
+// with Err set rather than hidden, so `mbavf-store ls` shows them.
+func (s *Store) List() ([]Info, error) {
+	keys, err := s.keys()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Info, 0, len(keys))
+	for _, key := range keys {
+		info, err := s.Inspect(key)
+		if err != nil {
+			if errors.Is(err, ErrNotFound) {
+				continue // raced with a concurrent delete
+			}
+			info = Info{Key: key, Err: err}
+			if st, serr := os.Stat(s.Path(key)); serr == nil {
+				info.Bytes, info.ModTime = st.Size(), st.ModTime()
+			}
+		}
+		out = append(out, info)
+	}
+	return out, nil
+}
+
+// Verify fully decodes the artifact under key, exercising every CRC and
+// every payload invariant. It does not quarantine: verify is a
+// diagnostic, not a serving path.
+func (s *Store) Verify(key string) error {
+	if err := checkKey(key); err != nil {
+		return err
+	}
+	data, err := os.ReadFile(s.Path(key))
+	if errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("%w: %s", ErrNotFound, key)
+	}
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	_, err = Decode(data)
+	return err
+}
+
+// GC bounds the store: quarantined artifacts and orphaned temp files
+// are always removed, then the oldest artifacts (by modification time)
+// are evicted until the remainder fits maxBytes. maxBytes <= 0 means
+// unlimited (only the quarantine/temp sweep runs). It returns how many
+// files were removed and how many bytes were freed.
+func (s *Store) GC(maxBytes int64) (removed int, freed int64, err error) {
+	// Sweep the quarantine and stale temp files first.
+	qdir := filepath.Join(s.dir, quarantineDir)
+	if ents, rerr := os.ReadDir(qdir); rerr == nil {
+		for _, e := range ents {
+			p := filepath.Join(qdir, e.Name())
+			if st, serr := os.Stat(p); serr == nil && os.Remove(p) == nil {
+				removed++
+				freed += st.Size()
+			}
+		}
+	}
+	ents, rerr := os.ReadDir(s.dir)
+	if rerr != nil {
+		return removed, freed, fmt.Errorf("store: %w", rerr)
+	}
+	type aged struct {
+		key  string
+		size int64
+		mod  time.Time
+	}
+	var arts []aged
+	var total int64
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		st, serr := e.Info()
+		if serr != nil {
+			continue
+		}
+		name := e.Name()
+		if filepath.Ext(name) != artifactExt {
+			// Orphaned temp file from a crashed writer: reclaim if it has
+			// been sitting for a while (an active writer renames within
+			// seconds).
+			if len(name) > 4 && name[:5] == ".tmp-" && time.Since(st.ModTime()) > time.Hour {
+				if os.Remove(filepath.Join(s.dir, name)) == nil {
+					removed++
+					freed += st.Size()
+				}
+			}
+			continue
+		}
+		arts = append(arts, aged{key: name[:len(name)-len(artifactExt)], size: st.Size(), mod: st.ModTime()})
+		total += st.Size()
+	}
+	if maxBytes > 0 && total > maxBytes {
+		sort.Slice(arts, func(i, j int) bool { return arts[i].mod.Before(arts[j].mod) })
+		for _, a := range arts {
+			if total <= maxBytes {
+				break
+			}
+			if os.Remove(filepath.Join(s.dir, a.key+artifactExt)) == nil {
+				removed++
+				freed += a.size
+				total -= a.size
+			}
+		}
+	}
+	obsGCRemoved.Add(uint64(removed))
+	return removed, freed, nil
+}

@@ -27,30 +27,19 @@ func localityOf(a *core.Analyzer, modeBits int) (ACELocality, error) {
 // L1ACELocality measures ACE locality of Mx1 fault groups in compute unit
 // 0's L1 data array under the given interleaving layout.
 func (r *Run) L1ACELocality(il Interleaving, modeBits int) (ACELocality, error) {
-	lay, err := r.l1Layout(il)
+	a, err := r.analyzerFor(L1, il)
 	if err != nil {
 		return ACELocality{}, err
 	}
-	return localityOf(&core.Analyzer{
-		Layout:      lay,
-		Tracker:     r.l1Tracker,
-		Graph:       r.graph,
-		TotalCycles: r.cycles,
-	}, modeBits)
+	return localityOf(a, modeBits)
 }
 
 // VGPRACELocality measures ACE locality of Mx1 fault groups in the vector
 // register file under the given interleaving layout.
 func (r *Run) VGPRACELocality(il Interleaving, modeBits int) (ACELocality, error) {
-	lay, _, err := r.vgprLayout(il)
+	a, err := r.analyzerFor(VGPR, il)
 	if err != nil {
 		return ACELocality{}, err
 	}
-	return localityOf(&core.Analyzer{
-		Layout:       lay,
-		Tracker:      r.vgprTracker,
-		Graph:        r.graph,
-		WordVersions: true,
-		TotalCycles:  r.cycles,
-	}, modeBits)
+	return localityOf(a, modeBits)
 }

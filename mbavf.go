@@ -26,11 +26,10 @@ import (
 
 	"mbavf/internal/bitgeom"
 	"mbavf/internal/core"
-	"mbavf/internal/dataflow"
 	"mbavf/internal/ecc"
 	"mbavf/internal/interleave"
-	"mbavf/internal/lifetime"
 	"mbavf/internal/sim"
+	"mbavf/internal/store"
 	"mbavf/internal/workloads"
 )
 
@@ -129,39 +128,21 @@ func fromResult(r *core.Result) AVF {
 // Run is a completed, instrumented simulation of one workload, ready for
 // AVF analysis under any number of protection configurations. A Run is
 // self-contained: it can be serialized with Save and revived with LoadRun
-// without re-simulating.
+// (or recorded into a RunStore) without re-simulating — analysis over the
+// rehydrated artifact is bit-identical to analysis over the original.
 type Run struct {
-	cycles       uint64
-	instructions uint64
-	vgprThreads  int
-	vgprRegs     int
-	l1Sets       int
-	l1Ways       int
-	l2Sets       int
-	l2Ways       int
-	lineBytes    int
-
-	l1Tracker   *lifetime.Tracker
-	l2Tracker   *lifetime.Tracker
-	vgprTracker *lifetime.Tracker
-	graph       *dataflow.Graph
+	m *sim.Measurements
+	// art, when non-nil, backs a run revived from a RunStore: m carries
+	// the metadata (names, cycle counts, geometry) and the trackers and
+	// graph decode lazily from the artifact on first use, so a query
+	// pays only for the sections it touches. Laziness is memoized and
+	// concurrency-safe inside the artifact, preserving the read-only
+	// sharing contract analyses rely on.
+	art *store.Artifact
 }
 
 func newRunFromSession(s *sim.Session) *Run {
-	r := &Run{
-		cycles:       s.Cycles(),
-		instructions: s.Machine.Instructions(),
-		vgprThreads:  s.Cfg.GPU.VGPRThreads(),
-		vgprRegs:     s.Cfg.GPU.NumVRegs,
-		lineBytes:    s.Hier.LineBytes(),
-		l1Tracker:    s.L1Tracker,
-		l2Tracker:    s.L2Tracker,
-		vgprTracker:  s.VGPRTracker,
-		graph:        s.Graph,
-	}
-	r.l1Sets, r.l1Ways = s.Hier.L1Slots()
-	r.l2Sets, r.l2Ways = s.Hier.L2Slots()
-	return r
+	return &Run{m: s.Measurements()}
 }
 
 // Workloads lists the bundled benchmark names.
@@ -200,10 +181,14 @@ func RunWorkloadContext(ctx context.Context, name string) (*Run, error) {
 }
 
 // Cycles returns the run's duration in simulated cycles.
-func (r *Run) Cycles() uint64 { return r.cycles }
+func (r *Run) Cycles() uint64 { return r.m.Cycles }
 
 // Instructions returns the dynamic wavefront instruction count.
-func (r *Run) Instructions() uint64 { return r.instructions }
+func (r *Run) Instructions() uint64 { return r.m.Instructions }
+
+// Workload returns the name of the workload that produced the run (empty
+// for runs loaded from artifacts recorded before names were stored).
+func (r *Run) Workload() string { return r.m.Workload }
 
 func cacheLayout(il Interleaving, sets, ways, lineBits int) (*interleave.Layout, error) {
 	switch il.Style {
@@ -219,20 +204,20 @@ func cacheLayout(il Interleaving, sets, ways, lineBits int) (*interleave.Layout,
 }
 
 func (r *Run) l1Layout(il Interleaving) (*interleave.Layout, error) {
-	return cacheLayout(il, r.l1Sets, r.l1Ways, r.lineBytes*8)
+	return cacheLayout(il, r.m.L1Sets, r.m.L1Ways, r.m.LineBytes*8)
 }
 
 func (r *Run) l2Layout(il Interleaving) (*interleave.Layout, error) {
-	return cacheLayout(il, r.l2Sets, r.l2Ways, r.lineBytes*8)
+	return cacheLayout(il, r.m.L2Sets, r.m.L2Ways, r.m.LineBytes*8)
 }
 
 func (r *Run) vgprLayout(il Interleaving) (*interleave.Layout, bool, error) {
 	switch il.Style {
 	case StyleIntraThread:
-		l, err := interleave.IntraThread(r.vgprThreads, r.vgprRegs, 32, il.Factor)
+		l, err := interleave.IntraThread(r.m.VGPRThreads, r.m.VGPRRegs, 32, il.Factor)
 		return l, false, err
 	case StyleInterThread:
-		l, err := interleave.InterThread(r.vgprThreads, r.vgprRegs, 32, il.Factor)
+		l, err := interleave.InterThread(r.m.VGPRThreads, r.m.VGPRRegs, 32, il.Factor)
 		return l, true, err
 	default:
 		return nil, false, fmt.Errorf("%w: interleaving style %q not valid for register files", ErrBadOption, il.Style)

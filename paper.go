@@ -28,6 +28,11 @@ type ExperimentOptions struct {
 	// AVFWindows is the number of time windows for the avft experiment's
 	// time-resolved AVF series (0 = the Windows default).
 	AVFWindows int
+	// StoreDir, when non-empty, points experiments at a persistent
+	// run-artifact store: instrumented runs load from it instead of
+	// simulating when recorded, and are recorded after simulating
+	// otherwise.
+	StoreDir string
 }
 
 // internal validates the options and translates them to the experiment
@@ -59,6 +64,7 @@ func (o ExperimentOptions) internal() (experiments.Options, error) {
 	if o.Seed != 0 {
 		io.Seed = o.Seed
 	}
+	io.StoreDir = o.StoreDir
 	return io, nil
 }
 

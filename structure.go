@@ -5,7 +5,10 @@ import (
 	"fmt"
 
 	"mbavf/internal/core"
+	"mbavf/internal/dataflow"
 	"mbavf/internal/faultrate"
+	"mbavf/internal/interleave"
+	"mbavf/internal/lifetime"
 )
 
 // ErrBadOption marks a request that is well-formed Go but semantically
@@ -73,49 +76,87 @@ func validateQuery(il Interleaving, modeBits int) error {
 	return nil
 }
 
+// graph returns the run's solved liveness graph, decoding it from the
+// backing store artifact on first use for store-loaded runs.
+func (r *Run) graph() (*dataflow.Graph, error) {
+	if r.m.Graph != nil {
+		return r.m.Graph, nil
+	}
+	if r.art != nil {
+		return r.art.Graph()
+	}
+	return nil, fmt.Errorf("mbavf: run has no liveness graph")
+}
+
+// tracker returns one structure's lifetime tracker, decoding it from
+// the backing store artifact on first use for store-loaded runs.
+func (r *Run) tracker(st Structure) (*lifetime.Tracker, error) {
+	switch st {
+	case L1:
+		if r.m.L1Tracker != nil {
+			return r.m.L1Tracker, nil
+		}
+		if r.art != nil {
+			return r.art.L1()
+		}
+	case L2:
+		if r.m.L2Tracker != nil {
+			return r.m.L2Tracker, nil
+		}
+		if r.art != nil {
+			return r.art.L2()
+		}
+	case VGPR:
+		if r.m.VGPRTracker != nil {
+			return r.m.VGPRTracker, nil
+		}
+		if r.art != nil {
+			return r.art.VGPR()
+		}
+	}
+	return nil, fmt.Errorf("mbavf: run has no %s instrumentation", st)
+}
+
 // analyzerFor builds the MB-AVF analyzer of one structure under one
 // interleaving layout — the single construction path shared by the
 // unified API, the legacy per-structure methods, and the windowed series.
 func (r *Run) analyzerFor(st Structure, il Interleaving) (*core.Analyzer, error) {
+	var lay *interleave.Layout
+	var preempt, wordVersions bool
+	var err error
 	switch st {
 	case L1:
-		lay, err := r.l1Layout(il)
-		if err != nil {
-			return nil, err
-		}
-		return &core.Analyzer{
-			Layout:      lay,
-			Tracker:     r.l1Tracker,
-			Graph:       r.graph,
-			TotalCycles: r.cycles,
-		}, nil
+		lay, err = r.l1Layout(il)
 	case L2:
-		lay, err := r.l2Layout(il)
-		if err != nil {
-			return nil, err
-		}
-		return &core.Analyzer{
-			Layout:      lay,
-			Tracker:     r.l2Tracker,
-			Graph:       r.graph,
-			TotalCycles: r.cycles,
-		}, nil
+		lay, err = r.l2Layout(il)
 	case VGPR:
-		lay, preempt, err := r.vgprLayout(il)
-		if err != nil {
-			return nil, err
-		}
-		return &core.Analyzer{
-			Layout:               lay,
-			Tracker:              r.vgprTracker,
-			Graph:                r.graph,
-			WordVersions:         true,
-			TotalCycles:          r.cycles,
-			DetectionPreemptsSDC: preempt,
-		}, nil
+		lay, preempt, err = r.vgprLayout(il)
+		wordVersions = true
 	default:
 		return nil, fmt.Errorf("%w: unknown structure %q (have l1, l2, vgpr)", ErrBadOption, st)
 	}
+	if err != nil {
+		return nil, err
+	}
+	// The layout is validated before the (possibly lazily decoded)
+	// measurements are touched, so malformed queries against
+	// store-loaded runs never pay for a section decode.
+	g, err := r.graph()
+	if err != nil {
+		return nil, err
+	}
+	tr, err := r.tracker(st)
+	if err != nil {
+		return nil, err
+	}
+	return &core.Analyzer{
+		Layout:               lay,
+		Tracker:              tr,
+		Graph:                g,
+		WordVersions:         wordVersions,
+		TotalCycles:          r.m.Cycles,
+		DetectionPreemptsSDC: preempt,
+	}, nil
 }
 
 // AVF measures the MB-AVF of an Mx1 fault mode (modeBits adjacent bits

@@ -1,0 +1,94 @@
+package mbavf
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestParseStructureRoundTrip(t *testing.T) {
+	sts := Structures()
+	if len(sts) != 3 {
+		t.Fatalf("want 3 structures, got %v", sts)
+	}
+	for _, st := range sts {
+		got, err := ParseStructure(string(st))
+		if err != nil {
+			t.Errorf("ParseStructure(%q): %v", st, err)
+		}
+		if got != st {
+			t.Errorf("ParseStructure(%q) = %q", st, got)
+		}
+	}
+}
+
+func TestParseStructureRejectsUnknown(t *testing.T) {
+	for _, name := range []string{"", "l3", "L1", "sram", "vgpr "} {
+		_, err := ParseStructure(name)
+		if err == nil {
+			t.Errorf("ParseStructure(%q) accepted", name)
+			continue
+		}
+		if !errors.Is(err, ErrBadOption) {
+			t.Errorf("ParseStructure(%q) error does not wrap ErrBadOption: %v", name, err)
+		}
+	}
+}
+
+func TestStructureStyles(t *testing.T) {
+	for _, st := range []Structure{L1, L2} {
+		want := []Style{StyleLogical, StyleWayPhysical, StyleIndexPhysical}
+		got := st.Styles()
+		if len(got) != len(want) {
+			t.Fatalf("%s styles = %v", st, got)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s styles[%d] = %q, want %q", st, i, got[i], want[i])
+			}
+		}
+	}
+	got := VGPR.Styles()
+	if len(got) != 2 || got[0] != StyleIntraThread || got[1] != StyleInterThread {
+		t.Errorf("vgpr styles = %v", got)
+	}
+}
+
+func TestSchemesComplete(t *testing.T) {
+	schemes := Schemes()
+	if len(schemes) != 4 {
+		t.Fatalf("want 4 schemes, got %v", schemes)
+	}
+	for _, s := range schemes {
+		if _, err := s.impl(); err != nil {
+			t.Errorf("scheme %q has no implementation: %v", s, err)
+		}
+	}
+}
+
+func TestValidateQueryRejectsBadParams(t *testing.T) {
+	r := minife(t)
+	cases := []struct {
+		name string
+		il   Interleaving
+		mode int
+	}{
+		{"zero factor", Interleaving{Style: StyleLogical, Factor: 0}, 2},
+		{"negative factor", Interleaving{Style: StyleLogical, Factor: -1}, 2},
+		{"zero mode", Interleaving{Style: StyleLogical, Factor: 2}, 0},
+		{"negative mode", Interleaving{Style: StyleLogical, Factor: 2}, -3},
+	}
+	for _, c := range cases {
+		if _, err := r.AVF(L1, Parity, c.il, c.mode); !errors.Is(err, ErrBadOption) {
+			t.Errorf("%s: AVF error = %v, want ErrBadOption", c.name, err)
+		}
+		if _, err := r.AVFSeries(L1, Parity, c.il, c.mode, 4); !errors.Is(err, ErrBadOption) {
+			t.Errorf("%s: AVFSeries error = %v, want ErrBadOption", c.name, err)
+		}
+	}
+	if _, err := r.AVF(Structure("dram"), Parity, Interleaving{Style: StyleLogical, Factor: 2}, 2); !errors.Is(err, ErrBadOption) {
+		t.Errorf("unknown structure error = %v, want ErrBadOption", err)
+	}
+	if _, err := r.AVF(L1, Scheme("tmr"), Interleaving{Style: StyleLogical, Factor: 2}, 2); !errors.Is(err, ErrBadOption) {
+		t.Errorf("unknown scheme error = %v, want ErrBadOption", err)
+	}
+}
