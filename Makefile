@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race ci bench bench-baseline bench-compare fuzz-smoke serve-smoke clean
+.PHONY: all build vet test race ci bench bench-baseline bench-compare fuzz-smoke serve-smoke fabric-smoke clean
 
 all: vet build test
 
@@ -28,7 +28,14 @@ race:
 serve-smoke:
 	./scripts/serve-smoke.sh
 
-ci: vet build race
+# End-to-end smoke of the distributed campaign fabric: boot a two-worker
+# fleet, kill one worker mid-campaign, and assert the results match the
+# local run bit-for-bit with leases stolen from the dead worker. CI runs
+# the same sequence inline.
+fabric-smoke:
+	./scripts/fabric-smoke.sh
+
+ci: vet build race fabric-smoke
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .

@@ -3,9 +3,11 @@ package mbavf
 import (
 	"context"
 	"errors"
+	"net/http"
 	"os"
 	"time"
 
+	"mbavf/internal/fabric"
 	"mbavf/internal/inject"
 	"mbavf/internal/sim"
 	"mbavf/internal/workloads"
@@ -135,6 +137,29 @@ type CampaignRunConfig struct {
 	// restored from a checkpoint — the hook async job queues use for
 	// status polling.
 	Progress func(completed, total int)
+	// Fabric, when non-nil, distributes the campaign across a worker
+	// fleet. Results stay bit-identical to a local run — the per-shot
+	// (Seed, index) RNG guarantees it — and checkpoint/resume works
+	// unchanged: a drain checkpoints whatever the fleet delivered.
+	Fabric *FabricOptions
+}
+
+// FabricOptions configures distributed campaign execution.
+type FabricOptions struct {
+	// Workers is the fleet's base URLs (e.g. "http://host:8080"). Empty
+	// runs in-process (the graceful-degradation floor).
+	Workers []string
+	// ShardSize is the number of shots per lease (default 64).
+	ShardSize int
+	// LeaseTTL is the per-lease heartbeat deadline; a lease silent for
+	// this long is stolen and re-dispatched (default 15s).
+	LeaseTTL time.Duration
+	// ErrorBudget aborts the run after this many failed lease dispatches
+	// (0 = unlimited; every failure retries or falls back in-process).
+	ErrorBudget int
+	// Transport overrides the coordinator's HTTP transport (tests inject
+	// chaos here).
+	Transport http.RoundTripper
 }
 
 // RunCampaign executes a parallel single-bit campaign with panic
@@ -198,7 +223,20 @@ func (ic *InjectionCampaign) RunCampaign(ctx context.Context, cfg CampaignRunCon
 		}
 	}
 
-	rep, runErr := ic.c.Run(ctx, rc)
+	var rep *inject.RunReport
+	var runErr error
+	if cfg.Fabric != nil {
+		co := fabric.New(fabric.Config{
+			Workers:     cfg.Fabric.Workers,
+			ShardSize:   cfg.Fabric.ShardSize,
+			LeaseTTL:    cfg.Fabric.LeaseTTL,
+			ErrorBudget: cfg.Fabric.ErrorBudget,
+			Transport:   cfg.Fabric.Transport,
+		}, ic.c)
+		rep, runErr = co.Run(ctx, rc)
+	} else {
+		rep, runErr = ic.c.Run(ctx, rc)
+	}
 	if rep == nil {
 		return nil, CampaignSummary{}, runErr
 	}

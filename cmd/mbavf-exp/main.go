@@ -37,6 +37,7 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of all simulation/analysis phases to this file")
 	debugAddr := flag.String("debug-addr", "", "serve expvar, pprof, and Prometheus /metrics on this address (e.g. :8080 or :0 for a free port)")
 	storeDir := flag.String("store", "", "persistent run-artifact store directory: load recorded runs instead of simulating, record fresh ones")
+	fabricWorkers := flag.String("fabric-workers", "", "comma-separated fabric worker base URLs; distributes injection campaigns across the fleet")
 	flag.Parse()
 
 	if *obsFlag {
@@ -64,6 +65,13 @@ func main() {
 	}
 	if *workloadsFlag != "" {
 		opts.Workloads = strings.Split(*workloadsFlag, ",")
+	}
+	if *fabricWorkers != "" {
+		for _, p := range strings.Split(*fabricWorkers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				opts.FabricWorkers = append(opts.FabricWorkers, p)
+			}
+		}
 	}
 
 	names := []string{*exp}
@@ -154,5 +162,6 @@ func toInternal(opts mbavf.ExperimentOptions) experiments.Options {
 		io.AVFWindows = opts.AVFWindows
 	}
 	io.StoreDir = opts.StoreDir
+	io.FabricWorkers = opts.FabricWorkers
 	return io
 }

@@ -32,6 +32,18 @@ import (
 	"mbavf/internal/obs"
 )
 
+// splitPeers parses the -fabric-workers list, dropping empty entries so
+// a trailing comma is harmless.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
 func main() {
 	workload := flag.String("workload", "prefixsum", "workload to inject into")
 	n := flag.Int("n", 200, "number of single-bit injections")
@@ -45,6 +57,10 @@ func main() {
 	obsFlag := flag.Bool("obs", false, "print an observability summary (phase timings and counters) after the campaign")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON of the campaign phases to this file")
 	debugAddr := flag.String("debug-addr", "", "serve expvar, pprof, and Prometheus /metrics on this address (e.g. :8080 or :0 for a free port); /debug/vars carries live campaign progress with shots/sec and ETA")
+	fabricWorkers := flag.String("fabric-workers", "", "comma-separated fabric worker base URLs; distributes the campaign across the fleet (results stay bit-identical to a local run)")
+	fabricShard := flag.Int("fabric-shard", 0, "shots per fabric lease (0 = default)")
+	fabricTTL := flag.Duration("fabric-lease-ttl", 0, "lease deadline before an unresponsive worker's work is stolen (0 = default)")
+	fabricBudget := flag.Int("fabric-error-budget", 0, "abort after this many failed lease dispatches (0 = retry/fall back forever)")
 	flag.Parse()
 
 	if *resume && *checkpoint == "" {
@@ -98,6 +114,17 @@ func main() {
 		}
 	}
 
+	var fo *mbavf.FabricOptions
+	if peers := splitPeers(*fabricWorkers); len(peers) > 0 {
+		fo = &mbavf.FabricOptions{
+			Workers:     peers,
+			ShardSize:   *fabricShard,
+			LeaseTTL:    *fabricTTL,
+			ErrorBudget: *fabricBudget,
+		}
+		fmt.Fprintf(os.Stderr, "mbavf-inject: distributing across %d fabric workers\n", len(peers))
+	}
+
 	results, sum, err := c.RunCampaign(ctx, mbavf.CampaignRunConfig{
 		Injections:     *n,
 		Seed:           *seed,
@@ -106,6 +133,7 @@ func main() {
 		ErrorBudget:    *errBudget,
 		CheckpointPath: *checkpoint,
 		Resume:         *resume,
+		Fabric:         fo,
 	})
 	if err != nil && len(results) == 0 && sum.Errors == 0 {
 		fmt.Fprintln(os.Stderr, "mbavf-inject:", err)

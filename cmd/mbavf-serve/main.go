@@ -21,12 +21,25 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"mbavf"
 	"mbavf/internal/serve"
 )
+
+// splitPeers parses the -fabric-workers list, dropping empty entries so
+// a trailing comma is harmless.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
 
 func main() {
 	var (
@@ -37,6 +50,9 @@ func main() {
 		reqTimeout   = flag.Duration("request-timeout", 5*time.Minute, "per-request deadline")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain deadline on shutdown")
 		storeDir     = flag.String("store", "", "persistent run-artifact store directory (empty = memory-only caching)")
+		worker       = flag.Bool("worker", false, "serve the distributed-campaign fabric worker endpoints (/fabric/v1/*)")
+		fabricPeers  = flag.String("fabric-workers", "", "comma-separated worker base URLs; makes this server a fabric coordinator")
+		shotDelay    = flag.Duration("fabric-shot-delay", 0, "throttle every fabric shot by this much (chaos/testing knob for straggler rehearsal; leave 0 in production)")
 	)
 	flag.Parse()
 
@@ -56,11 +72,20 @@ func main() {
 		RunsPerShard:   *runsCached,
 		RequestTimeout: *reqTimeout,
 		Store:          rs,
+		FabricWorker:    *worker,
+		FabricPeers:     splitPeers(*fabricPeers),
+		FabricShotDelay: *shotDelay,
 	})
+	// ReadHeaderTimeout and ReadTimeout bound how long a client may take
+	// to deliver a request (slow-loris defense); request bodies here are
+	// small JSON documents, so 30s is generous. Response writing stays
+	// unbounded — synchronous AVF queries legitimately compute for
+	// minutes before the first byte.
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -51,6 +51,11 @@ type Options struct {
 	// simulation cost once per (workload, machine config) across
 	// processes, not once per process.
 	StoreDir string
+	// FabricWorkers, when non-empty, distributes injection campaigns
+	// across these fabric worker base URLs. Results stay bit-identical
+	// to a local run (deterministic per-shot sampling); an unreachable
+	// fleet degrades to in-process execution.
+	FabricWorkers []string
 }
 
 // ctx returns the experiment's context, never nil.

@@ -1,13 +1,26 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"mbavf/internal/fabric"
 	"mbavf/internal/inject"
 	"mbavf/internal/report"
 	"mbavf/internal/sim"
 	"mbavf/internal/workloads"
 )
+
+// runInjection executes a campaign either in-process or — when the
+// options name a fabric fleet — distributed across it. Either path is
+// bit-identical (deterministic per-shot sampling), so experiments never
+// have to care where their shots ran.
+func runInjection(ctx context.Context, o Options, c *inject.Campaign, rc inject.RunConfig) (*inject.RunReport, error) {
+	if len(o.FabricWorkers) == 0 {
+		return c.Run(ctx, rc)
+	}
+	return fabric.New(fabric.Config{Workers: o.FabricWorkers}, c).Run(ctx, rc)
+}
 
 // table2Workloads mirrors the paper's Table II benchmark list (the AMD
 // OpenCL sample suite).
@@ -40,7 +53,7 @@ func table2(o Options) ([]*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		rep, err := c.Run(o.ctx(), inject.RunConfig{N: o.Injections, Seed: o.Seed, Workers: o.Workers})
+		rep, err := runInjection(o.ctx(), o, c, inject.RunConfig{N: o.Injections, Seed: o.Seed, Workers: o.Workers})
 		if err != nil {
 			return nil, err
 		}

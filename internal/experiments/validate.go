@@ -53,7 +53,7 @@ func validate(o Options) ([]*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		rep, err := c.Run(o.ctx(), inject.RunConfig{N: o.Injections, Seed: o.Seed, Workers: o.Workers})
+		rep, err := runInjection(o.ctx(), o, c, inject.RunConfig{N: o.Injections, Seed: o.Seed, Workers: o.Workers})
 		if err != nil {
 			return nil, err
 		}

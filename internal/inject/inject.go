@@ -167,6 +167,9 @@ func (c *Campaign) Cycles() uint64 { return c.cycles }
 // Golden returns the fault-free output.
 func (c *Campaign) Golden() []byte { return c.golden }
 
+// Workload names the campaign's workload.
+func (c *Campaign) Workload() string { return c.workload.Name }
+
 // RunMask injects a multi-bit flip (mask) into one register and
 // classifies the outcome. A panic anywhere in the simulated run is
 // recovered and classified OutcomeCrash; machine traps are classified

@@ -138,6 +138,13 @@ func (c *Campaign) runShot(seed int64, i int) Shot {
 	return s
 }
 
+// RunShot executes one indexed injection. The shot's target depends only
+// on (seed, i) through the per-shot splitmix64 RNG, so any executor
+// anywhere — a fabric worker, a re-dispatch after a steal, the
+// coordinator's local fallback — produces the identical Shot. Exported
+// for the distributed campaign fabric.
+func (c *Campaign) RunShot(seed int64, i int) Shot { return c.runShot(seed, i) }
+
 // Run executes a single-bit campaign of cfg.N shots on a worker pool.
 // Targets depend only on (cfg.Seed, shot index), so serial and parallel
 // runs produce identical reports. Cancelling ctx (or exceeding

@@ -129,10 +129,18 @@ func ServeDebug(addr string) (string, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	// Explicit read deadlines so a slow-loris client cannot pin the
+	// listener. WriteTimeout stays unset: pprof profile captures stream
+	// for their requested duration.
+	srv := &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+	}
 	go func() {
 		// The server lives for the process; errors after shutdown are
 		// expected and uninteresting.
-		_ = http.Serve(ln, mux)
+		_ = srv.Serve(ln)
 	}()
 	return ln.Addr().String(), nil
 }

@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"net/http"
+	"testing"
+
+	"mbavf/internal/fabric"
+)
+
+// TestFabricWorkerMode: a server started with FabricWorker mounts the
+// lease endpoints and answers health checks; one without stays 404.
+func TestFabricWorkerMode(t *testing.T) {
+	_, worker := newTestServer(t, Config{FabricWorker: true})
+	var h fabric.Health
+	getJSON(t, worker.URL+fabric.PathHealth, http.StatusOK, &h)
+	if h.Status != "ok" {
+		t.Fatalf("worker health = %q, want ok", h.Status)
+	}
+
+	_, plain := newTestServer(t, Config{})
+	resp, err := http.Get(plain.URL + fabric.PathHealth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("non-worker server answers fabric health: %d", resp.StatusCode)
+	}
+}
+
+// TestBatchDistributedMatchesLocal runs the same AVF batch against a
+// plain server and a coordinator fronting two worker servers: the
+// responses must be identical, including per-item errors.
+func TestBatchDistributedMatchesLocal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process AVF batch in -short mode")
+	}
+	_, w1 := newTestServer(t, Config{FabricWorker: true})
+	_, w2 := newTestServer(t, Config{FabricWorker: true})
+	_, local := newTestServer(t, Config{})
+	_, coord := newTestServer(t, Config{FabricPeers: []string{w1.URL, w2.URL}})
+
+	q := AVFQuery{Workload: "vecadd", Structure: "l1", Scheme: "parity", Style: "logical", Factor: 2, ModeBits: 2}
+	q2 := q
+	q2.Scheme = "sec-ded"
+	bad := q
+	bad.Scheme = "hamming"
+	batch := map[string]any{"queries": []AVFQuery{q, q2, bad}}
+
+	var want, got struct {
+		Results []BatchItem `json:"results"`
+	}
+	postJSON(t, local.URL+"/api/v1/avf/batch", batch, http.StatusOK, &want)
+	postJSON(t, coord.URL+"/api/v1/avf/batch", batch, http.StatusOK, &got)
+
+	if len(got.Results) != len(want.Results) {
+		t.Fatalf("%d distributed results, want %d", len(got.Results), len(want.Results))
+	}
+	for i := range want.Results {
+		w, g := want.Results[i], got.Results[i]
+		if (w.Error == "") != (g.Error == "") {
+			t.Errorf("item %d: error mismatch: local %q, distributed %q", i, w.Error, g.Error)
+			continue
+		}
+		if w.Result == nil {
+			continue
+		}
+		if g.Result == nil {
+			t.Errorf("item %d: distributed result missing", i)
+			continue
+		}
+		if w.Result.AVF != g.Result.AVF || w.Result.Structure != g.Result.Structure {
+			t.Errorf("item %d: distributed AVF %v differs from local %v", i, g.Result, w.Result)
+		}
+	}
+}

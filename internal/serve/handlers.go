@@ -181,6 +181,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /api/v1/jobs", s.wrap("jobs_list", s.handleJobList))
 	mux.Handle("GET /api/v1/jobs/{id}", s.wrap("jobs_get", s.handleJobGet))
 	mux.Handle("DELETE /api/v1/jobs/{id}", s.wrap("jobs_cancel", s.handleJobCancel))
+	s.mountFabric(mux)
 	return mux
 }
 
@@ -375,21 +376,31 @@ func (s *Server) handleAVFBatch(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, fmt.Errorf("%w: batch of %d exceeds limit %d", mbavf.ErrBadOption, len(req.Queries), s.cfg.MaxBatch))
 		return
 	}
-	items := make([]BatchItem, len(req.Queries))
-	var wg sync.WaitGroup
-	for i, q := range req.Queries {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			resp, err := s.queryAVF(r.Context(), q)
-			if err != nil {
-				items[i].Error = err.Error()
-				return
-			}
-			items[i].Result = &resp
-		}()
+	var items []BatchItem
+	if s.coord != nil {
+		var err error
+		items, err = s.batchDistributed(r.Context(), req.Queries)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+	} else {
+		items = make([]BatchItem, len(req.Queries))
+		var wg sync.WaitGroup
+		for i, q := range req.Queries {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				resp, err := s.queryAVF(r.Context(), q)
+				if err != nil {
+					items[i].Error = err.Error()
+					return
+				}
+				items[i].Result = &resp
+			}()
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 	writeJSON(w, http.StatusOK, struct {
 		Results []BatchItem `json:"results"`
 	}{items})
@@ -541,6 +552,7 @@ func (s *Server) handleJobInjection(w http.ResponseWriter, r *http.Request) {
 			Injections: req.Injections,
 			Seed:       req.Seed,
 			Workers:    req.Workers,
+			Fabric:     s.fabricOptions(),
 			Progress: func(completed, _ int) {
 				j.completed.Store(int64(completed))
 			},

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"mbavf"
+	"mbavf/internal/fabric"
 	"mbavf/internal/obs"
 	"mbavf/internal/workloads"
 )
@@ -64,6 +65,19 @@ type Config struct {
 	// simulate and record. A warm store lets a cold process answer
 	// queries without simulating at all.
 	Store *mbavf.RunStore
+	// FabricWorker mounts the distributed-campaign fabric's worker
+	// endpoints (/fabric/v1/*) on this server, so a coordinator can lease
+	// shot ranges and AVF batches to it.
+	FabricWorker bool
+	// FabricPeers, when non-empty, makes this server a fabric
+	// coordinator: AVF batch requests and injection jobs are sharded into
+	// leases across these worker base URLs (falling back in-process when
+	// the fleet is unreachable).
+	FabricPeers []string
+	// FabricShotDelay throttles every shot this worker executes — a
+	// chaos/testing knob for rehearsing straggler and lease-steal
+	// scenarios (see scripts/fabric-smoke.sh). Zero in production.
+	FabricShotDelay time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -112,6 +126,9 @@ type Server struct {
 	draining atomic.Bool
 	reqWG    sync.WaitGroup
 
+	worker *fabric.Worker
+	coord  *fabric.Coordinator
+
 	descriptions map[string]string
 }
 
@@ -136,6 +153,18 @@ func New(cfg Config) *Server {
 		if d, err := mbavf.WorkloadDescription(name); err == nil {
 			s.descriptions[name] = d
 		}
+	}
+	if cfg.FabricWorker {
+		s.worker = fabric.NewWorker(fabric.WorkerConfig{
+			AVF:       s.evaluateAVF,
+			ShotDelay: cfg.FabricShotDelay,
+		})
+	}
+	if len(cfg.FabricPeers) > 0 {
+		s.coord = fabric.New(fabric.Config{
+			Workers:  cfg.FabricPeers,
+			LocalAVF: s.evaluateAVF,
+		}, nil)
 	}
 	return s
 }
@@ -183,6 +212,9 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
 	s.jobs.cancelQueued()
+	if s.worker != nil {
+		defer s.worker.Close()
+	}
 	done := make(chan struct{})
 	go func() {
 		s.reqWG.Wait()

@@ -33,6 +33,10 @@ type ExperimentOptions struct {
 	// simulating when recorded, and are recorded after simulating
 	// otherwise.
 	StoreDir string
+	// FabricWorkers, when non-empty, distributes injection campaigns
+	// across these fabric worker base URLs (results stay bit-identical
+	// to in-process runs).
+	FabricWorkers []string
 }
 
 // internal validates the options and translates them to the experiment
@@ -65,6 +69,7 @@ func (o ExperimentOptions) internal() (experiments.Options, error) {
 		io.Seed = o.Seed
 	}
 	io.StoreDir = o.StoreDir
+	io.FabricWorkers = o.FabricWorkers
 	return io, nil
 }
 

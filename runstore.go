@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"mbavf/internal/obs"
 	"mbavf/internal/sim"
@@ -129,27 +130,59 @@ func (rs *RunStore) Save(workload string, r *Run) error {
 	return rs.st.Put(rs.Key(workload), m)
 }
 
+// storeRetryDelay is the backoff before the single Load retry on a
+// transient store failure; a var so tests don't wait.
+var storeRetryDelay = 50 * time.Millisecond
+
 // RunWorkloadStored returns the named workload's Run from the store when
 // a valid artifact is recorded, and simulates (then records) otherwise.
 // The boolean reports whether the store answered. A nil store always
-// simulates; a corrupt artifact is quarantined and falls back to
-// simulation rather than ever returning wrong numbers; a store that
-// cannot be written (read-only disk, quota) still returns the simulated
-// run — persistence is an accelerator, never a correctness dependency.
+// simulates; a store that cannot be written (read-only disk, quota)
+// still returns the simulated run — persistence is an accelerator,
+// never a correctness dependency.
+//
+// Load failures split by kind. A damaged artifact (ErrCorrupt /
+// ErrFormat) is already quarantined by the store, so the fallback
+// simulation re-records a good replacement. A transient failure (EMFILE,
+// NFS hiccup, permission flap) gets one retried Load after a short
+// backoff, and if that also fails the fallback simulation does NOT
+// overwrite the artifact — the recording on disk may be perfectly good,
+// and clobbering it mid-flap would throw away an expensive, valid run.
 func RunWorkloadStored(ctx context.Context, name string, rs *RunStore) (*Run, bool, error) {
 	if rs == nil {
 		r, err := RunWorkloadContext(ctx, name)
 		return r, false, err
 	}
-	if r, err := rs.Load(name); err == nil {
+	record := true
+	r, err := rs.Load(name)
+	switch {
+	case err == nil:
 		return r, true, nil
-	} else if !errors.Is(err, ErrNotInStore) {
+	case errors.Is(err, ErrNotInStore):
+		// Nothing recorded yet: simulate and record.
+	case errors.Is(err, store.ErrCorrupt), errors.Is(err, store.ErrFormat):
+		// Damaged and quarantined: simulate and re-record a good artifact.
 		obsStoreFallbacks.Add(1)
+	default:
+		// Transient: retry once with backoff before giving up on the
+		// store for this call.
+		select {
+		case <-time.After(storeRetryDelay):
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+		if r, err = rs.Load(name); err == nil {
+			return r, true, nil
+		}
+		obsStoreFallbacks.Add(1)
+		record = false
 	}
-	r, err := RunWorkloadContext(ctx, name)
+	r, err = RunWorkloadContext(ctx, name)
 	if err != nil {
 		return nil, false, err
 	}
-	_ = rs.Save(name, r) // best-effort; failure to persist must not fail the run
+	if record {
+		_ = rs.Save(name, r) // best-effort; failure to persist must not fail the run
+	}
 	return r, false, nil
 }

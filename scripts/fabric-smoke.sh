@@ -1,0 +1,84 @@
+#!/bin/sh
+# End-to-end smoke test of the distributed campaign fabric: build the
+# worker and coordinator binaries, boot a two-worker fleet, run the same
+# campaign locally and distributed — killing one worker mid-run — and
+# assert (a) the distributed outcome tallies are byte-identical to the
+# local run and (b) the coordinator actually stole the dead worker's
+# leases (mbavf_fabric_leases_stolen > 0). Used by `make fabric-smoke`
+# and the CI fabric-smoke step.
+set -eu
+
+W1="127.0.0.1:18091"
+W2="127.0.0.1:18092"
+DEBUG="127.0.0.1:18093"
+WORK="$(mktemp -d)"
+SERVE="$WORK/mbavf-serve"
+INJECT="$WORK/mbavf-inject"
+W1PID=""
+W2PID=""
+trap 'kill -9 "$W1PID" "$W2PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+go build -o "$SERVE" ./cmd/mbavf-serve
+go build -o "$INJECT" ./cmd/mbavf-inject
+
+# Worker 1 is a deliberate straggler: every shot is throttled hard, so
+# when we kill it mid-run the coordinator is guaranteed to be holding
+# unfinished leases on it — the exact state lease stealing exists for.
+"$SERVE" -addr "$W1" -worker -fabric-shot-delay 500ms &
+W1PID=$!
+"$SERVE" -addr "$W2" -worker &
+W2PID=$!
+
+for addr in "$W1" "$W2"; do
+    for i in $(seq 1 50); do
+        if curl -sf "http://$addr/fabric/v1/health" >/dev/null 2>&1; then break; fi
+        sleep 0.2
+    done
+    curl -sf "http://$addr/fabric/v1/health" >/dev/null || {
+        echo "worker $addr never became healthy" >&2
+        exit 1
+    }
+done
+
+echo "--- local reference campaign"
+"$INJECT" -workload vecadd -n 48 -seed 5 -workers 2 >"$WORK/local.txt"
+
+echo "--- distributed campaign (worker 1 killed mid-run)"
+"$INJECT" -workload vecadd -n 48 -seed 5 \
+    -fabric-workers "http://$W1,http://$W2" \
+    -fabric-shard 4 -fabric-lease-ttl 1s \
+    -debug-addr "$DEBUG" >"$WORK/dist.txt" 2>"$WORK/dist.err" &
+IPID=$!
+
+# Kill the straggler once the coordinator has dispatched leases to both
+# workers; its in-flight leases can then only finish by being stolen.
+KILLED=0
+STOLEN=0
+while kill -0 "$IPID" 2>/dev/null; do
+    METRICS="$(curl -sf "http://$DEBUG/metrics" 2>/dev/null || true)"
+    if [ "$KILLED" = 0 ]; then
+        DISPATCHED="$(printf '%s\n' "$METRICS" | awk '/^mbavf_fabric_leases_dispatched /{print $2}')"
+        if [ -n "${DISPATCHED:-}" ] && [ "$DISPATCHED" -ge 2 ]; then
+            kill -9 "$W1PID"
+            KILLED=1
+            echo "    killed worker 1 after $DISPATCHED dispatched leases"
+        fi
+    fi
+    V="$(printf '%s\n' "$METRICS" | awk '/^mbavf_fabric_leases_stolen /{print $2}')"
+    [ -n "${V:-}" ] && STOLEN="$V"
+    sleep 0.1
+done
+wait "$IPID" || { echo "distributed campaign failed:" >&2; cat "$WORK/dist.err" >&2; exit 1; }
+
+[ "$KILLED" = 1 ] || { echo "campaign finished before any lease was dispatched" >&2; exit 1; }
+
+echo "--- distributed tallies match the local run"
+if ! diff -u "$WORK/local.txt" "$WORK/dist.txt"; then
+    echo "distributed campaign diverged from the local run" >&2
+    exit 1
+fi
+
+echo "--- dead worker's leases were stolen (stolen=$STOLEN)"
+[ "$STOLEN" -gt 0 ] || { echo "no leases were stolen after killing worker 1" >&2; exit 1; }
+
+echo "fabric-smoke: OK"
