@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race ci bench bench-baseline bench-compare fuzz-smoke serve-smoke fabric-smoke clean
+.PHONY: all build vet test race race-solver ci bench bench-baseline bench-compare fuzz-smoke serve-smoke fabric-smoke clean
 
 all: vet build test
 
@@ -22,6 +22,12 @@ test:
 race:
 	$(GO) test -race -short ./...
 
+# Focused race pass over the ACE solver stack (packed + scalar paths,
+# timeline packing, row remap): these packages run full — not -short —
+# so the concurrent both-paths solver test executes under the detector.
+race-solver:
+	$(GO) test -race -count=1 ./internal/core ./internal/lifetime ./internal/interleave
+
 # End-to-end smoke of the analysis service: boot it, hit the health,
 # query, and metrics endpoints, then drain it with SIGTERM. CI runs the
 # same sequence inline.
@@ -35,7 +41,7 @@ serve-smoke:
 fabric-smoke:
 	./scripts/fabric-smoke.sh
 
-ci: vet build race fabric-smoke
+ci: vet build race race-solver fabric-smoke
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
@@ -59,6 +65,7 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzCheckpointRoundTrip -fuzztime=10s ./internal/inject
 	$(GO) test -run=^$$ -fuzz=FuzzHammingDecode -fuzztime=10s ./internal/ecc
 	$(GO) test -run=^$$ -fuzz=FuzzStoreRoundTrip -fuzztime=10s ./internal/store
+	$(GO) test -run=^$$ -fuzz=FuzzPackedTimeline -fuzztime=10s ./internal/core
 
 clean:
 	$(GO) clean ./...

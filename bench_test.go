@@ -18,6 +18,7 @@ import (
 	"testing"
 
 	"mbavf/internal/bitgeom"
+	"mbavf/internal/core"
 	"mbavf/internal/ecc"
 	"mbavf/internal/experiments"
 	"mbavf/internal/interleave"
@@ -147,6 +148,46 @@ func BenchmarkAnalyzeVGPR(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := run.VGPRAVF(Parity, il, 4); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolve measures one MB-AVF analysis pass per structure and
+// fault mode on both solver paths: the word-packed bit-parallel default
+// ("packed") and the per-bit scalar reference ("scalar"). The two are
+// proven bit-identical (internal/core solver equivalence harness), so
+// the packed/scalar time ratio on a given sub-benchmark is exactly the
+// speedup of the bit-parallel solver on that analysis. The l1/way-x2/2x1
+// case is the Figure 4 analysis path.
+func BenchmarkSolve(b *testing.B) {
+	run, err := RunWorkload("minife")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		name     string
+		st       Structure
+		il       Interleaving
+		scheme   Scheme
+		modeBits int
+	}{
+		{"l1/way-x2/2x1", L1, Interleaving{Style: StyleWayPhysical, Factor: 2}, Parity, 2},
+		{"l1/logical-x2/2x1", L1, Interleaving{Style: StyleLogical, Factor: 2}, Parity, 2},
+		{"l1/way-x4/4x1", L1, Interleaving{Style: StyleWayPhysical, Factor: 4}, SECDED, 4},
+		{"l2/way-x2/2x1", L2, Interleaving{Style: StyleWayPhysical, Factor: 2}, Parity, 2},
+		{"vgpr/tx-x4/4x1", VGPR, Interleaving{Style: StyleInterThread, Factor: 4}, Parity, 4},
+	}
+	for _, c := range cases {
+		for _, solver := range []string{"packed", "scalar"} {
+			b.Run(c.name+"/"+solver, func(b *testing.B) {
+				core.SetScalarSolve(solver == "scalar")
+				defer core.SetScalarSolve(false)
+				for i := 0; i < b.N; i++ {
+					if _, err := run.AVF(c.st, c.scheme, c.il, c.modeBits); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 		}
 	}
 }

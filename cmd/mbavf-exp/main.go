@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"mbavf"
+	"mbavf/internal/core"
 	"mbavf/internal/experiments"
 	"mbavf/internal/obs"
 	"mbavf/internal/report"
@@ -38,11 +39,13 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve expvar, pprof, and Prometheus /metrics on this address (e.g. :8080 or :0 for a free port)")
 	storeDir := flag.String("store", "", "persistent run-artifact store directory: load recorded runs instead of simulating, record fresh ones")
 	fabricWorkers := flag.String("fabric-workers", "", "comma-separated fabric worker base URLs; distributes injection campaigns across the fleet")
+	scalarSolve := flag.Bool("scalar-solve", false, "force the scalar per-bit ACE solver instead of the packed word-parallel one (bit-identical results, slower; for cross-checking)")
 	flag.Parse()
 
 	if *obsFlag {
 		obs.Enable()
 	}
+	core.SetScalarSolve(*scalarSolve)
 	if *tracePath != "" {
 		obs.StartTrace()
 	}

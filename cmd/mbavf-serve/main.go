@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"mbavf"
+	"mbavf/internal/core"
 	"mbavf/internal/serve"
 )
 
@@ -53,8 +54,10 @@ func main() {
 		worker       = flag.Bool("worker", false, "serve the distributed-campaign fabric worker endpoints (/fabric/v1/*)")
 		fabricPeers  = flag.String("fabric-workers", "", "comma-separated worker base URLs; makes this server a fabric coordinator")
 		shotDelay    = flag.Duration("fabric-shot-delay", 0, "throttle every fabric shot by this much (chaos/testing knob for straggler rehearsal; leave 0 in production)")
+		scalarSolve  = flag.Bool("scalar-solve", false, "force the scalar per-bit ACE solver instead of the packed word-parallel one (bit-identical results, slower; for cross-checking)")
 	)
 	flag.Parse()
+	core.SetScalarSolve(*scalarSolve)
 
 	var rs *mbavf.RunStore
 	if *storeDir != "" {

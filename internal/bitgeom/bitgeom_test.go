@@ -166,3 +166,59 @@ func TestQuickEveryBitCoveredByGroups(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRowMask(t *testing.T) {
+	cases := []struct {
+		mode FaultMode
+		mask uint64
+		ok   bool
+	}{
+		{Mx1(1), 1, true},
+		{Mx1(2), 0b11, true},
+		{Mx1(5), 0b11111, true},
+		{Mx1(64), ^uint64(0), true},
+		{Mx1(65), 0, false},
+		{Rect(2, 2), 0, false},
+		{Custom("gap3", []Offset{{DRow: 0, DCol: 0}, {DRow: 0, DCol: 2}}), 0b101, true},
+		{Custom("tall", []Offset{{DRow: 0, DCol: 0}, {DRow: 1, DCol: 0}}), 0, false},
+	}
+	for _, c := range cases {
+		mask, ok := c.mode.RowMask()
+		if mask != c.mask || ok != c.ok {
+			t.Errorf("%s: RowMask = (%#x, %v), want (%#x, %v)", c.mode.Name(), mask, ok, c.mask, c.ok)
+		}
+	}
+}
+
+func TestAnchorsPerRow(t *testing.T) {
+	g := Geometry{Rows: 4, Cols: 16}
+	cases := []struct {
+		mode FaultMode
+		want int
+	}{
+		{Mx1(1), 16},
+		{Mx1(4), 13},
+		{Mx1(16), 1},
+		{Mx1(17), 0},
+		{Rect(2, 2), 15},
+		{Rect(5, 1), 0},
+	}
+	for _, c := range cases {
+		if got := g.AnchorsPerRow(c.mode); got != c.want {
+			t.Errorf("%s: AnchorsPerRow = %d, want %d", c.mode.Name(), got, c.want)
+		}
+	}
+	// The contract the packed solver's row sharding relies on: for
+	// single-row modes, groups of row r are [r*ac, (r+1)*ac).
+	mode := Mx1(3)
+	ac := g.AnchorsPerRow(mode)
+	if g.GroupCount(mode) != g.Rows*ac {
+		t.Fatalf("GroupCount %d != Rows*AnchorsPerRow %d", g.GroupCount(mode), g.Rows*ac)
+	}
+	for i := 0; i < g.GroupCount(mode); i++ {
+		a := g.GroupAnchor(mode, i)
+		if a.Row != i/ac || a.Col != i%ac {
+			t.Fatalf("group %d anchored at %+v, want row %d col %d", i, a, i/ac, i%ac)
+		}
+	}
+}

@@ -114,6 +114,11 @@ type Analyzer struct {
 	// groups. Zero means GOMAXPROCS; one forces a serial sweep. Results
 	// are identical at any setting (fault groups are independent).
 	Parallelism int
+	// ScalarSolve forces the per-bit scalar sweep even for fault modes
+	// the word-packed solver could serve. Results are bit-identical on
+	// both paths; the flag exists as an escape hatch (-scalar-solve) and
+	// for the equivalence tests that prove that identity.
+	ScalarSolve bool
 }
 
 // Validate checks that the layout and tracker describe the same structure.
@@ -204,10 +209,19 @@ func (a *Analyzer) segStateByte(seg lifetime.Seg, byteIdx int) byteState {
 	return st
 }
 
-// segState classifies one lifetime segment of one bit.
-func (a *Analyzer) segState(seg lifetime.Seg, byteIdx, bit int) bitState {
-	bs := a.segStateByte(seg, byteIdx)
+// bit projects the byte-level state onto one bit of the byte: uarch
+// ACEness is byte-uniform, liveness per bit.
+func (bs byteState) bit(bit int) bitState {
 	return bitState{uarch: bs.uarch, live: bs.live&(1<<bit) != 0}
+}
+
+// segState classifies one lifetime segment of one bit. It derives the
+// answer from the byte-level classification — segStateByte is the single
+// source of truth for the state walk; this is only a per-bit projection
+// of it (used by the brute-force reference path the solver tests compare
+// against).
+func (a *Analyzer) segState(seg lifetime.Seg, byteIdx, bit int) bitState {
+	return a.segStateByte(seg, byteIdx).bit(bit)
 }
 
 // Counters accumulates classified cycles.
@@ -379,23 +393,41 @@ func (a *Analyzer) AnalyzeWindowed(scheme ecc.Scheme, mode bitgeom.FaultMode, wi
 	}
 	a.accumulateBits(s, window)
 
+	// The packed word-parallel solver serves every single-row mode up to
+	// 64 columns wide (all of the paper's Mx1 modes); taller or wider
+	// patterns and the -scalar-solve escape hatch take the per-bit
+	// reference sweep. Both paths are bit-identical; the packed path
+	// shards by wordline (its unit of work), the scalar path by group.
+	usePacked := PackedEligible(mode) && !a.ScalarSolve && !ScalarSolveForced()
+	units := groups
+	if usePacked {
+		units = geom.Rows
+	}
+	sweep := func(sh *Series, lo, hi int) {
+		if usePacked {
+			a.sweepRowsPacked(scheme, mode, sh, window, lo, hi)
+		} else {
+			a.sweepGroups(scheme, mode, sh, window, lo, hi)
+		}
+	}
+
 	workers := a.Parallelism
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	workers = min(workers, groups)
+	workers = min(workers, units)
 	if workers <= 1 {
-		a.sweepGroups(scheme, mode, s, window, 0, groups)
+		sweep(s, 0, units)
 		return s, nil
 	}
-	// Each worker sweeps a contiguous shard of fault groups into a
+	// Each worker sweeps a contiguous shard of work units into a
 	// private shadow series; shards merge at the end.
 	shadows := make([]*Series, workers)
 	var wg sync.WaitGroup
-	per := (groups + workers - 1) / workers
+	per := (units + workers - 1) / workers
 	for w := 0; w < workers; w++ {
 		lo := w * per
-		hi := min(lo+per, groups)
+		hi := min(lo+per, units)
 		if lo >= hi {
 			break
 		}
@@ -405,7 +437,7 @@ func (a *Analyzer) AnalyzeWindowed(scheme ecc.Scheme, mode bitgeom.FaultMode, wi
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			a.sweepGroups(scheme, mode, sh, window, lo, hi)
+			sweep(sh, lo, hi)
 		}()
 	}
 	wg.Wait()

@@ -58,6 +58,56 @@ func (l *Layout) Name() string { return l.name }
 // Map returns the logical word bit and protection domain of physical bit p.
 func (l *Layout) Map(p bitgeom.BitPos) (WordBit, int) { return l.mapFn(p) }
 
+// RowMap is the word-level remap table of one physical wordline: flat
+// per-column arrays of the logical word, word-bit, and protection domain
+// that Map returns for (row, col). The packed ACE solver resolves every
+// column of a wordline once per row through this table — one sequential
+// array walk — instead of calling Map once per fault-group bit per group.
+type RowMap struct {
+	Word, Bit, Dom []int32
+}
+
+// Row fills m with the remap table of physical row r, reusing m's
+// backing arrays across calls.
+func (l *Layout) Row(r int, m *RowMap) {
+	cols := l.Geom.Cols
+	if cap(m.Word) < cols {
+		m.Word = make([]int32, cols)
+		m.Bit = make([]int32, cols)
+		m.Dom = make([]int32, cols)
+	}
+	m.Word, m.Bit, m.Dom = m.Word[:cols], m.Bit[:cols], m.Dom[:cols]
+	for c := 0; c < cols; c++ {
+		wb, dom := l.mapFn(bitgeom.BitPos{Row: r, Col: c})
+		m.Word[c], m.Bit[c], m.Dom[c] = int32(wb.Word), int32(wb.Bit), int32(dom)
+	}
+}
+
+// NewCustom returns a layout with an arbitrary bit mapping. It exists
+// for structures whose physical scramble none of the named constructors
+// describe (and for solver equivalence tests that need geometries
+// straddling 64-bit word boundaries). wordBits is the logical word width
+// backing the geometry's rows; mapFn must be a bijection from geometry
+// bits onto (word, bit) pairs with word < words and bit < wordBits.
+func NewCustom(name string, geom bitgeom.Geometry, words, wordBits, domains, factor int, mapFn func(bitgeom.BitPos) (WordBit, int)) (*Layout, error) {
+	if words < 1 || wordBits < 1 || domains < 1 || factor < 1 {
+		return nil, fmt.Errorf("interleave: custom layout %q needs positive words/wordBits/domains/factor", name)
+	}
+	if mapFn == nil {
+		return nil, fmt.Errorf("interleave: custom layout %q needs a map function", name)
+	}
+	return &Layout{
+		name:       name,
+		Geom:       geom,
+		Words:      words,
+		WordBits:   wordBits,
+		Domains:    domains,
+		DomainBits: (words * wordBits) / domains,
+		Factor:     factor,
+		mapFn:      mapFn,
+	}, nil
+}
+
 func validate(kind string, groups, factor int) error {
 	if factor < 1 {
 		return fmt.Errorf("interleave: %s factor %d must be >= 1", kind, factor)

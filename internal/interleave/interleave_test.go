@@ -226,3 +226,67 @@ func TestAllLayoutsBijective(t *testing.T) {
 		checkBijection(t, l)
 	}
 }
+
+// TestRowMatchesMap checks the packed solver's remap table against the
+// point query it caches: Row(r) must agree with Map at every column of
+// every row, for every layout family, with buffers reused across rows.
+func TestRowMatchesMap(t *testing.T) {
+	mk := func(f func() (*Layout, error)) *Layout {
+		t.Helper()
+		l, err := f()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	layouts := []*Layout{
+		mk(func() (*Layout, error) { return Logical(8, 64, 4) }),
+		mk(func() (*Layout, error) { return WayPhysical(4, 4, 32, 2) }),
+		mk(func() (*Layout, error) { return IndexPhysical(8, 2, 32, 4) }),
+		mk(func() (*Layout, error) { return IntraThread(4, 8, 32, 4) }),
+		mk(func() (*Layout, error) { return InterThread(8, 4, 32, 2) }),
+		mk(func() (*Layout, error) {
+			return NewCustom("custom-65", bitgeom.Geometry{Rows: 3, Cols: 65}, 3, 72, 3, 1,
+				func(p bitgeom.BitPos) (WordBit, int) {
+					return WordBit{Word: p.Row, Bit: p.Col}, p.Row
+				})
+		}),
+	}
+	var m RowMap
+	for _, l := range layouts {
+		for r := 0; r < l.Geom.Rows; r++ {
+			l.Row(r, &m)
+			if len(m.Word) != l.Geom.Cols {
+				t.Fatalf("%s row %d: table has %d cols, want %d", l.Name(), r, len(m.Word), l.Geom.Cols)
+			}
+			for c := 0; c < l.Geom.Cols; c++ {
+				wb, dom := l.Map(bitgeom.BitPos{Row: r, Col: c})
+				if int(m.Word[c]) != wb.Word || int(m.Bit[c]) != wb.Bit || int(m.Dom[c]) != dom {
+					t.Fatalf("%s (%d,%d): Row gives (%d,%d,%d), Map gives (%d,%d,%d)",
+						l.Name(), r, c, m.Word[c], m.Bit[c], m.Dom[c], wb.Word, wb.Bit, dom)
+				}
+			}
+		}
+	}
+}
+
+func TestNewCustomValidation(t *testing.T) {
+	geom := bitgeom.Geometry{Rows: 2, Cols: 8}
+	fn := func(p bitgeom.BitPos) (WordBit, int) { return WordBit{Word: p.Row, Bit: p.Col}, 0 }
+	if _, err := NewCustom("bad", geom, 0, 8, 1, 1, fn); err == nil {
+		t.Error("zero words accepted")
+	}
+	if _, err := NewCustom("bad", geom, 2, 8, 1, 0, fn); err == nil {
+		t.Error("zero factor accepted")
+	}
+	if _, err := NewCustom("bad", geom, 2, 8, 1, 1, nil); err == nil {
+		t.Error("nil map function accepted")
+	}
+	l, err := NewCustom("ok", geom, 2, 8, 4, 2, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.DomainBits != 4 {
+		t.Errorf("DomainBits = %d, want 4", l.DomainBits)
+	}
+}

@@ -1,0 +1,170 @@
+package lifetime
+
+import (
+	"testing"
+
+	"mbavf/internal/dataflow"
+)
+
+func TestPackHandcrafted(t *testing.T) {
+	slots := [][]Seg{
+		{{Start: 2, End: 5, Kind: SegACE}, {Start: 5, End: 9, Kind: SegDead}},
+		{{Start: 0, End: 4, Kind: SegPending, Version: 3}},
+		nil,
+	}
+	p := PackSlots(slots, 12)
+
+	if p.SlotCount() != 3 {
+		t.Fatalf("slot count %d, want 3", p.SlotCount())
+	}
+	// Breakpoints: 0 (slot 1 opens), 2 (slot 0 opens), 4 (slot 1 gap),
+	// 5 (slot 0 seg change), 9 (slot 0 gap).
+	wantTimes := []uint64{0, 2, 4, 5, 9}
+	if p.Spans() != len(wantTimes) {
+		t.Fatalf("spans %d, want %d", p.Spans(), len(wantTimes))
+	}
+	for i, wt := range wantTimes {
+		start, end := p.Span(i)
+		if start != wt {
+			t.Errorf("span %d starts at %d, want %d", i, start, wt)
+		}
+		wantEnd := uint64(12)
+		if i+1 < len(wantTimes) {
+			wantEnd = wantTimes[i+1]
+		}
+		if end != wantEnd {
+			t.Errorf("span %d ends at %d, want %d", i, end, wantEnd)
+		}
+	}
+
+	wantChanges := [][]SlotChange{
+		{{Slot: 1, Seg: 0}},
+		{{Slot: 0, Seg: 0}},
+		{{Slot: 1, Seg: -1}},
+		{{Slot: 0, Seg: 1}},
+		{{Slot: 0, Seg: -1}},
+	}
+	for i, want := range wantChanges {
+		got := p.Changes(i)
+		if len(got) != len(want) {
+			t.Fatalf("span %d changes %+v, want %+v", i, got, want)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Errorf("span %d change %d = %+v, want %+v", i, j, got[j], want[j])
+			}
+		}
+	}
+
+	if sg := p.Seg(1, 0); sg.Version != 3 || sg.Kind != SegPending {
+		t.Errorf("Seg(1,0) = %+v", sg)
+	}
+}
+
+func TestPackEmpty(t *testing.T) {
+	p := PackSlots([][]Seg{nil, nil}, 7)
+	if p.Spans() != 1 {
+		t.Fatalf("spans %d, want 1", p.Spans())
+	}
+	if start, end := p.Span(0); start != 0 || end != 7 {
+		t.Fatalf("span 0 = [%d,%d), want [0,7)", start, end)
+	}
+	if len(p.Changes(0)) != 0 {
+		t.Fatalf("changes %+v, want none", p.Changes(0))
+	}
+	for s, segs := range p.Unpack() {
+		if len(segs) != 0 {
+			t.Fatalf("slot %d unpacked %+v, want none", s, segs)
+		}
+	}
+}
+
+func TestPackClampsToHorizon(t *testing.T) {
+	slots := [][]Seg{
+		{{Start: 1, End: 20, Kind: SegACE}},        // straddles the horizon
+		{{Start: 10, End: 15, Kind: SegDead}},      // entirely beyond it
+		{{Start: 3, End: 3, Kind: SegACE}},         // empty
+		{{Start: 0, End: 2}, {Start: 8, End: 100}}, // gap then straddle
+	}
+	p := PackSlots(slots, 10)
+	got := p.Unpack()
+	want := [][]Seg{
+		{{Start: 1, End: 10, Kind: SegACE}},
+		nil,
+		nil,
+		{{Start: 0, End: 2}, {Start: 8, End: 10}},
+	}
+	for s := range want {
+		if len(got[s]) != len(want[s]) {
+			t.Fatalf("slot %d: %+v, want %+v", s, got[s], want[s])
+		}
+		for j := range want[s] {
+			if got[s][j] != want[s][j] {
+				t.Errorf("slot %d seg %d: %+v, want %+v", s, j, got[s][j], want[s][j])
+			}
+		}
+	}
+}
+
+func TestPackAdjacentSegmentsNoGap(t *testing.T) {
+	// Back-to-back segments must not emit a dead transition between them.
+	slots := [][]Seg{{
+		{Start: 0, End: 3, Kind: SegACE},
+		{Start: 3, End: 6, Kind: SegDead},
+		{Start: 6, End: 9, Kind: SegPending},
+	}}
+	p := PackSlots(slots, 9)
+	for i := 0; i < p.Spans(); i++ {
+		for _, ch := range p.Changes(i) {
+			if ch.Seg < 0 {
+				start, _ := p.Span(i)
+				t.Fatalf("unexpected gap transition at cycle %d", start)
+			}
+		}
+	}
+	if p.Spans() != 3 {
+		t.Fatalf("spans %d, want 3", p.Spans())
+	}
+}
+
+func TestPackerReuseMatchesOneShot(t *testing.T) {
+	tr := NewTracker(2, 2)
+	g := dataflow.NewGraph()
+	v := g.New(dataflow.TransferNone, 0)
+	tr.Open(0, 0, 1, v)
+	tr.Read(0, 0, 4)
+	tr.CloseDirty(0, 0, 6)
+	tr.Open(1, 1, 3, v)
+	tr.CloseClean(1, 1, 8)
+	tr.Finish(10)
+
+	slots := [][]Seg{
+		tr.Segments(0, 0), tr.Segments(0, 1),
+		tr.Segments(1, 0), tr.Segments(1, 1),
+	}
+	var pk Packer
+	// A reused packer must produce the same stream as a fresh one even
+	// after packing something else first.
+	pk.Pack([][]Seg{{{Start: 0, End: 50, Kind: SegACE}}}, 60)
+	got := pk.Pack(slots, 10)
+	want := PackSlots(slots, 10)
+	if got.Spans() != want.Spans() {
+		t.Fatalf("spans %d, want %d", got.Spans(), want.Spans())
+	}
+	for i := 0; i < want.Spans(); i++ {
+		gs, ge := got.Span(i)
+		ws, we := want.Span(i)
+		if gs != ws || ge != we {
+			t.Errorf("span %d = [%d,%d), want [%d,%d)", i, gs, ge, ws, we)
+		}
+		gc, wc := got.Changes(i), want.Changes(i)
+		if len(gc) != len(wc) {
+			t.Fatalf("span %d changes %+v, want %+v", i, gc, wc)
+		}
+		for j := range wc {
+			if gc[j] != wc[j] {
+				t.Errorf("span %d change %d = %+v, want %+v", i, j, gc[j], wc[j])
+			}
+		}
+	}
+}

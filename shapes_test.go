@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+
+	"mbavf/internal/core"
 )
 
 // shapeWorkloads is the reduced benchmark set: one FEM solver, one dense
@@ -59,6 +61,20 @@ func TestPaperShapes(t *testing.T) {
 		t.Skip("paper-shape suite simulates full workloads; skipped in -short (the -race CI leg)")
 	}
 
+	// Every shape must hold on both solver paths: the packed word-parallel
+	// default and the scalar per-bit reference it is proven bit-identical
+	// to. The workload runs are cached (shapeRun), so the second pass
+	// costs only re-analysis.
+	for _, solver := range []string{"packed", "scalar"} {
+		t.Run(solver, func(t *testing.T) {
+			core.SetScalarSolve(solver == "scalar")
+			defer core.SetScalarSolve(false)
+			paperShapes(t)
+		})
+	}
+}
+
+func paperShapes(t *testing.T) {
 	// MB-AVF ∈ [1x, Mx] SB-AVF: an Mx1 fault group is ACE when any of its
 	// M bits is ACE, so with full detection (interleave degree M under
 	// parity leaves one bit per domain) the group-level AVF is bounded by
