@@ -9,12 +9,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"mbavf"
@@ -42,6 +46,7 @@ func main() {
 	scalarSolve := flag.Bool("scalar-solve", false, "force the scalar per-bit ACE solver instead of the packed word-parallel one (bit-identical results, slower; for cross-checking)")
 	flag.Parse()
 
+	obs.SetProcessName("mbavf-exp " + *exp)
 	if *obsFlag {
 		obs.Enable()
 	}
@@ -49,14 +54,38 @@ func main() {
 	if *tracePath != "" {
 		obs.StartTrace()
 	}
+	// writeTrace flushes the recorded trace; fail routes every error exit
+	// through it, so the trace survives all exit paths — a partial trace
+	// of an interrupted or failed experiment is precisely the artifact an
+	// operator wants.
+	writeTrace := func() {
+		if *tracePath == "" {
+			return
+		}
+		if err := obs.WriteTrace(*tracePath); err != nil {
+			fmt.Fprintf(os.Stderr, "mbavf-exp: trace: %v\n", err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "mbavf-exp: wrote %d trace events to %s\n", obs.TraceEventCount(), *tracePath)
+	}
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "mbavf-exp: "+format+"\n", args...)
+		writeTrace()
+		os.Exit(1)
+	}
 	if *debugAddr != "" {
 		addr, err := obs.ServeDebug(*debugAddr)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "mbavf-exp: %v\n", err)
-			os.Exit(1)
+			fail("%v", err)
 		}
 		fmt.Fprintf(os.Stderr, "mbavf-exp: debug server on http://%s/debug/vars (Prometheus on /metrics)\n", addr)
 	}
+
+	// SIGINT/SIGTERM cancel the experiment context; simulations and
+	// campaigns drain, e.Run returns the cancellation, and the fail path
+	// still writes the trace recorded so far.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	opts := mbavf.ExperimentOptions{
 		Injections: *injections,
@@ -88,19 +117,21 @@ func main() {
 		start := time.Now()
 		e, err := experiments.ByName(name)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "mbavf-exp: %v\n", err)
-			os.Exit(1)
+			fail("%v", err)
 		}
-		tables, err := e.Run(toInternal(opts))
+		io := toInternal(opts)
+		io.Context = ctx
+		tables, err := e.Run(io)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "mbavf-exp: %s: %v\n", name, err)
-			os.Exit(1)
+			if errors.Is(err, context.Canceled) || ctx.Err() != nil {
+				fail("%s interrupted: %v", name, err)
+			}
+			fail("%s: %v", name, err)
 		}
 		fmt.Print(experiments.RenderAll(tables, *csv))
 		if *svgDir != "" {
 			if err := writeFigures(e, tables, *svgDir); err != nil {
-				fmt.Fprintf(os.Stderr, "mbavf-exp: %s figures: %v\n", name, err)
-				os.Exit(1)
+				fail("%s figures: %v", name, err)
 			}
 		}
 		if *obsFlag {
@@ -111,13 +142,7 @@ func main() {
 			fmt.Printf("[%s completed in %v]\n", name, time.Since(start).Round(time.Millisecond))
 		}
 	}
-	if *tracePath != "" {
-		if err := obs.WriteTrace(*tracePath); err != nil {
-			fmt.Fprintf(os.Stderr, "mbavf-exp: trace: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "mbavf-exp: wrote %d trace events to %s\n", obs.TraceEventCount(), *tracePath)
-	}
+	writeTrace()
 }
 
 // writeFigures renders an experiment's already-computed tables as SVG

@@ -29,6 +29,7 @@ import (
 	"syscall"
 
 	"mbavf"
+	"mbavf/internal/fabric"
 	"mbavf/internal/obs"
 )
 
@@ -61,6 +62,7 @@ func main() {
 	fabricShard := flag.Int("fabric-shard", 0, "shots per fabric lease (0 = default)")
 	fabricTTL := flag.Duration("fabric-lease-ttl", 0, "lease deadline before an unresponsive worker's work is stolen (0 = default)")
 	fabricBudget := flag.Int("fabric-error-budget", 0, "abort after this many failed lease dispatches (0 = retry/fall back forever)")
+	fabricTimeline := flag.Bool("fabric-timeline", false, "print the per-lease campaign timeline (dispatches, steals, latency percentiles, per-worker breakdown) to stderr after a distributed run")
 	flag.Parse()
 
 	if *resume && *checkpoint == "" {
@@ -68,7 +70,8 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *obsFlag {
+	obs.SetProcessName("mbavf-inject coordinator " + *workload)
+	if *obsFlag || *fabricTimeline {
 		obs.Enable()
 	}
 	if *tracePath != "" {
@@ -104,6 +107,20 @@ func main() {
 				t.Render(&b)
 			}
 			fmt.Print(b.String())
+		}
+		if *fabricTimeline {
+			// The timeline goes to stderr: stdout is the classification
+			// summary, which distributed-vs-local comparisons diff
+			// byte-for-byte.
+			tables := fabric.TimelineTables()
+			if len(tables) == 0 {
+				fmt.Fprintln(os.Stderr, "mbavf-inject: no fabric events recorded (campaign ran without a fleet?)")
+			}
+			var b strings.Builder
+			for _, t := range tables {
+				t.Render(&b)
+			}
+			fmt.Fprint(os.Stderr, b.String())
 		}
 		if *tracePath != "" {
 			if err := obs.WriteTrace(*tracePath); err != nil {

@@ -27,6 +27,7 @@ import (
 
 	"mbavf"
 	"mbavf/internal/core"
+	"mbavf/internal/obs"
 	"mbavf/internal/serve"
 )
 
@@ -55,9 +56,39 @@ func main() {
 		fabricPeers  = flag.String("fabric-workers", "", "comma-separated worker base URLs; makes this server a fabric coordinator")
 		shotDelay    = flag.Duration("fabric-shot-delay", 0, "throttle every fabric shot by this much (chaos/testing knob for straggler rehearsal; leave 0 in production)")
 		scalarSolve  = flag.Bool("scalar-solve", false, "force the scalar per-bit ACE solver instead of the packed word-parallel one (bit-identical results, slower; for cross-checking)")
+		metrics      = flag.Bool("metrics", false, "enable the observability layer (counters, events, fleet scraping) without tracing")
+		tracePath    = flag.String("trace", "", "record a Chrome trace and write it here on drain/exit (implies -metrics)")
 	)
 	flag.Parse()
 	core.SetScalarSolve(*scalarSolve)
+
+	role := "standalone"
+	switch {
+	case *worker && *fabricPeers != "":
+		role = "worker+coordinator"
+	case *worker:
+		role = "worker"
+	case *fabricPeers != "":
+		role = "coordinator"
+	}
+	obs.SetProcessName(fmt.Sprintf("mbavf-serve %s %s", role, *addr))
+	if *metrics || *tracePath != "" {
+		obs.Enable()
+	}
+	if *tracePath != "" {
+		obs.StartTrace()
+	}
+	writeTrace := func() {
+		if *tracePath == "" {
+			return
+		}
+		obs.StopTrace()
+		if err := obs.WriteTrace(*tracePath); err != nil {
+			fmt.Fprintf(os.Stderr, "mbavf-serve: writing trace: %v\n", err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "mbavf-serve: trace written to %s\n", *tracePath)
+	}
 
 	var rs *mbavf.RunStore
 	if *storeDir != "" {
@@ -70,11 +101,11 @@ func main() {
 	}
 
 	s := serve.New(serve.Config{
-		MaxSims:        *maxSims,
-		MaxJobs:        *maxJobs,
-		RunsPerShard:   *runsCached,
-		RequestTimeout: *reqTimeout,
-		Store:          rs,
+		MaxSims:         *maxSims,
+		MaxJobs:         *maxJobs,
+		RunsPerShard:    *runsCached,
+		RequestTimeout:  *reqTimeout,
+		Store:           rs,
 		FabricWorker:    *worker,
 		FabricPeers:     splitPeers(*fabricPeers),
 		FabricShotDelay: *shotDelay,
@@ -101,6 +132,7 @@ func main() {
 	select {
 	case err := <-errCh:
 		fmt.Fprintf(os.Stderr, "mbavf-serve: %v\n", err)
+		writeTrace()
 		os.Exit(1)
 	case <-ctx.Done():
 	}
@@ -113,6 +145,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mbavf-serve: shutdown: %v\n", err)
 	}
 	<-errCh // ListenAndServe has returned http.ErrServerClosed
+	// The trace flushes on every drain path — including the SIGTERM a
+	// smoke test sends to "kill" a worker — so a dying worker's lease
+	// spans still make it into the merged fleet trace.
+	writeTrace()
 	if drainErr != nil {
 		fmt.Fprintf(os.Stderr, "mbavf-serve: drain incomplete: %v\n", drainErr)
 		os.Exit(1)

@@ -1,0 +1,62 @@
+// Command mbavf-trace works with the Chrome trace_event files the other
+// tools record (-trace flags on mbavf-inject, mbavf-exp, mbavf-serve).
+//
+// merge stitches a coordinator's trace and its workers' traces into one
+// fleet trace: timestamps are rebased onto a shared wall-clock origin,
+// colliding process ids are reassigned, and every process keeps its
+// named row. Async campaign spans correlate across files, so a worker's
+// lease execution nests under the coordinator's campaign span when the
+// merged file is loaded into chrome://tracing or ui.perfetto.dev.
+//
+// Usage:
+//
+//	mbavf-trace merge -o fleet.json coord.json worker1.json worker2.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mbavf/internal/obs"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: mbavf-trace merge -o <out.json> <trace.json> [<trace.json>...]`)
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 || os.Args[1] != "merge" {
+		usage()
+	}
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	out := fs.String("o", "merged-trace.json", "output file for the merged trace")
+	_ = fs.Parse(os.Args[2:])
+	if fs.NArg() == 0 {
+		usage()
+	}
+
+	docs := make([][]byte, 0, fs.NArg())
+	for _, path := range fs.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mbavf-trace: %v\n", err)
+			os.Exit(1)
+		}
+		docs = append(docs, data)
+	}
+	merged, stats, err := obs.MergeTraces(docs...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mbavf-trace: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, merged, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "mbavf-trace: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("merged %d traces (%d events) into %s\n", stats.Files, stats.Events, *out)
+	for _, pid := range stats.Pids {
+		fmt.Printf("  pid %d: %s\n", pid, stats.Processes[pid])
+	}
+}

@@ -95,6 +95,12 @@ type Config struct {
 	Concurrency int
 	// HTTPTimeout bounds each individual fabric request (default 10s).
 	HTTPTimeout time.Duration
+	// ObsScrapeInterval is how often the coordinator scrapes each
+	// worker's /fabric/v1/obs snapshot into the merged mbavf_fleet_*
+	// series while a run is in flight (default 1s). Scraping only
+	// happens when the obs layer is enabled, so a metrics-off run pays
+	// nothing.
+	ObsScrapeInterval time.Duration
 	// Transport overrides the HTTP transport — the chaos-injection
 	// point for fault-tolerance tests (default http.DefaultTransport).
 	Transport http.RoundTripper
@@ -138,6 +144,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.HTTPTimeout <= 0 {
 		c.HTTPTimeout = 10 * time.Second
+	}
+	if c.ObsScrapeInterval <= 0 {
+		c.ObsScrapeInterval = time.Second
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
@@ -194,9 +203,11 @@ func New(cfg Config, campaign *inject.Campaign) *Coordinator {
 }
 
 // leaseJob is one unit of dispatch: a lease request plus its retry
-// bookkeeping and, for AVF leases, its offset into the caller's batch.
+// bookkeeping, the campaign trace ID it propagates, and, for AVF
+// leases, its offset into the caller's batch.
 type leaseJob struct {
 	req    LeaseRequest
+	trace  string
 	offset int
 }
 
@@ -246,11 +257,23 @@ func (co *Coordinator) Run(ctx context.Context, rc inject.RunConfig) (*inject.Ru
 			rep.Shots = append(rep.Shots, s)
 		}
 	}
-	jobs := co.shotJobs(rc, done)
+	// The campaign trace ID is deterministic in (workload, seed, N): a
+	// coordinator restart re-joins the same logical trace, and the ID
+	// doubles as the campaign key of every lifecycle event.
+	traceID := fmt.Sprintf("campaign:%s:%d:%d", co.workload, rc.Seed, rc.N)
+	jobs := co.shotJobs(rc, done, traceID)
 
 	sp := obs.StartSpan2("fabric:", co.workload)
 	defer sp.End()
 	obs.CampaignStart(co.workload, rc.N, len(done))
+	obs.TraceAsyncBegin("campaign", "campaign:"+co.workload, traceID)
+	defer obs.TraceAsyncEnd("campaign", "campaign:"+co.workload, traceID)
+	obs.LogEvent(obs.Event{Type: "campaign.start", Campaign: traceID, N: rc.N})
+	defer func() {
+		obs.LogEvent(obs.Event{Type: "campaign.done", Campaign: traceID, N: len(rep.Shots)})
+	}()
+	stopScrape := co.startFleetScrape(ctx)
+	defer stopScrape()
 
 	outcomes := co.dispatch(ctx, jobs)
 
@@ -317,6 +340,9 @@ func (co *Coordinator) RunAVFBatch(ctx context.Context, queries []AVFQuery) ([]A
 	if len(queries) == 0 {
 		return items, nil
 	}
+	data, _ := json.Marshal(queries)
+	sum := sha256.Sum256(data)
+	traceID := fmt.Sprintf("avf-batch:%d:%s", len(queries), hex.EncodeToString(sum[:8]))
 	var jobs []*leaseJob
 	for off := 0; off < len(queries); off += co.cfg.ShardSize {
 		end := min(off+co.cfg.ShardSize, len(queries))
@@ -327,6 +353,7 @@ func (co *Coordinator) RunAVFBatch(ctx context.Context, queries []AVFQuery) ([]A
 				Kind:    KindAVF,
 				Queries: batch,
 			},
+			trace:  traceID,
 			offset: off,
 		})
 	}
@@ -363,7 +390,7 @@ func avfLeaseID(batch []AVFQuery, off int) string {
 // ranges of at most ShardSize shots. Resume checkpoints leave scattered
 // holes; each maximal run of missing indices becomes its own lease
 // sequence.
-func (co *Coordinator) shotJobs(rc inject.RunConfig, done map[int]bool) []*leaseJob {
+func (co *Coordinator) shotJobs(rc inject.RunConfig, done map[int]bool, traceID string) []*leaseJob {
 	var jobs []*leaseJob
 	emit := func(start, end int) {
 		for s := start; s < end; s += co.cfg.ShardSize {
@@ -376,7 +403,7 @@ func (co *Coordinator) shotJobs(rc inject.RunConfig, done map[int]bool) []*lease
 				Start:    s,
 				End:      e,
 				Golden:   co.golden,
-			}})
+			}, trace: traceID})
 		}
 	}
 	runStart := -1
@@ -447,7 +474,7 @@ func (co *Coordinator) runLease(ctx context.Context, j *leaseJob) leaseOutcome {
 		if w == nil || attempt >= co.cfg.MaxAttempts {
 			return co.runLeaseLocal(ctx, j)
 		}
-		st, held, err := co.executeLease(ctx, w, j.req)
+		st, held, err := co.executeLease(ctx, w, j)
 		if err == nil {
 			co.noteSuccess(w)
 			return leaseOutcome{job: j, shots: st.Shots, items: st.Items}
@@ -464,10 +491,13 @@ func (co *Coordinator) runLease(ctx context.Context, j *leaseJob) leaseOutcome {
 		}
 		co.noteFailure(w)
 		obsLeaseRetries.Add(1)
+		obs.LogEvent(obs.Event{Type: "lease.retry", Campaign: j.trace, Lease: j.req.ID, Worker: w.url, N: attempt + 1, Note: err.Error()})
 		if held {
 			// A worker actually held this lease and we are abandoning it:
 			// the re-dispatch is a steal.
 			obsLeasesStolen.Add(1)
+			obs.LogEvent(obs.Event{Type: "lease.stolen", Campaign: j.trace, Lease: j.req.ID, Worker: w.url})
+			obs.TraceAsyncInstant("campaign", "steal "+j.req.ID, j.trace)
 		}
 		if co.cfg.ErrorBudget > 0 && co.failures.Add(1) > int64(co.cfg.ErrorBudget) {
 			return leaseOutcome{job: j, err: fmt.Errorf("%w (lease %s: %v)", ErrDispatchBudget, j.req.ID, err)}
@@ -482,6 +512,7 @@ func (co *Coordinator) runLease(ctx context.Context, j *leaseJob) leaseOutcome {
 // checkpoint everything already computed.
 func (co *Coordinator) runLeaseLocal(ctx context.Context, j *leaseJob) leaseOutcome {
 	obsLocalLeases.Add(1)
+	obs.LogEvent(obs.Event{Type: "lease.local", Campaign: j.trace, Lease: j.req.ID, N: j.req.total()})
 	switch j.req.Kind {
 	case KindShots:
 		if co.local == nil {
@@ -521,15 +552,20 @@ func (co *Coordinator) runLeaseLocal(ctx context.Context, j *leaseJob) leaseOutc
 // failure after that point abandons held work — a steal). Every
 // successful poll renews the lease deadline; consecutive polls without
 // progress trip the straggler detector.
-func (co *Coordinator) executeLease(ctx context.Context, w *workerRef, req LeaseRequest) (st *LeaseState, held bool, err error) {
+func (co *Coordinator) executeLease(ctx context.Context, w *workerRef, j *leaseJob) (st *LeaseState, held bool, err error) {
+	req := j.req
 	began := time.Now()
-	st, err = co.post(ctx, w, req)
+	sp := obs.StartSpan2("dispatch:", req.ID)
+	st, err = co.post(ctx, w, j)
+	sp.End()
 	if err != nil {
 		return st, false, err
 	}
 	held = true
 	obsDispatched.Add(1)
 	obsDispatchNS.Record(uint64(time.Since(began)))
+	obs.LogEvent(obs.Event{Type: "lease.dispatched", Campaign: j.trace, Lease: req.ID, Worker: w.url, N: req.total()})
+	obs.TraceAsyncInstant("campaign", "dispatch "+req.ID, j.trace)
 
 	deadline := time.Now().Add(co.cfg.LeaseTTL)
 	lastProgress := st.Completed
@@ -539,11 +575,15 @@ func (co *Coordinator) executeLease(ctx context.Context, w *workerRef, req Lease
 		case LeaseDone:
 			if err := co.verify(st, req); err != nil {
 				obsChecksumRejects.Add(1)
+				obs.LogEvent(obs.Event{Type: "lease.checksum_reject", Campaign: j.trace, Lease: req.ID, Worker: w.url, Note: err.Error()})
+				obs.TraceAsyncInstant("campaign", "checksum-reject "+req.ID, j.trace)
 				co.release(w, req.ID)
 				return st, held, err
 			}
 			obsLeasesDone.Add(1)
 			obsLeaseNS.Record(uint64(time.Since(began)))
+			obs.LogEvent(obs.Event{Type: "lease.completed", Campaign: j.trace, Lease: req.ID, Worker: w.url,
+				DurNS: int64(time.Since(began)), N: st.Completed})
 			return st, held, nil
 		case LeaseFailed:
 			return st, held, fmt.Errorf("fabric: lease %s failed on %s: %s", req.ID, w.url, st.Error)
@@ -556,15 +596,17 @@ func (co *Coordinator) executeLease(ctx context.Context, w *workerRef, req Lease
 		case <-time.After(co.cfg.Heartbeat):
 		}
 
-		next, perr := co.poll(ctx, w, req.ID)
+		next, perr := co.poll(ctx, w, j)
 		now := time.Now()
 		if perr != nil {
 			if errors.Is(perr, errLeaseLost) {
 				obsLeasesExpired.Add(1)
+				obs.LogEvent(obs.Event{Type: "lease.expired", Campaign: j.trace, Lease: req.ID, Worker: w.url, Note: perr.Error()})
 				return st, held, perr
 			}
 			if now.After(deadline) {
 				obsLeasesExpired.Add(1)
+				obs.LogEvent(obs.Event{Type: "lease.expired", Campaign: j.trace, Lease: req.ID, Worker: w.url, Note: perr.Error()})
 				return st, held, fmt.Errorf("fabric: lease %s on %s expired without heartbeat: %w", req.ID, w.url, perr)
 			}
 			continue // transient poll failure; the deadline is the judge
@@ -573,10 +615,13 @@ func (co *Coordinator) executeLease(ctx context.Context, w *workerRef, req Lease
 		if next.Completed > lastProgress {
 			lastProgress = next.Completed
 			stalls = 0
+			obs.LogEvent(obs.Event{Type: "lease.heartbeat", Campaign: j.trace, Lease: req.ID, Worker: w.url, N: next.Completed})
 		} else if next.State == LeaseRunning {
 			stalls++
 			if co.cfg.StallPolls > 0 && stalls >= co.cfg.StallPolls {
 				obsLeasesStalled.Add(1)
+				obs.LogEvent(obs.Event{Type: "lease.stalled", Campaign: j.trace, Lease: req.ID, Worker: w.url, N: stalls})
+				obs.TraceAsyncInstant("campaign", "stall "+req.ID, j.trace)
 				co.release(w, req.ID)
 				return next, held, fmt.Errorf("fabric: lease %s stalled on %s (%d polls without progress)", req.ID, w.url, stalls)
 			}
@@ -613,8 +658,21 @@ func (co *Coordinator) verify(st *LeaseState, req LeaseRequest) error {
 	return nil
 }
 
+// traceHeaders stamps a fabric request with the campaign trace ID, the
+// lease ID, and this coordinator's span identity, so the worker's trace
+// events correlate with the coordinator's after a merge.
+func traceHeaders(hreq *http.Request, j *leaseJob) {
+	if j.trace == "" {
+		return
+	}
+	hreq.Header.Set(HeaderTraceID, j.trace)
+	hreq.Header.Set(HeaderLeaseID, j.req.ID)
+	hreq.Header.Set(HeaderParentSpan, "campaign:"+j.trace)
+}
+
 // post creates (or re-attaches to) a lease on a worker.
-func (co *Coordinator) post(ctx context.Context, w *workerRef, req LeaseRequest) (*LeaseState, error) {
+func (co *Coordinator) post(ctx context.Context, w *workerRef, j *leaseJob) (*LeaseState, error) {
+	req := j.req
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, err
@@ -624,6 +682,7 @@ func (co *Coordinator) post(ctx context.Context, w *workerRef, req LeaseRequest)
 		return nil, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	traceHeaders(hreq, j)
 	resp, err := co.client.Do(hreq)
 	if err != nil {
 		return nil, err
@@ -642,11 +701,13 @@ func (co *Coordinator) post(ctx context.Context, w *workerRef, req LeaseRequest)
 }
 
 // poll reads a lease's state; a 404 means the worker no longer holds it.
-func (co *Coordinator) poll(ctx context.Context, w *workerRef, id string) (*LeaseState, error) {
+func (co *Coordinator) poll(ctx context.Context, w *workerRef, j *leaseJob) (*LeaseState, error) {
+	id := j.req.ID
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, w.url+PathLease+"/"+id, nil)
 	if err != nil {
 		return nil, err
 	}
+	traceHeaders(hreq, j)
 	resp, err := co.client.Do(hreq)
 	if err != nil {
 		return nil, err
@@ -758,6 +819,7 @@ func (co *Coordinator) quarantine(w *workerRef) {
 	w.fails = 0
 	w.mu.Unlock()
 	obsQuarantines.Add(1)
+	obs.LogEvent(obs.Event{Type: "worker.quarantined", Worker: w.url})
 	co.updateQuarantinedGauge()
 }
 
@@ -772,6 +834,83 @@ func (co *Coordinator) updateQuarantinedGauge() {
 		w.mu.Unlock()
 	}
 	obsQuarantined.Set(int64(n))
+}
+
+// startFleetScrape begins scraping every worker's /fabric/v1/obs
+// snapshot into the merged mbavf_fleet_* series on the scrape interval.
+// The returned stop function halts the loop and takes one final scrape
+// with a short detached context, so tallies a worker posted between the
+// last tick and its death still land in the merged page. The whole
+// machinery is gated on the obs layer: a metrics-off run starts no
+// goroutine and sends no requests.
+func (co *Coordinator) startFleetScrape(ctx context.Context) (stop func()) {
+	if !obs.Enabled() || len(co.workers) == 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		ticker := time.NewTicker(co.cfg.ObsScrapeInterval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				co.scrapeFleet(ctx)
+			case <-ctx.Done():
+				return
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+		final, cancel := context.WithTimeout(context.Background(), min(co.cfg.HTTPTimeout, 2*time.Second))
+		defer cancel()
+		co.scrapeFleet(final)
+	}
+}
+
+// scrapeFleet pulls one registry snapshot from every worker. Workers
+// that do not answer keep their previously published snapshot — a dead
+// worker's tallies still happened, so the aggregated series never
+// regress.
+func (co *Coordinator) scrapeFleet(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, w := range co.workers {
+		wg.Add(1)
+		go func(w *workerRef) {
+			defer wg.Done()
+			if snap, err := co.scrapeObs(ctx, w); err == nil {
+				obs.PublishFleet(w.url, snap)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// scrapeObs fetches one worker's /fabric/v1/obs registry snapshot.
+func (co *Coordinator) scrapeObs(ctx context.Context, w *workerRef) (obs.RegistrySnapshot, error) {
+	var snap obs.RegistrySnapshot
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, w.url+PathObs, nil)
+	if err != nil {
+		return snap, err
+	}
+	resp, err := co.client.Do(hreq)
+	if err != nil {
+		return snap, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		return snap, fmt.Errorf("fabric: obs scrape of %s: status %d", w.url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 16<<20)).Decode(&snap); err != nil {
+		return snap, fmt.Errorf("fabric: decoding obs snapshot from %s: %w", w.url, err)
+	}
+	return snap, nil
 }
 
 // sleepBackoff waits the attempt's exponential backoff with ±50% jitter

@@ -46,6 +46,23 @@ import (
 const (
 	PathLease  = "/fabric/v1/lease"
 	PathHealth = "/fabric/v1/health"
+	// PathObs serves the worker's metric-registry snapshot (counters,
+	// gauges, sparse histograms) as JSON; the coordinator scrapes it on
+	// the heartbeat tick and folds the fleet into mbavf_fleet_* series.
+	PathObs = "/fabric/v1/obs"
+	// PathEvents serves the process's recent structured lease-lifecycle
+	// events as JSON.
+	PathEvents = "/fabric/v1/events"
+)
+
+// Trace-propagation headers. The coordinator stamps every lease request
+// with the campaign's trace ID, the lease ID, and its own span name, so
+// a worker's trace events correlate with the coordinator's in a merged
+// fleet trace without any shared clock or state.
+const (
+	HeaderTraceID    = "X-Mbavf-Trace-Id"
+	HeaderLeaseID    = "X-Mbavf-Lease-Id"
+	HeaderParentSpan = "X-Mbavf-Parent-Span"
 )
 
 // Kind discriminates the work a lease carries.

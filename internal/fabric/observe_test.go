@@ -1,0 +1,210 @@
+package fabric
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"mbavf/internal/inject"
+	"mbavf/internal/obs"
+)
+
+// TestTracePropagationAndEvents runs a distributed campaign with the
+// obs layer on and checks the whole observability contract at once: the
+// lease protocol carries the trace headers (worker events land under
+// the coordinator's campaign ID), the recorded trace contains the
+// campaign async span plus worker lease spans correlated by that ID,
+// the lifecycle event log tells the lease story, and the coordinator's
+// fleet scrape publishes the worker's registry snapshot into the
+// mbavf_fleet_* exposition.
+//
+// Not parallel: it drives the process-global trace recorder.
+func TestTracePropagationAndEvents(t *testing.T) {
+	obs.Enable()
+	obs.StartTrace()
+	defer obs.StopTrace()
+
+	_, srv := startWorker(t, WorkerConfig{})
+	co := New(func() Config {
+		c := fastConfig(srv.URL)
+		c.ObsScrapeInterval = 20 * time.Millisecond
+		return c
+	}(), synthCampaign(t, "synthA"))
+
+	// A seed no other test uses, so the campaign ID — the event filter
+	// and trace correlation key — is unique even with parallel tests
+	// logging into the shared ring.
+	const seed, n = int64(4243), 11
+	campaignID := fmt.Sprintf("campaign:synthA:%d:%d", seed, n)
+	rep, err := co.Run(context.Background(), inject.RunConfig{N: n, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Complete() {
+		t.Fatalf("campaign incomplete: %d/%d", len(rep.Shots), n)
+	}
+	obs.StopTrace()
+
+	// Lifecycle events, filtered to this campaign. Worker and
+	// coordinator share a process here, so both sides' events land in
+	// one ring — exactly what a single merged timeline should survive.
+	byType := map[string]int{}
+	for _, e := range obs.Events() {
+		if e.Campaign == campaignID {
+			byType[e.Type]++
+		}
+	}
+	for _, want := range []string{"campaign.start", "campaign.done", "lease.dispatched", "lease.accepted", "lease.completed", "lease.done"} {
+		if byType[want] == 0 {
+			t.Fatalf("no %s event for %s; got %v", want, campaignID, byType)
+		}
+	}
+	if byType["lease.dispatched"] != byType["lease.completed"] {
+		t.Fatalf("dispatched %d != completed %d with a healthy fleet", byType["lease.dispatched"], byType["lease.completed"])
+	}
+
+	// The trace: campaign b/e pair plus per-lease b/e pairs, all
+	// correlated by the campaign ID.
+	raw, err := obs.TraceJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Cat  string `json:"cat"`
+			Ph   string `json:"ph"`
+			ID   string `json:"id"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	phases := map[string]int{} // ph of events carrying the campaign ID
+	leaseSpans := 0
+	for _, e := range doc.TraceEvents {
+		if e.ID == campaignID {
+			phases[e.Ph]++
+			if e.Ph == "b" && strings.HasPrefix(e.Name, "lease ") {
+				leaseSpans++
+			}
+		}
+	}
+	if phases["b"] == 0 || phases["b"] != phases["e"] {
+		t.Fatalf("async begin/end unbalanced for %s: %v", campaignID, phases)
+	}
+	if leaseSpans == 0 {
+		t.Fatalf("no worker lease spans correlated with %s: %v", campaignID, phases)
+	}
+	if phases["n"] == 0 {
+		t.Fatalf("no dispatch instants correlated with %s: %v", campaignID, phases)
+	}
+
+	// The fleet scrape: the worker's snapshot is published under its URL
+	// and the exposition carries merged mbavf_fleet_* series.
+	found := false
+	for _, w := range obs.FleetWorkers() {
+		if w == srv.URL {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("fleet workers %v missing %s", obs.FleetWorkers(), srv.URL)
+	}
+	var b strings.Builder
+	obs.WritePrometheus(&b)
+	page := b.String()
+	for _, want := range []string{
+		"# TYPE mbavf_fleet_fabric_worker_leases_done counter",
+		`mbavf_fleet_fabric_worker_leases_done{worker="` + srv.URL + `"}`,
+	} {
+		if !strings.Contains(page, want) {
+			t.Fatalf("fleet exposition missing %q", want)
+		}
+	}
+
+	// The timeline built from the same events reports the campaign.
+	tl := SummarizeEvents(obs.Events())
+	if tl.Dispatched == 0 || tl.Completed == 0 || len(tl.LeaseMS) == 0 {
+		t.Fatalf("timeline empty: %+v", tl)
+	}
+	if len(tl.Tables()) != 2 {
+		t.Fatalf("timeline tables = %d, want summary + per-worker", len(tl.Tables()))
+	}
+}
+
+// TestWorkerMountsObsEndpoints checks the worker-side observability
+// endpoints: /fabric/v1/obs serves a registry snapshot and
+// /fabric/v1/events serves the event log.
+func TestWorkerMountsObsEndpoints(t *testing.T) {
+	obs.Enable()
+	_, srv := startWorker(t, WorkerConfig{})
+
+	resp, err := http.Get(srv.URL + PathObs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap obs.RegistrySnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("obs snapshot does not parse: %v", err)
+	}
+
+	resp2, err := http.Get(srv.URL + PathEvents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var events struct {
+		Total  uint64      `json:"total"`
+		Events []obs.Event `json:"events"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&events); err != nil {
+		t.Fatalf("events payload does not parse: %v", err)
+	}
+}
+
+// TestSummarizeEventsTimeline pins the timeline arithmetic on a
+// hand-built event sequence: a steal, a retry, and three completions
+// with known latencies.
+func TestSummarizeEventsTimeline(t *testing.T) {
+	ms := func(d float64) int64 { return int64(d * float64(time.Millisecond)) }
+	events := []obs.Event{
+		{Type: "lease.dispatched", Campaign: "c", Lease: "l1", Worker: "w1"},
+		{Type: "lease.dispatched", Campaign: "c", Lease: "l2", Worker: "w2"},
+		{Type: "lease.retry", Campaign: "c", Lease: "l2", Worker: "w2", N: 1},
+		{Type: "lease.stolen", Campaign: "c", Lease: "l2", Worker: "w2"},
+		{Type: "lease.dispatched", Campaign: "c", Lease: "l2", Worker: "w1"},
+		{Type: "lease.completed", Campaign: "c", Lease: "l1", Worker: "w1", DurNS: ms(10)},
+		{Type: "lease.completed", Campaign: "c", Lease: "l2", Worker: "w1", DurNS: ms(30)},
+		{Type: "lease.dispatched", Campaign: "c", Lease: "l3", Worker: "w2"},
+		{Type: "lease.completed", Campaign: "c", Lease: "l3", Worker: "w2", DurNS: ms(20)},
+	}
+	tl := SummarizeEvents(events)
+	if tl.Dispatched != 4 || tl.Completed != 3 || tl.Stolen != 1 || tl.Retries != 1 {
+		t.Fatalf("timeline = %+v", tl)
+	}
+	if got := quantileMS(tl.LeaseMS, 0.50); got != 20 {
+		t.Fatalf("p50 = %v, want 20", got)
+	}
+	if got := quantileMS(tl.LeaseMS, 0.99); got != 30 {
+		t.Fatalf("p99 = %v, want 30", got)
+	}
+	if tl.SlowestWorker != "w1" {
+		t.Fatalf("slowest worker = %q, want w1 (30ms max)", tl.SlowestWorker)
+	}
+	if len(tl.Workers) != 2 {
+		t.Fatalf("workers = %+v", tl.Workers)
+	}
+	w1 := tl.Workers[0]
+	if w1.Worker != "w1" || w1.Completed != 2 || w1.MeanMS != 20 {
+		t.Fatalf("w1 = %+v", w1)
+	}
+	if tl.Campaigns[0] != "c" {
+		t.Fatalf("campaigns = %v", tl.Campaigns)
+	}
+}

@@ -1,0 +1,183 @@
+package fabric
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"mbavf/internal/obs"
+	"mbavf/internal/report"
+)
+
+// Timeline summarizes a campaign's lease lifecycle from the structured
+// event log: how many leases were dispatched, completed, stolen,
+// stalled, retried, checksum-rejected, or executed locally; the lease
+// latency distribution; and a per-worker breakdown naming the slowest
+// worker. Built by SummarizeEvents from obs.Events() (a live
+// coordinator) or from events fetched off a /fabric/v1/events endpoint.
+type Timeline struct {
+	Campaigns        []string
+	Dispatched       int
+	Completed        int
+	Stolen           int
+	Stalled          int
+	Expired          int
+	Retries          int
+	ChecksumRejects  int
+	Quarantines      int
+	Local            int
+	LeaseMS          []float64 // completed-lease latencies, sorted ascending
+	Workers          []WorkerTimeline
+	SlowestWorker    string
+	SlowestWorkerP99 float64
+}
+
+// WorkerTimeline is one worker's share of the campaign.
+type WorkerTimeline struct {
+	Worker     string
+	Dispatched int
+	Completed  int
+	Stolen     int
+	Retries    int
+	MeanMS     float64
+	MaxMS      float64
+}
+
+// SummarizeEvents folds lease-lifecycle events into a Timeline. Events
+// of unrelated types pass through untouched, so the full event ring can
+// be handed over unfiltered.
+func SummarizeEvents(events []obs.Event) Timeline {
+	var tl Timeline
+	campaigns := map[string]bool{}
+	byWorker := map[string]*WorkerTimeline{}
+	sums := map[string]float64{}
+	worker := func(name string) *WorkerTimeline {
+		w := byWorker[name]
+		if w == nil {
+			w = &WorkerTimeline{Worker: name}
+			byWorker[name] = w
+		}
+		return w
+	}
+	for _, e := range events {
+		if e.Campaign != "" {
+			campaigns[e.Campaign] = true
+		}
+		switch e.Type {
+		case "lease.dispatched":
+			tl.Dispatched++
+			worker(e.Worker).Dispatched++
+		case "lease.completed":
+			tl.Completed++
+			w := worker(e.Worker)
+			w.Completed++
+			ms := float64(e.DurNS) / float64(time.Millisecond)
+			tl.LeaseMS = append(tl.LeaseMS, ms)
+			sums[e.Worker] += ms
+			if ms > w.MaxMS {
+				w.MaxMS = ms
+			}
+		case "lease.stolen":
+			tl.Stolen++
+			worker(e.Worker).Stolen++
+		case "lease.stalled":
+			tl.Stalled++
+		case "lease.expired":
+			tl.Expired++
+		case "lease.retry":
+			tl.Retries++
+			worker(e.Worker).Retries++
+		case "lease.checksum_reject":
+			tl.ChecksumRejects++
+		case "worker.quarantined":
+			tl.Quarantines++
+		case "lease.local":
+			tl.Local++
+		}
+	}
+	sort.Float64s(tl.LeaseMS)
+	for name, w := range byWorker {
+		if w.Completed > 0 {
+			w.MeanMS = sums[name] / float64(w.Completed)
+		}
+		tl.Workers = append(tl.Workers, *w)
+		if w.MaxMS > tl.SlowestWorkerP99 {
+			tl.SlowestWorkerP99 = w.MaxMS
+			tl.SlowestWorker = name
+		}
+	}
+	sort.Slice(tl.Workers, func(i, j int) bool { return tl.Workers[i].Worker < tl.Workers[j].Worker })
+	for c := range campaigns {
+		tl.Campaigns = append(tl.Campaigns, c)
+	}
+	sort.Strings(tl.Campaigns)
+	return tl
+}
+
+// quantileMS is the exact q-quantile (nearest-rank) of the sorted
+// latency slice.
+func quantileMS(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(q * float64(len(sorted)))
+	if float64(rank) < q*float64(len(sorted)) || rank == 0 {
+		rank++
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// Tables renders the timeline as report tables: one campaign summary
+// (lifecycle counts plus the lease latency distribution) and, when any
+// worker participated, one per-worker breakdown.
+func (tl Timeline) Tables() []*report.Table {
+	title := "fabric timeline"
+	if len(tl.Campaigns) == 1 {
+		title += ": " + tl.Campaigns[0]
+	}
+	sum := report.NewTable(title, "event", "value")
+	sum.AddRowf("leases dispatched", tl.Dispatched)
+	sum.AddRowf("leases completed", tl.Completed)
+	sum.AddRowf("leases stolen", tl.Stolen)
+	sum.AddRowf("leases stalled", tl.Stalled)
+	sum.AddRowf("leases expired", tl.Expired)
+	sum.AddRowf("lease retries", tl.Retries)
+	sum.AddRowf("checksum rejects", tl.ChecksumRejects)
+	sum.AddRowf("workers quarantined", tl.Quarantines)
+	sum.AddRowf("local fallbacks", tl.Local)
+	if len(tl.LeaseMS) > 0 {
+		sum.AddRow("lease ms p50", fmt.Sprintf("%.2f", quantileMS(tl.LeaseMS, 0.50)))
+		sum.AddRow("lease ms p99", fmt.Sprintf("%.2f", quantileMS(tl.LeaseMS, 0.99)))
+		sum.AddRow("lease ms max", fmt.Sprintf("%.2f", tl.LeaseMS[len(tl.LeaseMS)-1]))
+	}
+	if tl.SlowestWorker != "" {
+		sum.AddRow("slowest worker", fmt.Sprintf("%s (%.2f ms)", tl.SlowestWorker, tl.SlowestWorkerP99))
+	}
+	out := []*report.Table{sum}
+
+	if len(tl.Workers) > 0 {
+		t := report.NewTable("fabric timeline: per worker",
+			"worker", "dispatched", "completed", "stolen", "retries", "mean ms", "max ms")
+		for _, w := range tl.Workers {
+			t.AddRow(w.Worker,
+				fmt.Sprintf("%d", w.Dispatched), fmt.Sprintf("%d", w.Completed),
+				fmt.Sprintf("%d", w.Stolen), fmt.Sprintf("%d", w.Retries),
+				fmt.Sprintf("%.2f", w.MeanMS), fmt.Sprintf("%.2f", w.MaxMS))
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// TimelineTables summarizes this process's own event log — what
+// mbavf-inject -fabric-timeline prints after a distributed campaign.
+func TimelineTables() []*report.Table {
+	events := obs.Events()
+	if len(events) == 0 {
+		return nil
+	}
+	return SummarizeEvents(events).Tables()
+}

@@ -97,9 +97,13 @@ type campaignEntry struct {
 	err  error
 }
 
-// workerLease is one lease's mutable state.
+// workerLease is one lease's mutable state. trace is the campaign trace
+// ID propagated by the coordinator (HeaderTraceID); the worker's async
+// trace events carry it so a merged fleet trace nests this lease's
+// execution under the coordinator's campaign span.
 type workerLease struct {
 	req    LeaseRequest
+	trace  string
 	cancel context.CancelFunc
 
 	mu        sync.Mutex
@@ -125,12 +129,16 @@ func NewWorker(cfg WorkerConfig) *Worker {
 	}
 }
 
-// Mount registers the fabric endpoints on mux.
+// Mount registers the fabric endpoints on mux, including the
+// observability pair: the registry snapshot the coordinator scrapes
+// into mbavf_fleet_* and this process's structured event log.
 func (w *Worker) Mount(mux *http.ServeMux) {
 	mux.HandleFunc("POST "+PathLease, w.handleCreate)
 	mux.HandleFunc("GET "+PathLease+"/{id}", w.handleGet)
 	mux.HandleFunc("DELETE "+PathLease+"/{id}", w.handleDelete)
 	mux.HandleFunc("GET "+PathHealth, w.handleHealth)
+	mux.Handle("GET "+PathObs, obs.SnapshotHandler())
+	mux.Handle("GET "+PathEvents, obs.EventsHandler())
 }
 
 // Close cancels every lease and stops accepting work.
@@ -172,6 +180,7 @@ func (w *Worker) sweep() {
 			l.cancel()
 			delete(w.leases, id)
 			obsWLeaseExpired.Add(1)
+			obs.LogEvent(obs.Event{Type: "lease.gc", Campaign: l.trace, Lease: id})
 		}
 	}
 	obsWLeaseActive.Set(int64(len(w.leases)))
@@ -213,11 +222,15 @@ func (w *Worker) handleCreate(rw http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ctx, cancel := context.WithCancel(w.base)
-	l := &workerLease{req: req, cancel: cancel, state: LeaseRunning, lastPoll: time.Now()}
+	l := &workerLease{req: req, trace: r.Header.Get(HeaderTraceID), cancel: cancel, state: LeaseRunning, lastPoll: time.Now()}
 	w.leases[req.ID] = l
 	obsWLeaseActive.Set(int64(len(w.leases)))
 	w.mu.Unlock()
 	obsWLeaseAccepted.Add(1)
+	obs.LogEvent(obs.Event{Type: "lease.accepted", Campaign: l.trace, Lease: req.ID, N: req.total()})
+	// The async begin is recorded at accept, not completion, so a worker
+	// killed mid-lease still leaves evidence of the lease in its trace.
+	obs.TraceAsyncBegin("campaign", "lease "+req.ID, l.trace)
 
 	go w.execute(ctx, l)
 	writeLeaseJSON(rw, http.StatusAccepted, l.snapshot())
@@ -295,11 +308,27 @@ func (l *workerLease) fail(err error, fatal bool) {
 	l.fatal = fatal
 	l.mu.Unlock()
 	obsWLeaseFailed.Add(1)
+	obs.LogEvent(obs.Event{Type: "lease.failed", Campaign: l.trace, Lease: l.req.ID, Note: err.Error()})
 }
 
 // execute runs a lease to completion (or cancellation) on its own
-// goroutine.
+// goroutine. The span and async end bracket the actual execution, so
+// the worker's trace shows both its own timeline row (the "X" span) and
+// the campaign-correlated async lifecycle.
 func (w *Worker) execute(ctx context.Context, l *workerLease) {
+	began := time.Now()
+	sp := obs.StartSpan2("lease:", l.req.ID)
+	defer func() {
+		sp.End()
+		obs.TraceAsyncEnd("campaign", "lease "+l.req.ID, l.trace)
+		l.mu.Lock()
+		state, completed := l.state, l.completed
+		l.mu.Unlock()
+		if state == LeaseDone {
+			obs.LogEvent(obs.Event{Type: "lease.done", Campaign: l.trace, Lease: l.req.ID,
+				DurNS: int64(time.Since(began)), N: completed})
+		}
+	}()
 	switch l.req.Kind {
 	case KindShots:
 		w.executeShots(ctx, l)

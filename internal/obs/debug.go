@@ -124,6 +124,12 @@ func ServeDebug(addr string) (string, error) {
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.Handle(PromHandlerPath, PromHandler())
+	// The fabric observability endpoints, mounted here too so a plain
+	// debug listener is scrapeable as a fleet member. The literals match
+	// fabric.PathObs / fabric.PathEvents (fabric imports obs, not the
+	// reverse).
+	mux.Handle("/fabric/v1/obs", SnapshotHandler())
+	mux.Handle("/fabric/v1/events", EventsHandler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

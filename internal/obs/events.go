@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Event is one structured lifecycle record: what happened, to which
+// lease, on which worker, under which campaign. The fabric logs the
+// lease lifecycle (dispatched, heartbeat, stalled, stolen, quarantined,
+// checksum-reject, completed) through this shape; the per-lease campaign
+// timeline and the /fabric/v1/events endpoint read it back.
+type Event struct {
+	T        time.Time `json:"t"`
+	Type     string    `json:"type"`
+	Campaign string    `json:"campaign,omitempty"`
+	Lease    string    `json:"lease,omitempty"`
+	Worker   string    `json:"worker,omitempty"`
+	// DurNS is the event's duration where one applies (a completed
+	// lease's dispatch→done latency).
+	DurNS int64 `json:"dur_ns,omitempty"`
+	// N carries the event's magnitude where one applies (shots in a
+	// lease, completed count at a heartbeat).
+	N    int    `json:"n,omitempty"`
+	Note string `json:"note,omitempty"`
+}
+
+// eventCap bounds the in-memory event ring. Old events fall off; the
+// JSONL sink (when set) has already persisted them.
+const eventCap = 8192
+
+// eventLog is a bounded ring with an optional JSONL sink. Logging is a
+// short critical section appending to a preallocated ring — cheap enough
+// for per-heartbeat events — and completely skipped while the layer is
+// disabled.
+var eventLog struct {
+	sync.Mutex
+	ring  [eventCap]Event
+	next  int    // ring write cursor
+	total uint64 // events ever logged
+	sink  io.Writer
+}
+
+// LogEvent records one event when the layer is enabled. The zero T is
+// stamped with the current time.
+func LogEvent(e Event) {
+	if !enabled.Load() {
+		return
+	}
+	if e.T.IsZero() {
+		e.T = time.Now()
+	}
+	var sink io.Writer
+	eventLog.Lock()
+	eventLog.ring[eventLog.next] = e
+	eventLog.next = (eventLog.next + 1) % eventCap
+	eventLog.total++
+	sink = eventLog.sink
+	eventLog.Unlock()
+	if sink != nil {
+		// Serialization happens outside the ring lock; JSONL lines are
+		// self-delimiting so interleaved writers stay parseable as long as
+		// the sink's Write is atomic per call (os.File is).
+		if data, err := json.Marshal(e); err == nil {
+			sink.Write(append(data, '\n'))
+		}
+	}
+}
+
+// SetEventSink streams every subsequent event as one JSON line to w
+// (nil disables). The ring keeps serving recent events either way.
+func SetEventSink(w io.Writer) {
+	eventLog.Lock()
+	eventLog.sink = w
+	eventLog.Unlock()
+}
+
+// Events returns the retained events, oldest first.
+func Events() []Event {
+	eventLog.Lock()
+	defer eventLog.Unlock()
+	n := int(min(eventLog.total, uint64(eventCap)))
+	out := make([]Event, 0, n)
+	start := (eventLog.next - n + eventCap) % eventCap
+	for i := 0; i < n; i++ {
+		out = append(out, eventLog.ring[(start+i)%eventCap])
+	}
+	return out
+}
+
+// EventTotal returns the number of events ever logged (retained or not).
+func EventTotal() uint64 {
+	eventLog.Lock()
+	defer eventLog.Unlock()
+	return eventLog.total
+}
+
+// resetEvents clears the ring (part of Reset's lifecycle; the sink, an
+// external resource, survives).
+func resetEvents() {
+	eventLog.Lock()
+	eventLog.next = 0
+	eventLog.total = 0
+	eventLog.ring = [eventCap]Event{}
+	eventLog.Unlock()
+}
+
+// EventsHandler serves the retained events as a JSON document — the
+// /fabric/v1/events endpoint workers and coordinators mount.
+func EventsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		events := Events()
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(struct {
+			Total  uint64  `json:"total"`
+			Events []Event `json:"events"`
+		}{EventTotal(), events})
+	})
+}

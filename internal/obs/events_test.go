@@ -1,0 +1,123 @@
+package obs_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mbavf/internal/obs"
+)
+
+func TestEventLogGatedAndStamped(t *testing.T) {
+	reset()
+	defer reset()
+	obs.LogEvent(obs.Event{Type: "dropped"})
+	if got := obs.EventTotal(); got != 0 {
+		t.Fatalf("disabled LogEvent counted %d events, want 0", got)
+	}
+	obs.Enable()
+	before := time.Now()
+	obs.LogEvent(obs.Event{Type: "lease.dispatched", Campaign: "c1", Lease: "l1", Worker: "w1", N: 32})
+	events := obs.Events()
+	if len(events) != 1 {
+		t.Fatalf("retained %d events, want 1", len(events))
+	}
+	e := events[0]
+	if e.Type != "lease.dispatched" || e.Campaign != "c1" || e.Lease != "l1" || e.Worker != "w1" || e.N != 32 {
+		t.Fatalf("event = %+v", e)
+	}
+	if e.T.Before(before) || e.T.After(time.Now()) {
+		t.Fatalf("zero T not stamped with now: %v", e.T)
+	}
+}
+
+// TestEventRingBounded pins the retention contract: the ring keeps the
+// most recent 8192 events, EventTotal keeps counting past the cap, and
+// the oldest events fall off in order.
+func TestEventRingBounded(t *testing.T) {
+	reset()
+	defer reset()
+	obs.Enable()
+	const ringCap, extra = 8192, 10
+	for i := 0; i < ringCap+extra; i++ {
+		obs.LogEvent(obs.Event{Type: "tick", N: i})
+	}
+	if got := obs.EventTotal(); got != ringCap+extra {
+		t.Fatalf("EventTotal = %d, want %d", got, ringCap+extra)
+	}
+	events := obs.Events()
+	if len(events) != ringCap {
+		t.Fatalf("retained %d events, want the %d-entry ring", len(events), ringCap)
+	}
+	if events[0].N != extra || events[len(events)-1].N != ringCap+extra-1 {
+		t.Fatalf("ring window = [%d, %d], want [%d, %d] (oldest first)",
+			events[0].N, events[len(events)-1].N, extra, ringCap+extra-1)
+	}
+	obs.Reset()
+	if obs.EventTotal() != 0 || len(obs.Events()) != 0 {
+		t.Fatal("Reset must clear the event ring")
+	}
+}
+
+func TestEventSinkJSONL(t *testing.T) {
+	reset()
+	defer reset()
+	obs.Enable()
+	var b strings.Builder
+	obs.SetEventSink(&b)
+	defer obs.SetEventSink(nil)
+	obs.LogEvent(obs.Event{Type: "lease.completed", Lease: "l1", DurNS: 1500})
+	obs.LogEvent(obs.Event{Type: "lease.stolen", Lease: "l2", Note: "worker gone"})
+
+	sc := bufio.NewScanner(strings.NewReader(b.String()))
+	var lines []obs.Event
+	for sc.Scan() {
+		var e obs.Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("sink line does not parse: %v\n%s", err, sc.Text())
+		}
+		lines = append(lines, e)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("sink holds %d lines, want 2", len(lines))
+	}
+	if lines[0].Type != "lease.completed" || lines[0].DurNS != 1500 {
+		t.Fatalf("line 0 = %+v", lines[0])
+	}
+	if lines[1].Type != "lease.stolen" || lines[1].Note != "worker gone" {
+		t.Fatalf("line 1 = %+v", lines[1])
+	}
+}
+
+func TestEventsHandler(t *testing.T) {
+	reset()
+	defer reset()
+	obs.Enable()
+	obs.LogEvent(obs.Event{Type: "lease.dispatched", Lease: "l1"})
+	obs.LogEvent(obs.Event{Type: "lease.completed", Lease: "l1"})
+
+	srv := httptest.NewServer(obs.EventsHandler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Total  uint64      `json:"total"`
+		Events []obs.Event `json:"events"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("events payload does not parse: %v", err)
+	}
+	if doc.Total != 2 || len(doc.Events) != 2 {
+		t.Fatalf("events = %d/%d, want 2/2", len(doc.Events), doc.Total)
+	}
+	if doc.Events[0].Type != "lease.dispatched" || doc.Events[1].Type != "lease.completed" {
+		t.Fatalf("event order = %q, %q", doc.Events[0].Type, doc.Events[1].Type)
+	}
+}

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// HistBucket is one non-empty power-of-two bucket in the wire form of a
+// histogram: Bit is the bucket index (bits.Len64 of the values it
+// holds), N the observation count. Sparse by construction — a latency
+// histogram touches a handful of its 65 buckets, so shipping pairs beats
+// shipping the dense array.
+type HistBucket struct {
+	Bit int    `json:"bit"`
+	N   uint64 `json:"n"`
+}
+
+// HistWire is a histogram snapshot in wire form (sparse buckets).
+type HistWire struct {
+	Name    string       `json:"name"`
+	Sum     uint64       `json:"sum"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Dense converts the wire form back to a mergeable HistSnapshot.
+func (h HistWire) Dense() HistSnapshot {
+	s := HistSnapshot{Name: h.Name, Sum: h.Sum}
+	for _, b := range h.Buckets {
+		if b.Bit >= 0 && b.Bit < NumHistBuckets {
+			s.Buckets[b.Bit] += b.N
+			s.Count += b.N
+		}
+	}
+	return s
+}
+
+// Wire converts a dense snapshot to the sparse wire form.
+func (s HistSnapshot) Wire() HistWire {
+	w := HistWire{Name: s.Name, Sum: s.Sum}
+	for i, n := range s.Buckets {
+		if n != 0 {
+			w.Buckets = append(w.Buckets, HistBucket{Bit: i, N: n})
+		}
+	}
+	return w
+}
+
+// RegistrySnapshot is one process's full metric registry at a point in
+// time, in a JSON-serializable, mergeable form: the payload of the
+// GET /fabric/v1/obs endpoint a coordinator scrapes from each worker.
+type RegistrySnapshot struct {
+	Counters []CounterSnapshot `json:"counters,omitempty"`
+	Gauges   []GaugeSnapshot   `json:"gauges,omitempty"`
+	Hists    []HistWire        `json:"histograms,omitempty"`
+}
+
+// CaptureRegistry snapshots every non-zero counter, gauge, and histogram
+// of this process, sorted by name.
+func CaptureRegistry() RegistrySnapshot {
+	counters, gauges, _ := Snapshot()
+	var s RegistrySnapshot
+	s.Counters = counters
+	s.Gauges = gauges
+	for _, h := range Histograms() {
+		s.Hists = append(s.Hists, h.Wire())
+	}
+	return s
+}
+
+// SnapshotHandler serves CaptureRegistry as JSON — the worker side of
+// fleet metrics: one GET and the coordinator holds everything this
+// process counts.
+func SnapshotHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(CaptureRegistry())
+	})
+}
+
+// fleet holds the most recent snapshot scraped from each worker, keyed
+// by the worker's identity (its base URL). A worker that dies keeps its
+// last snapshot — its tallies still happened and the aggregated series
+// must not regress when it stops answering.
+var fleet struct {
+	sync.Mutex
+	workers map[string]RegistrySnapshot
+}
+
+// PublishFleet stores worker's latest registry snapshot, replacing any
+// earlier one. The coordinator calls this on every scrape tick; the
+// Prometheus exposition folds the stored snapshots into mbavf_fleet_*
+// series.
+func PublishFleet(worker string, s RegistrySnapshot) {
+	fleet.Lock()
+	if fleet.workers == nil {
+		fleet.workers = map[string]RegistrySnapshot{}
+	}
+	fleet.workers[worker] = s
+	fleet.Unlock()
+}
+
+// FleetWorkers returns the identities with a published snapshot, sorted.
+func FleetWorkers() []string {
+	fleet.Lock()
+	defer fleet.Unlock()
+	out := make([]string, 0, len(fleet.workers))
+	for w := range fleet.workers {
+		out = append(out, w)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// resetFleet clears the scraped snapshots (part of Reset's lifecycle).
+func resetFleet() {
+	fleet.Lock()
+	fleet.workers = nil
+	fleet.Unlock()
+}
+
+// fleetSeries is the merged view the exposition renders: per metric
+// name, the per-worker values and their sum.
+type fleetSeries[T any] struct {
+	name      string
+	total     T
+	perWorker []workerValue[T]
+}
+
+type workerValue[T any] struct {
+	worker string
+	value  T
+}
+
+// collectFleet folds the stored snapshots into sorted merged series.
+func collectFleet() (counters []fleetSeries[uint64], gauges []fleetSeries[float64], hists []fleetSeries[HistSnapshot]) {
+	fleet.Lock()
+	workers := make([]string, 0, len(fleet.workers))
+	for w := range fleet.workers {
+		workers = append(workers, w)
+	}
+	sort.Strings(workers)
+
+	cIdx := map[string]int{}
+	gIdx := map[string]int{}
+	hIdx := map[string]int{}
+	for _, w := range workers {
+		snap := fleet.workers[w]
+		for _, c := range snap.Counters {
+			i, ok := cIdx[c.Name]
+			if !ok {
+				i = len(counters)
+				cIdx[c.Name] = i
+				counters = append(counters, fleetSeries[uint64]{name: c.Name})
+			}
+			counters[i].total += c.Value
+			counters[i].perWorker = append(counters[i].perWorker, workerValue[uint64]{w, c.Value})
+		}
+		for _, g := range snap.Gauges {
+			i, ok := gIdx[g.Name]
+			if !ok {
+				i = len(gauges)
+				gIdx[g.Name] = i
+				gauges = append(gauges, fleetSeries[float64]{name: g.Name})
+			}
+			gauges[i].total += g.Value
+			gauges[i].perWorker = append(gauges[i].perWorker, workerValue[float64]{w, g.Value})
+		}
+		for _, hw := range snap.Hists {
+			h := hw.Dense()
+			i, ok := hIdx[h.Name]
+			if !ok {
+				i = len(hists)
+				hIdx[h.Name] = i
+				hists = append(hists, fleetSeries[HistSnapshot]{name: h.Name})
+			}
+			hists[i].total.Merge(h)
+			hists[i].perWorker = append(hists[i].perWorker, workerValue[HistSnapshot]{w, h})
+		}
+	}
+	fleet.Unlock()
+	sortByName(counters, func(s fleetSeries[uint64]) string { return s.name })
+	sortByName(gauges, func(s fleetSeries[float64]) string { return s.name })
+	sortByName(hists, func(s fleetSeries[HistSnapshot]) string { return s.name })
+	return counters, gauges, hists
+}

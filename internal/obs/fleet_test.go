@@ -1,0 +1,138 @@
+package obs_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mbavf/internal/obs"
+)
+
+// TestFleetPrometheusGolden pins the coordinator-aggregated exposition
+// byte-for-byte against the hand-merged sum of two worker snapshots:
+// aggregate (unlabeled) samples equal the sum over workers, per-worker
+// samples carry a sanitized worker label, and sparse histogram buckets
+// merge into correct cumulative series.
+func TestFleetPrometheusGolden(t *testing.T) {
+	reset()
+	defer reset()
+	obs.Enable()
+
+	workerA := "http://127.0.0.1:18091"
+	workerB := "w\"2\\b" // exercises label escaping of " and \
+	obs.PublishFleet(workerA, obs.RegistrySnapshot{
+		Counters: []obs.CounterSnapshot{
+			{Name: "inject.shots", Value: 10},
+			{Name: "store.hits", Value: 3},
+		},
+		Gauges: []obs.GaugeSnapshot{{Name: "avf.value", Value: 0.25}},
+		Hists: []obs.HistWire{{
+			Name: "lease.ms", Sum: 101,
+			Buckets: []obs.HistBucket{{Bit: 1, N: 1}, {Bit: 7, N: 1}},
+		}},
+	})
+	obs.PublishFleet(workerB, obs.RegistrySnapshot{
+		Counters: []obs.CounterSnapshot{{Name: "inject.shots", Value: 5}},
+		Hists: []obs.HistWire{{
+			Name: "lease.ms", Sum: 3,
+			Buckets: []obs.HistBucket{{Bit: 2, N: 1}},
+		}},
+	})
+
+	// The local registry holds no non-zero series after reset, so the
+	// exposition is exactly the fleet section.
+	var b strings.Builder
+	obs.WritePrometheus(&b)
+	want := `# TYPE mbavf_fleet_inject_shots counter
+mbavf_fleet_inject_shots 15
+mbavf_fleet_inject_shots{worker="http://127.0.0.1:18091"} 10
+mbavf_fleet_inject_shots{worker="w\"2\\b"} 5
+# TYPE mbavf_fleet_store_hits counter
+mbavf_fleet_store_hits 3
+mbavf_fleet_store_hits{worker="http://127.0.0.1:18091"} 3
+# TYPE mbavf_fleet_avf_value gauge
+mbavf_fleet_avf_value 0.25
+mbavf_fleet_avf_value{worker="http://127.0.0.1:18091"} 0.25
+# TYPE mbavf_fleet_lease_ms histogram
+mbavf_fleet_lease_ms_bucket{le="1"} 1
+mbavf_fleet_lease_ms_bucket{le="3"} 2
+mbavf_fleet_lease_ms_bucket{le="127"} 3
+mbavf_fleet_lease_ms_bucket{le="+Inf"} 3
+mbavf_fleet_lease_ms_sum 104
+mbavf_fleet_lease_ms_count 3
+mbavf_fleet_lease_ms_sum{worker="http://127.0.0.1:18091"} 101
+mbavf_fleet_lease_ms_count{worker="http://127.0.0.1:18091"} 2
+mbavf_fleet_lease_ms_sum{worker="w\"2\\b"} 3
+mbavf_fleet_lease_ms_count{worker="w\"2\\b"} 1
+`
+	if got := b.String(); got != want {
+		t.Fatalf("fleet exposition diverges from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	if ws := obs.FleetWorkers(); !reflect.DeepEqual(ws, []string{workerA, workerB}) {
+		t.Fatalf("FleetWorkers() = %v", ws)
+	}
+	obs.Reset()
+	if ws := obs.FleetWorkers(); len(ws) != 0 {
+		t.Fatalf("Reset kept fleet snapshots: %v", ws)
+	}
+}
+
+// TestHistWireRoundTrip checks the sparse wire form is lossless: dense →
+// wire → dense reproduces buckets, count, and sum.
+func TestHistWireRoundTrip(t *testing.T) {
+	reset()
+	defer reset()
+	obs.Enable()
+	h := obs.NewHistogram("test.wire.hist")
+	for _, v := range []uint64{0, 1, 5, 5, 1 << 40} {
+		h.Record(v)
+	}
+	dense := h.Snapshot()
+	back := dense.Wire().Dense()
+	if back != dense {
+		t.Fatalf("wire round trip diverges:\nin:  %+v\nout: %+v", dense, back)
+	}
+	if len(dense.Wire().Buckets) != 4 {
+		t.Fatalf("wire buckets = %d, want 4 non-empty (sparse)", len(dense.Wire().Buckets))
+	}
+}
+
+// TestSnapshotHandlerScrape drives the worker side of fleet metrics over
+// HTTP: the /fabric/v1/obs payload parses back into a RegistrySnapshot
+// matching CaptureRegistry.
+func TestSnapshotHandlerScrape(t *testing.T) {
+	reset()
+	defer reset()
+	obs.Enable()
+	obs.NewCounter("test.scrape.counter").Add(4)
+	obs.NewHistogram("test.scrape.hist").Record(9)
+
+	srv := httptest.NewServer(obs.SnapshotHandler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got obs.RegistrySnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatalf("snapshot payload does not parse: %v", err)
+	}
+	want := obs.CaptureRegistry()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("scraped snapshot diverges:\ngot:  %+v\nwant: %+v", got, want)
+	}
+	found := false
+	for _, c := range got.Counters {
+		if c.Name == "test.scrape.counter" && c.Value == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("scraped counters missing test.scrape.counter=4: %+v", got.Counters)
+	}
+}

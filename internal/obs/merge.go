@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// MergedTraceStats summarizes a merge for callers that want to report or
+// assert on it (the mbavf-trace CLI, the fabric smoke test).
+type MergedTraceStats struct {
+	Files     int            `json:"files"`
+	Events    int            `json:"events"`
+	Pids      []int          `json:"pids"`
+	Processes map[int]string `json:"processes"`
+}
+
+// MergeTraces stitches several Chrome trace documents — a coordinator's
+// and its workers', each written by WriteTrace — into one fleet trace.
+//
+// Each input file's timestamps are relative to its own StartTrace call;
+// the "otherData" anchor (TraceMeta) carries the absolute wall clock of
+// that instant, so the merger rebases every file onto the earliest
+// anchor and spans line up in real time (clocks on one host; a fleet on
+// many hosts aligns only as well as its clocks do). Process ids are kept
+// when unique and reassigned on collision — two traces recorded by
+// processes that happened to share a pid (different hosts, pid reuse)
+// must not interleave their rows — and every pid gets a process_name
+// metadata event so the viewer titles the rows.
+//
+// Async events ("b"/"e"/"n") pass through untouched: their (cat, id)
+// correlation is process-independent by construction, which is what lets
+// a worker's lease span nest under the coordinator's campaign span in
+// the merged view.
+func MergeTraces(docs ...[]byte) ([]byte, MergedTraceStats, error) {
+	stats := MergedTraceStats{Files: len(docs), Processes: map[int]string{}}
+	if len(docs) == 0 {
+		return nil, stats, fmt.Errorf("obs: no traces to merge")
+	}
+	type parsed struct {
+		file   traceFile
+		anchor int64 // µs since epoch; 0 = unknown
+	}
+	files := make([]parsed, 0, len(docs))
+	var t0 int64
+	for i, doc := range docs {
+		var f traceFile
+		if err := json.Unmarshal(doc, &f); err != nil {
+			return nil, stats, fmt.Errorf("obs: trace %d does not parse: %w", i, err)
+		}
+		p := parsed{file: f}
+		if f.Meta != nil && f.Meta.StartUnixMicro > 0 {
+			p.anchor = f.Meta.StartUnixMicro
+			if t0 == 0 || p.anchor < t0 {
+				t0 = p.anchor
+			}
+		}
+		files = append(files, p)
+	}
+
+	used := map[int]bool{}
+	maxPid := 0
+	var out []traceEvent
+	for i, p := range files {
+		offset := 0.0
+		if p.anchor > 0 && t0 > 0 {
+			offset = float64(p.anchor - t0)
+		}
+		// One final pid per source file: the recorded pid when no earlier
+		// file claimed it, a fresh one otherwise.
+		srcPid := 0
+		if p.file.Meta != nil {
+			srcPid = p.file.Meta.Pid
+		} else if len(p.file.TraceEvents) > 0 {
+			srcPid = p.file.TraceEvents[0].Pid
+		}
+		finalPid := srcPid
+		if finalPid <= 0 || used[finalPid] {
+			finalPid = maxPid + 1
+			for used[finalPid] {
+				finalPid++
+			}
+		}
+		used[finalPid] = true
+		if finalPid > maxPid {
+			maxPid = finalPid
+		}
+
+		name := fmt.Sprintf("trace %d", i)
+		if p.file.Meta != nil && p.file.Meta.Process != "" {
+			name = p.file.Meta.Process
+		}
+		stats.Processes[finalPid] = name
+		out = append(out, processNameEvent(finalPid, name))
+		for _, e := range p.file.TraceEvents {
+			if e.Ph == "M" && e.Name == "process_name" {
+				continue // regenerated above with the final pid
+			}
+			e.Pid = finalPid
+			e.Ts += offset
+			out = append(out, e)
+		}
+	}
+	// Stable by timestamp (metadata events carry ts 0 and float sorting
+	// is exact here), so the merged file reads chronologically.
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Ts < out[j].Ts })
+
+	stats.Events = len(out)
+	for pid := range used {
+		stats.Pids = append(stats.Pids, pid)
+	}
+	sort.Ints(stats.Pids)
+	data, err := json.MarshalIndent(traceFile{TraceEvents: out, DisplayTimeUnit: "ms"}, "", " ")
+	return data, stats, err
+}

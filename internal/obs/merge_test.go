@@ -1,0 +1,169 @@
+package obs_test
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"mbavf/internal/obs"
+)
+
+type mergedDoc struct {
+	TraceEvents []struct {
+		Name string          `json:"name"`
+		Cat  string          `json:"cat"`
+		Ph   string          `json:"ph"`
+		Ts   float64         `json:"ts"`
+		Pid  int             `json:"pid"`
+		ID   string          `json:"id"`
+		Args json.RawMessage `json:"args"`
+	} `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+// synthTrace hand-authors a worker trace document the way WriteTrace
+// would serialize it: relative timestamps plus an otherData anchor.
+func synthTrace(pid int, process string, anchorMicro int64, events string) []byte {
+	return []byte(`{
+ "traceEvents": [
+  {"name":"process_name","cat":"","ph":"M","ts":0,"pid":` + itoa(pid) + `,"tid":0,"args":{"name":"` + process + `"}},
+  ` + events + `
+ ],
+ "displayTimeUnit": "ms",
+ "otherData": {"pid":` + itoa(pid) + `,"process":"` + process + `","startUnixMicro":` + itoa64(anchorMicro) + `}
+}`)
+}
+
+func itoa(v int) string { return itoa64(int64(v)) }
+func itoa64(v int64) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}
+
+// TestMergeTracesRebasesAndResolvesPids merges a coordinator trace with
+// two worker traces that collide on pid, and checks the fleet-trace
+// contract: every file's events land in the output rebased onto the
+// earliest wall-clock anchor, colliding pids are reassigned, each final
+// pid gets exactly one process_name row title, and async events keep
+// their cross-process correlation ids.
+func TestMergeTracesRebasesAndResolvesPids(t *testing.T) {
+	coord := synthTrace(4242, "coordinator", 1_000_000,
+		`{"name":"campaign:vecadd","cat":"campaign","ph":"b","ts":10,"pid":4242,"tid":1,"id":"trace1"},
+  {"name":"campaign:vecadd","cat":"campaign","ph":"e","ts":5000,"pid":4242,"tid":1,"id":"trace1"}`)
+	worker := synthTrace(4242, "worker :18091", 1_000_500,
+		`{"name":"lease:l1","cat":"lease","ph":"X","ts":100,"dur":50,"pid":4242,"tid":1},
+  {"name":"lease l1","cat":"campaign","ph":"n","ts":120,"pid":4242,"tid":1,"id":"trace1"}`)
+
+	merged, stats, err := obs.MergeTraces(coord, worker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Files != 2 || len(stats.Pids) != 2 {
+		t.Fatalf("stats = %+v, want 2 files on 2 distinct pids", stats)
+	}
+
+	var doc mergedDoc
+	if err := json.Unmarshal(merged, &doc); err != nil {
+		t.Fatalf("merged trace does not parse: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+
+	byName := map[string]int{} // event name → final pid
+	byNameTs := map[string]float64{}
+	processRows := map[int]string{}
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "M" {
+			var args struct {
+				Name string `json:"name"`
+			}
+			_ = json.Unmarshal(e.Args, &args)
+			if _, dup := processRows[e.Pid]; dup {
+				t.Fatalf("pid %d has two process_name events", e.Pid)
+			}
+			processRows[e.Pid] = args.Name
+			continue
+		}
+		byName[e.Name] = e.Pid
+		if _, seen := byNameTs[e.Name]; !seen {
+			byNameTs[e.Name] = e.Ts // first occurrence: the "b" of a b/e pair
+		}
+		if e.Cat == "campaign" && e.ID != "trace1" {
+			t.Fatalf("async event %q lost its correlation id: %q", e.Name, e.ID)
+		}
+	}
+
+	// Pid collision resolved: coordinator keeps 4242, the worker moves.
+	if byName["campaign:vecadd"] != 4242 {
+		t.Fatalf("coordinator pid = %d, want the recorded 4242", byName["campaign:vecadd"])
+	}
+	if wpid := byName["lease:l1"]; wpid == 4242 {
+		t.Fatal("worker kept the colliding pid 4242")
+	}
+	if processRows[4242] != "coordinator" || processRows[byName["lease:l1"]] != "worker :18091" {
+		t.Fatalf("process rows = %v", processRows)
+	}
+
+	// The worker anchor is 500µs later, so its lease span recorded at
+	// relative ts=100 lands at absolute 600 — after the campaign begin
+	// (ts=10) and before its end (ts=5000) on the shared timeline.
+	if got := byNameTs["lease:l1"]; got != 600 {
+		t.Fatalf("worker span rebased to ts=%v, want 600", got)
+	}
+	if byNameTs["campaign:vecadd"] != 10 {
+		t.Fatalf("coordinator begin moved to ts=%v, want 10", byNameTs["campaign:vecadd"])
+	}
+}
+
+// TestMergeTracesRealRecording merges a trace produced by the real
+// recording path with a synthesized worker file, so the format WriteTrace
+// emits and the format MergeTraces consumes cannot drift apart.
+func TestMergeTracesRealRecording(t *testing.T) {
+	reset()
+	defer reset()
+	obs.SetProcessName("merge-unit coordinator")
+	obs.StartTrace()
+	obs.TraceAsyncBegin("campaign", "campaign:unit", "unit-trace")
+	sp := obs.StartSpan("dispatch:unit")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	obs.TraceAsyncEnd("campaign", "campaign:unit", "unit-trace")
+	obs.StopTrace()
+	own, err := obs.TraceJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	worker := synthTrace(1, "worker", time.Now().UnixMicro(),
+		`{"name":"lease:l9","cat":"lease","ph":"X","ts":5,"dur":2,"pid":1,"tid":1}`)
+	merged, stats, err := obs.MergeTraces(own, worker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Files != 2 || stats.Events == 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	var doc mergedDoc
+	if err := json.Unmarshal(merged, &doc); err != nil {
+		t.Fatalf("merged trace does not parse: %v", err)
+	}
+	names := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		names[e.Name] = true
+	}
+	for _, want := range []string{"campaign:unit", "dispatch:unit", "lease:l9", "process_name"} {
+		if !names[want] {
+			t.Fatalf("merged trace missing %q; has %v", want, names)
+		}
+	}
+}
+
+func TestMergeTracesRejectsGarbage(t *testing.T) {
+	if _, _, err := obs.MergeTraces([]byte("not json")); err == nil {
+		t.Fatal("want an error for an unparseable trace")
+	}
+	if _, _, err := obs.MergeTraces(); err == nil {
+		t.Fatal("want an error for zero inputs")
+	}
+}

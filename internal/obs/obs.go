@@ -308,9 +308,10 @@ func Gauges() map[string]float64 {
 	return out
 }
 
-// Reset zeroes every counter, gauge, histogram, phase accumulator, and
-// the live campaign progress. Trace events are kept (the trace spans the
-// whole process; summaries are per experiment).
+// Reset zeroes every counter, gauge, histogram, phase accumulator, the
+// live campaign progress, the structured event ring, and the scraped
+// fleet snapshots. Trace events are kept (the trace spans the whole
+// process; summaries are per experiment).
 func Reset() {
 	registry.Lock()
 	for _, c := range registry.counters {
@@ -330,6 +331,8 @@ func Reset() {
 	phases.m = nil
 	phases.Unlock()
 	resetCampaign()
+	resetEvents()
+	resetFleet()
 }
 
 // SummaryTables renders the current snapshot as report tables: phase

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"os"
 	"reflect"
 	"strings"
 	"sync"
@@ -172,6 +173,11 @@ func TestTraceJSONIsChromeLoadable(t *testing.T) {
 			Tid  int     `json:"tid"`
 		} `json:"traceEvents"`
 		DisplayTimeUnit string `json:"displayTimeUnit"`
+		Meta            struct {
+			Pid            int    `json:"pid"`
+			Process        string `json:"process"`
+			StartUnixMicro int64  `json:"startUnixMicro"`
+		} `json:"otherData"`
 	}
 	if err := json.Unmarshal(raw, &doc); err != nil {
 		t.Fatalf("trace JSON does not parse: %v", err)
@@ -179,8 +185,18 @@ func TestTraceJSONIsChromeLoadable(t *testing.T) {
 	if doc.DisplayTimeUnit != "ms" {
 		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
 	}
+	if doc.Meta.Pid != os.Getpid() || doc.Meta.StartUnixMicro <= 0 || doc.Meta.Process == "" {
+		t.Fatalf("merge anchor = %+v, want this pid, a process name, and a positive wall-clock anchor", doc.Meta)
+	}
 	cats := map[string]string{}
+	var sawProcessName bool
 	for _, e := range doc.TraceEvents {
+		if e.Ph == "M" {
+			if e.Name == "process_name" {
+				sawProcessName = true
+			}
+			continue
+		}
 		if e.Ph != "X" {
 			t.Fatalf("event %q has phase %q, want complete event X", e.Name, e.Ph)
 		}
@@ -188,6 +204,9 @@ func TestTraceJSONIsChromeLoadable(t *testing.T) {
 			t.Fatalf("event %q has negative ts/dur", e.Name)
 		}
 		cats[e.Name] = e.Cat
+	}
+	if !sawProcessName {
+		t.Fatal("trace is missing the process_name metadata event")
 	}
 	if cats["simulate:unitwl"] != "simulate" || cats["analyze:unitwl"] != "analyze" {
 		t.Fatalf("categories = %v, want prefix before ':'", cats)
@@ -223,6 +242,7 @@ func TestTraceTidsPerGoroutine(t *testing.T) {
 	var doc struct {
 		TraceEvents []struct {
 			Name string `json:"name"`
+			Ph   string `json:"ph"`
 			Pid  int    `json:"pid"`
 			Tid  int    `json:"tid"`
 		} `json:"traceEvents"`
@@ -230,18 +250,25 @@ func TestTraceTidsPerGoroutine(t *testing.T) {
 	if err := json.Unmarshal(raw, &doc); err != nil {
 		t.Fatal(err)
 	}
-	if len(doc.TraceEvents) != workers+1 {
-		t.Fatalf("recorded %d events, want %d", len(doc.TraceEvents), workers+1)
-	}
 	tids := map[int]bool{}
+	spans := 0
 	for _, e := range doc.TraceEvents {
-		if e.Pid != 1 {
-			t.Fatalf("event %q has pid %d, want 1", e.Name, e.Pid)
+		if e.Ph == "M" {
+			continue
+		}
+		spans++
+		// Events carry the real OS pid so traces from different fleet
+		// processes never collide after a merge.
+		if e.Pid != os.Getpid() {
+			t.Fatalf("event %q has pid %d, want this process's %d", e.Name, e.Pid, os.Getpid())
 		}
 		if e.Tid < 1 || e.Tid > workers+1 {
 			t.Fatalf("event %q has tid %d outside the dense range [1,%d]", e.Name, e.Tid, workers+1)
 		}
 		tids[e.Tid] = true
+	}
+	if spans != workers+1 {
+		t.Fatalf("recorded %d span events, want %d", spans, workers+1)
 	}
 	if len(tids) != workers+1 {
 		t.Fatalf("%d distinct tids across %d goroutines, want %d", len(tids), workers+1, workers+1)

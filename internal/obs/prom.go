@@ -17,10 +17,17 @@ import (
 
 // promName sanitizes a registry name into a legal Prometheus metric name
 // ([a-zA-Z_:][a-zA-Z0-9_:]*) with the repository prefix.
-func promName(name string) string {
+func promName(name string) string { return promNameWith("mbavf_", name) }
+
+// promFleetName is promName under the fleet prefix: scraped-and-merged
+// worker series expose as mbavf_fleet_* so they never collide with the
+// coordinator process's own local series.
+func promFleetName(name string) string { return promNameWith("mbavf_fleet_", name) }
+
+func promNameWith(prefix, name string) string {
 	var b strings.Builder
-	b.Grow(len(name) + 6)
-	b.WriteString("mbavf_")
+	b.Grow(len(name) + len(prefix))
+	b.WriteString(prefix)
 	for _, r := range name {
 		switch {
 		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
@@ -71,6 +78,49 @@ func WritePrometheus(w io.Writer) {
 	writeCampaignProm(w)
 	for _, h := range Histograms() {
 		writeHistProm(w, h)
+	}
+	writeFleetProm(w)
+}
+
+// writeFleetProm renders the scraped worker snapshots: for every metric
+// the fleet reports, one aggregated (unlabeled) sample — the sum over
+// workers, so a single PromQL-free scrape sees fleet totals — plus one
+// worker-labeled sample per worker. Histograms merge bucket-wise into
+// one aggregated family with per-worker _sum/_count samples.
+func writeFleetProm(w io.Writer) {
+	counters, gauges, hists := collectFleet()
+	for _, c := range counters {
+		n := promFleetName(c.name)
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, c.total)
+		for _, pw := range c.perWorker {
+			fmt.Fprintf(w, "%s{worker=\"%s\"} %d\n", n, promLabel(pw.worker), pw.value)
+		}
+	}
+	for _, g := range gauges {
+		n := promFleetName(g.name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", n, n, promFloat(g.total))
+		for _, pw := range g.perWorker {
+			fmt.Fprintf(w, "%s{worker=\"%s\"} %s\n", n, promLabel(pw.worker), promFloat(pw.value))
+		}
+	}
+	for _, h := range hists {
+		n := promFleetName(h.name)
+		fmt.Fprintf(w, "# TYPE %s histogram\n", n)
+		var cum uint64
+		for i, c := range h.total.Buckets {
+			if c == 0 {
+				continue
+			}
+			cum += c
+			fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", n, BucketUpperBound(i), cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, h.total.Count)
+		fmt.Fprintf(w, "%s_sum %d\n", n, h.total.Sum)
+		fmt.Fprintf(w, "%s_count %d\n", n, h.total.Count)
+		for _, pw := range h.perWorker {
+			fmt.Fprintf(w, "%s_sum{worker=\"%s\"} %d\n", n, promLabel(pw.worker), pw.value.Sum)
+			fmt.Fprintf(w, "%s_count{worker=\"%s\"} %d\n", n, promLabel(pw.worker), pw.value.Count)
+		}
 	}
 }
 

@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -22,6 +23,25 @@ var trace struct {
 	// in order of first appearance, so parallel campaign workers render
 	// on separate Perfetto rows instead of one overlapping flat row.
 	tids map[uint64]int
+}
+
+// procName is the label this process's trace events carry (the Perfetto
+// process row title). Defaults to the executable name; CLIs override it
+// with something role-qualified ("mbavf-serve worker :18091") so a
+// merged fleet trace names its rows usefully.
+var procName atomic.Value // string
+
+// SetProcessName sets the label this process contributes to traces and
+// merged fleet views.
+func SetProcessName(name string) { procName.Store(name) }
+
+// ProcessName returns the trace process label (executable basename when
+// never set).
+func ProcessName() string {
+	if n, ok := procName.Load().(string); ok && n != "" {
+		return n
+	}
+	return filepath.Base(os.Args[0])
 }
 
 // goroutineID parses the current goroutine's runtime id from the
@@ -45,17 +65,30 @@ func goroutineID() uint64 {
 	return id
 }
 
-// traceEvent is one Chrome trace_event "complete" event ("ph":"X").
-// See the Trace Event Format spec: ts/dur are microseconds; pid/tid
-// select the row the span renders on.
+// traceEvent is one Chrome trace_event: complete spans ("X"), async
+// begin/end/instant ("b"/"e"/"n") carrying a cross-process correlation
+// id, and metadata ("M"). ts/dur are microseconds; pid/tid select the
+// row the event renders on. Pid is the real OS process id, so events
+// from different fleet processes never collide after a merge.
 type traceEvent struct {
-	Name string  `json:"name"`
-	Cat  string  `json:"cat"`
-	Ph   string  `json:"ph"`
-	Ts   float64 `json:"ts"`
-	Dur  float64 `json:"dur"`
-	Pid  int     `json:"pid"`
-	Tid  int     `json:"tid"`
+	Name string          `json:"name"`
+	Cat  string          `json:"cat"`
+	Ph   string          `json:"ph"`
+	Ts   float64         `json:"ts"`
+	Dur  float64         `json:"dur,omitempty"`
+	Pid  int             `json:"pid"`
+	Tid  int             `json:"tid"`
+	ID   string          `json:"id,omitempty"`
+	Args json.RawMessage `json:"args,omitempty"`
+}
+
+// TraceMeta is the merge anchor embedded in every trace file under
+// "otherData" (a key Chrome ignores): the absolute wall-clock start the
+// relative timestamps are measured from, plus the process identity.
+type TraceMeta struct {
+	Pid            int    `json:"pid"`
+	Process        string `json:"process"`
+	StartUnixMicro int64  `json:"startUnixMicro"`
 }
 
 // traceFile is the Chrome trace JSON object form (preferred over the
@@ -63,6 +96,7 @@ type traceEvent struct {
 type traceFile struct {
 	TraceEvents     []traceEvent `json:"traceEvents"`
 	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	Meta            *TraceMeta   `json:"otherData,omitempty"`
 }
 
 // StartTrace begins recording spans as trace events. Restarting clears
@@ -83,23 +117,24 @@ func StopTrace() { tracing.Store(false) }
 // Tracing reports whether spans are being recorded as trace events.
 func Tracing() bool { return tracing.Load() }
 
-// traceSpan appends one completed span. The category is the span-name
-// prefix up to the first ':' ("simulate", "analyze", "exp", "campaign"),
-// which Chrome uses for filtering and coloring.
-func traceSpan(name string, start time.Time, dur time.Duration) {
-	if !tracing.Load() {
-		return
-	}
-	cat := name
+// category is the span-name prefix up to the first ':' ("simulate",
+// "analyze", "lease", "campaign"), which Chrome uses for filtering and
+// coloring.
+func category(name string) string {
 	for i := 0; i < len(name); i++ {
 		if name[i] == ':' {
-			cat = name[:i]
-			break
+			return name[:i]
 		}
 	}
+	return name
+}
+
+// appendEvent records one event, assigning the goroutine's dense tid.
+// ts is the event's absolute start time.
+func appendEvent(e traceEvent, ts time.Time) {
 	gid := goroutineID()
 	trace.Lock()
-	if !trace.start.IsZero() && !start.Before(trace.start) {
+	if !trace.start.IsZero() && !ts.Before(trace.start) {
 		tid, ok := trace.tids[gid]
 		if !ok {
 			if trace.tids == nil {
@@ -108,17 +143,55 @@ func traceSpan(name string, start time.Time, dur time.Duration) {
 			tid = len(trace.tids) + 1
 			trace.tids[gid] = tid
 		}
-		trace.events = append(trace.events, traceEvent{
-			Name: name,
-			Cat:  cat,
-			Ph:   "X",
-			Ts:   float64(start.Sub(trace.start)) / float64(time.Microsecond),
-			Dur:  float64(dur) / float64(time.Microsecond),
-			Pid:  1,
-			Tid:  tid,
-		})
+		e.Ts = float64(ts.Sub(trace.start)) / float64(time.Microsecond)
+		e.Pid = os.Getpid()
+		e.Tid = tid
+		trace.events = append(trace.events, e)
 	}
 	trace.Unlock()
+}
+
+// traceSpan appends one completed span.
+func traceSpan(name string, start time.Time, dur time.Duration) {
+	if !tracing.Load() {
+		return
+	}
+	appendEvent(traceEvent{
+		Name: name,
+		Cat:  category(name),
+		Ph:   "X",
+		Dur:  float64(dur) / float64(time.Microsecond),
+	}, start)
+}
+
+// TraceAsyncBegin records the start of an async operation correlated by
+// (cat, id). Async events with one id nest in the trace viewer no matter
+// which process recorded them — the mechanism that lets a worker's lease
+// execution render under the coordinator's campaign span in a merged
+// fleet trace. Pair with TraceAsyncEnd.
+func TraceAsyncBegin(cat, name, id string) {
+	if !tracing.Load() || id == "" {
+		return
+	}
+	appendEvent(traceEvent{Name: name, Cat: cat, Ph: "b", ID: id}, time.Now())
+}
+
+// TraceAsyncEnd closes the async operation opened by TraceAsyncBegin
+// with the same (cat, name, id).
+func TraceAsyncEnd(cat, name, id string) {
+	if !tracing.Load() || id == "" {
+		return
+	}
+	appendEvent(traceEvent{Name: name, Cat: cat, Ph: "e", ID: id}, time.Now())
+}
+
+// TraceAsyncInstant records a zero-duration marker inside the async
+// operation (lease dispatched, lease stolen, checksum rejected).
+func TraceAsyncInstant(cat, name, id string) {
+	if !tracing.Load() || id == "" {
+		return
+	}
+	appendEvent(traceEvent{Name: name, Cat: cat, Ph: "n", ID: id}, time.Now())
 }
 
 // TraceEventCount returns the number of recorded events (for tests and
@@ -129,14 +202,35 @@ func TraceEventCount() int {
 	return len(trace.events)
 }
 
+// processNameEvent is the "M" metadata event naming a pid's row in the
+// trace viewer.
+func processNameEvent(pid int, name string) traceEvent {
+	args, _ := json.Marshal(map[string]string{"name": name})
+	return traceEvent{Name: "process_name", Ph: "M", Pid: pid, Args: args}
+}
+
 // TraceJSON serializes the recorded events as a Chrome-loadable trace
-// document.
+// document: a process_name metadata event, every recorded event, and the
+// wall-clock anchor MergeTraces aligns files with.
 func TraceJSON() ([]byte, error) {
 	trace.Lock()
-	events := make([]traceEvent, len(trace.events))
-	copy(events, trace.events)
+	events := make([]traceEvent, 0, len(trace.events)+1)
+	events = append(events, processNameEvent(os.Getpid(), ProcessName()))
+	events = append(events, trace.events...)
+	meta := &TraceMeta{
+		Pid:            os.Getpid(),
+		Process:        ProcessName(),
+		StartUnixMicro: trace.start.UnixMicro(),
+	}
+	if trace.start.IsZero() {
+		meta.StartUnixMicro = 0
+	}
 	trace.Unlock()
-	return json.MarshalIndent(traceFile{TraceEvents: events, DisplayTimeUnit: "ms"}, "", " ")
+	return json.MarshalIndent(traceFile{
+		TraceEvents:     events,
+		DisplayTimeUnit: "ms",
+		Meta:            meta,
+	}, "", " ")
 }
 
 // WriteTrace writes the recorded trace to path (chrome://tracing or

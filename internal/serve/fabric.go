@@ -7,6 +7,7 @@ import (
 
 	"mbavf"
 	"mbavf/internal/fabric"
+	"mbavf/internal/obs"
 )
 
 // evaluateAVF adapts the server's cached AVF query path to the fabric's
@@ -31,10 +32,19 @@ func (s *Server) evaluateAVF(ctx context.Context, q fabric.AVFQuery) (json.RawMe
 // mountFabric adds the worker endpoints to the route table when this
 // server is part of a fleet. The fabric handlers bypass the request
 // middleware deliberately: a draining coordinator must still be able to
-// poll (and release) leases it already dispatched here.
+// poll (and release) leases it already dispatched here. The
+// observability pair (/fabric/v1/obs, /fabric/v1/events) is mounted in
+// every fleet role: Worker.Mount covers the worker case, and a
+// coordinator-only server mounts them here so its own registry and
+// event log are scrapeable too.
 func (s *Server) mountFabric(mux *http.ServeMux) {
 	if s.worker != nil {
 		s.worker.Mount(mux)
+		return
+	}
+	if s.coord != nil {
+		mux.Handle("GET "+fabric.PathObs, obs.SnapshotHandler())
+		mux.Handle("GET "+fabric.PathEvents, obs.EventsHandler())
 	}
 }
 
