@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-solver ci bench bench-baseline bench-compare fuzz-smoke serve-smoke fabric-smoke clean
+.PHONY: all build vet test race race-solver ci bench bench-baseline bench-compare fuzz-smoke serve-smoke fabric-smoke store-smoke clean
 
 all: vet build test
 
@@ -41,7 +41,16 @@ serve-smoke:
 fabric-smoke:
 	./scripts/fabric-smoke.sh
 
-ci: vet build race race-solver fabric-smoke
+# End-to-end smoke of the fleet-shared artifact store: one mbavf-serve
+# exposes its disk store over /store/v1, two workers point at it with
+# -store-url, and the same query against both must simulate exactly
+# once fleet-wide — the second worker answering via ranged section
+# fetches that transfer less than the whole artifact. CI runs the same
+# sequence inline.
+store-smoke:
+	./scripts/store-smoke.sh
+
+ci: vet build race race-solver fabric-smoke store-smoke
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .

@@ -29,6 +29,8 @@ import (
 	"mbavf/internal/core"
 	"mbavf/internal/obs"
 	"mbavf/internal/serve"
+	"mbavf/internal/store"
+	"mbavf/internal/store/httpstore"
 )
 
 // splitPeers parses the -fabric-workers list, dropping empty entries so
@@ -52,6 +54,10 @@ func main() {
 		reqTimeout   = flag.Duration("request-timeout", 5*time.Minute, "per-request deadline")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain deadline on shutdown")
 		storeDir     = flag.String("store", "", "persistent run-artifact store directory (empty = memory-only caching)")
+		storeURL     = flag.String("store-url", "", "base URL of a remote artifact server (another mbavf-serve with -store-serve); mutually exclusive with -store")
+		storeServe   = flag.Bool("store-serve", true, "with -store, also serve the artifact store over HTTP (/store/v1/*) so other processes can share it")
+		storeScrub   = flag.Duration("store-scrub", 0, "with -store, run background CRC scrubs and GC at this interval (0 = off)")
+		storeMax     = flag.Int64("store-max-bytes", 0, "with -store-scrub, evict oldest artifacts once the store exceeds this many bytes (0 = unbounded)")
 		worker       = flag.Bool("worker", false, "serve the distributed-campaign fabric worker endpoints (/fabric/v1/*)")
 		fabricPeers  = flag.String("fabric-workers", "", "comma-separated worker base URLs; makes this server a fabric coordinator")
 		shotDelay    = flag.Duration("fabric-shot-delay", 0, "throttle every fabric shot by this much (chaos/testing knob for straggler rehearsal; leave 0 in production)")
@@ -91,13 +97,29 @@ func main() {
 	}
 
 	var rs *mbavf.RunStore
-	if *storeDir != "" {
+	serveArtifacts := false
+	switch {
+	case *storeDir != "" && *storeURL != "":
+		fmt.Fprintln(os.Stderr, "mbavf-serve: -store and -store-url are mutually exclusive")
+		os.Exit(1)
+	case *storeDir != "":
 		var err error
 		if rs, err = mbavf.OpenRunStore(*storeDir); err != nil {
 			fmt.Fprintf(os.Stderr, "mbavf-serve: opening store: %v\n", err)
 			os.Exit(1)
 		}
+		serveArtifacts = *storeServe
 		fmt.Fprintf(os.Stderr, "mbavf-serve: run-artifact store at %s\n", rs.Dir())
+	case *storeURL != "":
+		rs = mbavf.NewRunStore(httpstore.New(*storeURL))
+		fmt.Fprintf(os.Stderr, "mbavf-serve: remote run-artifact store at %s\n", rs.Dir())
+	}
+	if rs != nil && *storeScrub > 0 {
+		go rs.Maintain(context.Background(), store.MaintainConfig{
+			Interval: *storeScrub,
+			MaxBytes: *storeMax,
+			Scrub:    true,
+		})
 	}
 
 	s := serve.New(serve.Config{
@@ -106,6 +128,7 @@ func main() {
 		RunsPerShard:    *runsCached,
 		RequestTimeout:  *reqTimeout,
 		Store:           rs,
+		ServeArtifacts:  serveArtifacts,
 		FabricWorker:    *worker,
 		FabricPeers:     splitPeers(*fabricPeers),
 		FabricShotDelay: *shotDelay,

@@ -6,14 +6,19 @@
 // analysis — any structure, scheme, interleaving, or fault mode — loads
 // it back in milliseconds, bit-identical to a fresh simulation.
 //
+// The store may be a local directory (-dir) or a remote artifact server
+// (-url, pointing at an mbavf-serve started with -store -store-serve),
+// so one process can record into — or audit — the fleet's shared store.
+//
 // Usage:
 //
 //	mbavf-store -dir runs record minife comd   # simulate + record
 //	mbavf-store -dir runs record all           # record every workload
 //	mbavf-store -dir runs ls                   # list artifacts
 //	mbavf-store -dir runs inspect <key>        # metadata + section layout
-//	mbavf-store -dir runs verify               # full decode of every artifact
-//	mbavf-store -dir runs gc -max-bytes 100000000
+//	mbavf-store -dir runs verify               # per-section CRC + decode audit
+//	mbavf-store -dir runs gc -max-bytes 100000000 -dry-run
+//	mbavf-store -url http://storehost:8080 ls  # same, against a remote store
 package main
 
 import (
@@ -28,47 +33,54 @@ import (
 
 	"mbavf"
 	"mbavf/internal/store"
+	"mbavf/internal/store/httpstore"
 )
 
 func usage() {
-	fmt.Fprintf(os.Stderr, `usage: mbavf-store -dir <store> <command> [args]
+	fmt.Fprintf(os.Stderr, `usage: mbavf-store {-dir <store> | -url <base-url>} <command> [args]
 
 commands:
   record <workload>... | all   simulate workloads and record their artifacts
   ls                           list stored artifacts (damaged ones flagged)
   inspect <key>                show one artifact's metadata and sections
-  verify [<key>...]            fully decode artifacts, report damage
-  gc [-max-bytes N]            sweep quarantine/temp files, evict oldest over N
+  verify [<key>...]            check every section CRC and payload, report damage
+  gc [-max-bytes N] [-dry-run] sweep quarantine/temp files, evict oldest over N
 `)
 	os.Exit(2)
 }
 
 func main() {
-	dir := flag.String("dir", "", "store directory (required)")
+	dir := flag.String("dir", "", "store directory (this or -url required)")
+	url := flag.String("url", "", "artifact-server base URL (this or -dir required)")
 	flag.Usage = usage
 	flag.Parse()
-	if *dir == "" || flag.NArg() < 1 {
+	if (*dir == "") == (*url == "") || flag.NArg() < 1 {
 		usage()
 	}
 	cmd, args := flag.Arg(0), flag.Args()[1:]
 
-	var err error
-	switch cmd {
-	case "record":
-		err = record(*dir, args)
-	case "ls":
-		err = ls(*dir)
-	case "inspect":
-		if len(args) != 1 {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	st, err := openStore(*dir, *url)
+	if err == nil {
+		switch cmd {
+		case "record":
+			err = record(ctx, st, args)
+		case "ls":
+			err = ls(ctx, st)
+		case "inspect":
+			if len(args) != 1 {
+				usage()
+			}
+			err = inspect(ctx, st, args[0])
+		case "verify":
+			err = verify(ctx, st, args)
+		case "gc":
+			err = gc(ctx, st, args)
+		default:
 			usage()
 		}
-		err = inspect(*dir, args[0])
-	case "verify":
-		err = verify(*dir, args)
-	case "gc":
-		err = gc(*dir, args)
-	default:
-		usage()
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mbavf-store: %v\n", err)
@@ -76,29 +88,33 @@ func main() {
 	}
 }
 
+// openStore builds the store over whichever backend the flags selected:
+// a local directory or a remote artifact server.
+func openStore(dir, url string) (*store.Store, error) {
+	if url != "" {
+		return store.NewStore(httpstore.New(url)), nil
+	}
+	return store.Open(dir)
+}
+
 // record simulates each named workload (or all of them) and commits its
 // artifact. Already-recorded workloads are skipped — recording is
 // idempotent — and SIGINT stops between workloads, keeping everything
 // committed so far.
-func record(dir string, names []string) error {
-	rs, err := mbavf.OpenRunStore(dir)
-	if err != nil {
-		return err
-	}
+func record(ctx context.Context, st *store.Store, names []string) error {
+	rs := mbavf.NewRunStore(st.Backend())
 	if len(names) == 1 && names[0] == "all" {
 		names = mbavf.Workloads()
 	}
 	if len(names) == 0 {
 		return errors.New("record: no workloads named (use 'all' for every workload)")
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	for _, name := range names {
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
 		if rs.Has(name) {
-			if _, err := rs.Load(name); err == nil {
+			if _, err := rs.LoadContext(ctx, name); err == nil {
 				fmt.Printf("%s  %s (already recorded)\n", rs.Key(name), name)
 				continue
 			}
@@ -109,7 +125,7 @@ func record(dir string, names []string) error {
 		if err != nil {
 			return fmt.Errorf("record %s: %w", name, err)
 		}
-		if err := rs.Save(name, r); err != nil {
+		if err := rs.SaveContext(ctx, name, r); err != nil {
 			return fmt.Errorf("record %s: %w", name, err)
 		}
 		fmt.Printf("%s  %s (simulated %d cycles in %v)\n",
@@ -118,12 +134,8 @@ func record(dir string, names []string) error {
 	return nil
 }
 
-func ls(dir string) error {
-	st, err := store.Open(dir)
-	if err != nil {
-		return err
-	}
-	infos, err := st.List()
+func ls(ctx context.Context, st *store.Store) error {
+	infos, err := st.List(ctx)
 	if err != nil {
 		return err
 	}
@@ -143,12 +155,8 @@ func ls(dir string) error {
 	return nil
 }
 
-func inspect(dir, key string) error {
-	st, err := store.Open(dir)
-	if err != nil {
-		return err
-	}
-	in, err := st.Inspect(key)
+func inspect(ctx context.Context, st *store.Store, key string) error {
+	in, err := st.Inspect(ctx, key)
 	if err != nil {
 		return err
 	}
@@ -169,16 +177,13 @@ func inspect(dir, key string) error {
 	return nil
 }
 
-// verify fully decodes the named artifacts (or every artifact), so every
-// CRC and payload invariant is exercised. Damage is reported, not
-// quarantined — verify is a diagnostic.
-func verify(dir string, keys []string) error {
-	st, err := store.Open(dir)
-	if err != nil {
-		return err
-	}
+// verify audits the named artifacts (or every artifact): each section's
+// CRC is checked and reported individually, then the surviving payloads
+// are fully decoded so every invariant is exercised. Damage is reported,
+// not quarantined — verify is a diagnostic.
+func verify(ctx context.Context, st *store.Store, keys []string) error {
 	if len(keys) == 0 {
-		infos, err := st.List()
+		infos, err := st.List(ctx)
 		if err != nil {
 			return err
 		}
@@ -188,11 +193,28 @@ func verify(dir string, keys []string) error {
 	}
 	bad := 0
 	for _, key := range keys {
-		if err := st.Verify(key); err != nil {
-			bad++
+		secs, err := st.VerifySections(ctx, key)
+		damaged := err != nil
+		for _, s := range secs {
+			if s.Err != nil {
+				damaged = true
+				fmt.Printf("%s  section %-6s FAIL: %v\n", key, s.Name, s.Err)
+			}
+		}
+		switch {
+		case err != nil:
 			fmt.Printf("%s  FAIL: %v\n", key, err)
-		} else {
-			fmt.Printf("%s  ok\n", key)
+		case !damaged:
+			// Sections are CRC-clean; now prove the payloads decode.
+			if err := st.Verify(ctx, key); err != nil {
+				damaged = true
+				fmt.Printf("%s  FAIL: %v\n", key, err)
+			} else {
+				fmt.Printf("%s  ok (%d sections)\n", key, len(secs))
+			}
+		}
+		if damaged {
+			bad++
 		}
 	}
 	if bad > 0 {
@@ -201,19 +223,20 @@ func verify(dir string, keys []string) error {
 	return nil
 }
 
-func gc(dir string, args []string) error {
+func gc(ctx context.Context, st *store.Store, args []string) error {
 	fs := flag.NewFlagSet("gc", flag.ExitOnError)
 	maxBytes := fs.Int64("max-bytes", 0, "evict oldest artifacts until the store fits (0 = only sweep quarantine and temp files)")
+	dryRun := fs.Bool("dry-run", false, "report what would be removed without removing anything")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	st, err := store.Open(dir)
+	removed, freed, err := st.GC(ctx, *maxBytes, *dryRun)
 	if err != nil {
 		return err
 	}
-	removed, freed, err := st.GC(*maxBytes)
-	if err != nil {
-		return err
+	if *dryRun {
+		fmt.Printf("gc: would remove %d file(s), freeing %d bytes\n", removed, freed)
+		return nil
 	}
 	fmt.Printf("gc: removed %d file(s), freed %d bytes\n", removed, freed)
 	return nil

@@ -18,6 +18,7 @@ import (
 	"mbavf/internal/report"
 	"mbavf/internal/sim"
 	"mbavf/internal/store"
+	"mbavf/internal/store/httpstore"
 	"mbavf/internal/workloads"
 )
 
@@ -49,7 +50,9 @@ type Options struct {
 	// instead of simulated when a valid artifact is recorded, and
 	// recorded after simulating otherwise, so repeated sweeps pay the
 	// simulation cost once per (workload, machine config) across
-	// processes, not once per process.
+	// processes, not once per process. A local directory uses the disk
+	// backend; an http(s):// base URL shares another mbavf-serve
+	// process's artifact store over the fleet.
 	StoreDir string
 	// FabricWorkers, when non-empty, distributes injection campaigns
 	// across these fabric worker base URLs. Results stay bit-identical
@@ -91,24 +94,28 @@ func (o Options) workloadNames() []string {
 // the same lifetime/dataflow artifacts per workload.
 var runCache sync.Map // name -> *sim.Measurements
 
-// stores memoizes opened artifact stores per directory. A directory
+// stores memoizes opened artifact stores per location. A directory
 // that fails to open is remembered as unusable so every run() does not
 // retry the mkdir.
-var stores sync.Map // dir -> *store.Store (nil when unusable)
+var stores sync.Map // dir/url -> *store.Store (nil when unusable)
 
-func storeFor(dir string) *store.Store {
-	if dir == "" {
+// storeFor opens the artifact store at loc: an http(s):// base URL gets
+// the fleet-shared HTTP backend, anything else is a local directory.
+func storeFor(loc string) *store.Store {
+	if loc == "" {
 		return nil
 	}
-	if v, ok := stores.Load(dir); ok {
+	if v, ok := stores.Load(loc); ok {
 		st, _ := v.(*store.Store)
 		return st
 	}
-	st, err := store.Open(dir)
-	if err != nil {
-		st = nil
+	var st *store.Store
+	if strings.HasPrefix(loc, "http://") || strings.HasPrefix(loc, "https://") {
+		st = store.NewStore(httpstore.New(loc))
+	} else if local, err := store.Open(loc); err == nil {
+		st = local
 	}
-	stores.Store(dir, st)
+	stores.Store(loc, st)
 	return st
 }
 
@@ -126,7 +133,7 @@ func run(o Options, name string) (*sim.Measurements, error) {
 	if st != nil {
 		// A miss or a quarantined corrupt artifact both fall through to
 		// simulation; the store never serves wrong numbers.
-		if m, err := st.Get(key); err == nil && m.Workload == name {
+		if m, err := st.Get(o.ctx(), key); err == nil && m.Workload == name {
 			runCache.Store(name, m)
 			return m, nil
 		}
@@ -141,7 +148,7 @@ func run(o Options, name string) (*sim.Measurements, error) {
 	}
 	m := s.Measurements()
 	if st != nil {
-		_ = st.Put(key, m) // best-effort; persistence never fails a run
+		_ = st.Put(o.ctx(), key, m) // best-effort; persistence never fails a run
 	}
 	runCache.Store(name, m)
 	return m, nil

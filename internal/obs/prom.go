@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -45,6 +46,52 @@ func promLabel(v string) string {
 	return r.Replace(v)
 }
 
+// promSplit resolves a registry name into its metric family and label
+// set. A name may carry one label after a '|' separator — the
+// convention labeled series use ("store.hits|backend=disk" renders as
+// mbavf_store_hits{backend="disk"}), so a labeled series and its
+// unlabeled aggregate share one family. Names without a well-formed
+// "key=value" suffix sanitize whole, exactly as before.
+func promSplit(name string) (family, labels string) {
+	base, lab, found := strings.Cut(name, "|")
+	if !found {
+		return promName(name), ""
+	}
+	k, v, ok := strings.Cut(lab, "=")
+	if !ok || k == "" {
+		return promName(name), ""
+	}
+	return promName(base), "{" + promNameWith("", k) + `="` + promLabel(v) + `"}`
+}
+
+// promScalar is one counter or gauge sample awaiting family grouping.
+type promScalar struct {
+	family string
+	labels string
+	value  string
+}
+
+// writeScalars emits samples grouped by family — the exposition format
+// requires every family's TYPE line to precede all of its samples, and
+// all of them to be contiguous. Within a family the unlabeled aggregate
+// sorts first (it has the empty label set).
+func writeScalars(w io.Writer, typ string, samples []promScalar) {
+	sort.Slice(samples, func(i, j int) bool {
+		if samples[i].family != samples[j].family {
+			return samples[i].family < samples[j].family
+		}
+		return samples[i].labels < samples[j].labels
+	})
+	prev := ""
+	for _, s := range samples {
+		if s.family != prev {
+			fmt.Fprintf(w, "# TYPE %s %s\n", s.family, typ)
+			prev = s.family
+		}
+		fmt.Fprintf(w, "%s%s %s\n", s.family, s.labels, s.value)
+	}
+}
+
 // promFloat renders a float64 without losing precision (Prometheus
 // accepts the full Go 'g' forms including scientific notation).
 func promFloat(v float64) string {
@@ -56,14 +103,18 @@ func promFloat(v float64) string {
 // Snapshot's convention.
 func WritePrometheus(w io.Writer) {
 	counters, gauges, spans := Snapshot()
+	cs := make([]promScalar, 0, len(counters))
 	for _, c := range counters {
-		n := promName(c.Name)
-		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, c.Value)
+		fam, lab := promSplit(c.Name)
+		cs = append(cs, promScalar{fam, lab, strconv.FormatUint(c.Value, 10)})
 	}
+	writeScalars(w, "counter", cs)
+	gs := make([]promScalar, 0, len(gauges))
 	for _, g := range gauges {
-		n := promName(g.Name)
-		fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", n, n, promFloat(g.Value))
+		fam, lab := promSplit(g.Name)
+		gs = append(gs, promScalar{fam, lab, promFloat(g.Value)})
 	}
+	writeScalars(w, "gauge", gs)
 	if len(spans) > 0 {
 		fmt.Fprintf(w, "# TYPE mbavf_phase_calls_total counter\n")
 		for _, s := range spans {

@@ -114,6 +114,34 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 }
 
+// TestPrometheusLabeledFamilies pins the rendering of '|key=value'
+// registry names: a labeled series and its unlabeled aggregate must
+// share one metric family — one TYPE line, contiguous samples, the
+// aggregate first — which is what the per-backend store counters rely
+// on.
+func TestPrometheusLabeledFamilies(t *testing.T) {
+	reset()
+	defer reset()
+	obs.Enable()
+	obs.NewCounter("test.lab.hits").Add(9)
+	obs.NewCounter("test.lab.hits|backend=disk").Add(5)
+	obs.NewCounter("test.lab.hits|backend=http").Add(4)
+	obs.NewGauge("test.lab.depth|queue=fast").Set(2)
+
+	var b strings.Builder
+	obs.WritePrometheus(&b)
+	want := `# TYPE mbavf_test_lab_hits counter
+mbavf_test_lab_hits 9
+mbavf_test_lab_hits{backend="disk"} 5
+mbavf_test_lab_hits{backend="http"} 4
+# TYPE mbavf_test_lab_depth gauge
+mbavf_test_lab_depth{queue="fast"} 2
+`
+	if got := b.String(); got != want {
+		t.Fatalf("labeled exposition diverges from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
 func TestPromNameSanitization(t *testing.T) {
 	reset()
 	defer reset()

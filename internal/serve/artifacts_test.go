@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"mbavf"
+	"mbavf/internal/obs"
+	"mbavf/internal/store/httpstore"
+	"mbavf/internal/store/mem"
+)
+
+// TestArtifactRoutesMountWithServeArtifacts pins the wiring: the store
+// protocol answers under /store/v1 only when ServeArtifacts is set.
+func TestArtifactRoutesMountWithServeArtifacts(t *testing.T) {
+	memB := mem.New()
+	_, ts := newTestServer(t, Config{
+		Store:          mbavf.NewRunStore(memB),
+		ServeArtifacts: true,
+	})
+	resp, err := http.Get(ts.URL + httpstore.Prefix + "/catalog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET catalog = %d, want 200", resp.StatusCode)
+	}
+	var doc struct {
+		Artifacts []any `json:"artifacts"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Artifacts) != 0 {
+		t.Errorf("fresh store catalog lists %d artifacts", len(doc.Artifacts))
+	}
+
+	_, off := newTestServer(t, Config{Store: mbavf.NewRunStore(mem.New())})
+	resp, err = http.Get(off.URL + httpstore.Prefix + "/catalog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("catalog without ServeArtifacts = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestFleetSharedStore is the fleet contract end to end over real HTTP:
+// one server exposes its store; a worker pointed at it via the HTTP
+// backend simulates once and records through the wire; a second, cold
+// worker then answers the same query from the shared store without
+// simulating — and with the same AVF value.
+func TestFleetSharedStore(t *testing.T) {
+	memB := mem.New()
+	_, storeSrv := newTestServer(t, Config{
+		Store:          mbavf.NewRunStore(memB),
+		ServeArtifacts: true,
+	})
+
+	query := "/api/v1/avf?workload=vecadd&structure=l1&scheme=parity&style=logical&factor=2&mode=1"
+	var first AVFResponse
+	_, w1 := newTestServer(t, Config{
+		Store: mbavf.NewRunStore(httpstore.New(storeSrv.URL)),
+	})
+	getJSON(t, w1.URL+query, http.StatusOK, &first)
+
+	key := mbavf.NewRunStore(memB).Key("vecadd")
+	if ok, _ := memB.Has(t.Context(), key); !ok {
+		t.Fatal("worker 1 did not record its simulation into the shared store")
+	}
+
+	sims := obs.NewCounter("serve.simulations")
+	before := sims.Value()
+	var second AVFResponse
+	_, w2 := newTestServer(t, Config{
+		Store: mbavf.NewRunStore(httpstore.New(storeSrv.URL)),
+	})
+	getJSON(t, w2.URL+query, http.StatusOK, &second)
+	if d := sims.Value() - before; d != 0 {
+		t.Errorf("cold worker simulated %d times despite the shared store", d)
+	}
+	if first.AVF != second.AVF {
+		t.Errorf("shared-store AVF differs: %+v vs %+v", first.AVF, second.AVF)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"mbavf"
 	"mbavf/internal/mttf"
 	"mbavf/internal/obs"
+	"mbavf/internal/store/httpstore"
 	"mbavf/internal/workloads"
 )
 
@@ -163,6 +164,14 @@ func writeErr(w http.ResponseWriter, err error) {
 //	GET  /api/v1/jobs              all jobs, newest first
 //	GET  /api/v1/jobs/{id}         one job's status/result
 //	DELETE /api/v1/jobs/{id}       cancel a job
+//
+// With ServeArtifacts the HTTP artifact protocol mounts too (the GET
+// patterns also answer HEAD):
+//
+//	GET  /store/v1/artifacts/{key} one artifact (Range-aware)
+//	PUT  /store/v1/artifacts/{key} record an artifact
+//	DELETE /store/v1/artifacts/{key} remove (or ?quarantine=1) one
+//	GET  /store/v1/catalog         stored artifacts (ETag/304)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -181,6 +190,12 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /api/v1/jobs", s.wrap("jobs_list", s.handleJobList))
 	mux.Handle("GET /api/v1/jobs/{id}", s.wrap("jobs_get", s.handleJobGet))
 	mux.Handle("DELETE /api/v1/jobs/{id}", s.wrap("jobs_cancel", s.handleJobCancel))
+	if s.artifacts != nil {
+		mux.Handle("GET "+httpstore.Prefix+"/artifacts/{key}", s.wrap("store_artifact", s.artifacts.HandleGet))
+		mux.Handle("PUT "+httpstore.Prefix+"/artifacts/{key}", s.wrap("store_artifact", s.artifacts.HandlePut))
+		mux.Handle("DELETE "+httpstore.Prefix+"/artifacts/{key}", s.wrap("store_artifact", s.artifacts.HandleDelete))
+		mux.Handle("GET "+httpstore.Prefix+"/catalog", s.wrap("store_catalog", s.artifacts.HandleCatalog))
+	}
 	s.mountFabric(mux)
 	return mux
 }
@@ -322,7 +337,7 @@ func (s *Server) queryAVF(ctx context.Context, q AVFQuery) (AVFResponse, error) 
 	}
 	began := time.Now()
 	v, cached, err := s.results.Get(ctx, q.key("avf"), func() (any, error) {
-		run, _, err := s.run(ctx, q.Workload)
+		run, _, err := s.run(ctx, q.Workload, st)
 		if err != nil {
 			return nil, err
 		}
@@ -419,7 +434,7 @@ func (s *Server) handleSER(w http.ResponseWriter, r *http.Request) {
 	}
 	began := time.Now()
 	v, cached, err := s.results.Get(r.Context(), q.key("ser"), func() (any, error) {
-		run, _, err := s.run(r.Context(), q.Workload)
+		run, _, err := s.run(r.Context(), q.Workload, st)
 		if err != nil {
 			return nil, err
 		}

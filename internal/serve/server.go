@@ -21,6 +21,7 @@ import (
 	"mbavf"
 	"mbavf/internal/fabric"
 	"mbavf/internal/obs"
+	"mbavf/internal/store/httpstore"
 	"mbavf/internal/workloads"
 )
 
@@ -63,8 +64,15 @@ type Config struct {
 	// Store, when non-nil, is the persistent run-artifact tier below the
 	// in-memory run cache: cache miss -> store load (milliseconds) ->
 	// simulate and record. A warm store lets a cold process answer
-	// queries without simulating at all.
+	// queries without simulating at all. Any store.Backend works here —
+	// a local directory, or (via -store-url) the artifact server of
+	// another mbavf-serve process.
 	Store *mbavf.RunStore
+	// ServeArtifacts mounts the HTTP artifact protocol (/store/v1/*)
+	// over Store's backend, making this process the fleet's shared
+	// artifact server: one worker's recorded simulation becomes every
+	// worker's store hit. Ignored when Store is nil.
+	ServeArtifacts bool
 	// FabricWorker mounts the distributed-campaign fabric's worker
 	// endpoints (/fabric/v1/*) on this server, so a coordinator can lease
 	// shot ranges and AVF batches to it.
@@ -126,8 +134,9 @@ type Server struct {
 	draining atomic.Bool
 	reqWG    sync.WaitGroup
 
-	worker *fabric.Worker
-	coord  *fabric.Coordinator
+	worker    *fabric.Worker
+	coord     *fabric.Coordinator
+	artifacts *httpstore.Server
 
 	descriptions map[string]string
 }
@@ -160,6 +169,9 @@ func New(cfg Config) *Server {
 			ShotDelay: cfg.FabricShotDelay,
 		})
 	}
+	if cfg.Store != nil && cfg.ServeArtifacts {
+		s.artifacts = httpstore.NewServer(cfg.Store.Backend())
+	}
 	if len(cfg.FabricPeers) > 0 {
 		s.coord = fabric.New(fabric.Config{
 			Workers:  cfg.FabricPeers,
@@ -173,8 +185,11 @@ func New(cfg Config) *Server {
 // once no matter how many requests ask concurrently. The bool reports a
 // cache hit. The simulation itself runs under the server's lifecycle
 // context — an abandoned request must not kill a result that every
-// queued waiter (and future request) will reuse.
-func (s *Server) run(ctx context.Context, name string) (*mbavf.Run, bool, error) {
+// queued waiter (and future request) will reuse. Callers that know
+// which structures they will analyze pass them, so a store-served run
+// (possibly fetched section-by-section from a remote artifact server)
+// arrives with those sections preloaded and verified.
+func (s *Server) run(ctx context.Context, name string, sts ...mbavf.Structure) (*mbavf.Run, bool, error) {
 	if _, ok := s.descriptions[name]; !ok {
 		return nil, false, fmt.Errorf("%w: %q", errUnknownWorkload, name)
 	}
@@ -188,7 +203,7 @@ func (s *Server) run(ctx context.Context, name string) (*mbavf.Run, bool, error)
 		}
 		obsSimWaiting.Set(s.simWaiting.Add(-1))
 		defer func() { <-s.simSem }()
-		r, fromStore, err := mbavf.RunWorkloadStored(s.base, name, s.cfg.Store)
+		r, fromStore, err := mbavf.RunWorkloadStoredFor(s.base, name, s.cfg.Store, sts...)
 		if err == nil && !fromStore {
 			obsSims.Add(1)
 		}

@@ -1,0 +1,73 @@
+package disk_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"mbavf/internal/store/backend"
+	"mbavf/internal/store/disk"
+	"mbavf/internal/store/storetest"
+)
+
+func TestConformance(t *testing.T) {
+	storetest.Run(t, func(t *testing.T) backend.Interface {
+		b, err := disk.New(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	})
+}
+
+// TestSweepReclaimsDebris pins the disk backend's private GC surface:
+// quarantined artifacts and stale temp files go, live artifacts stay,
+// and a dry run only counts.
+func TestSweepReclaimsDebris(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	b, err := disk.New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := "0123456789abcdef0123456789abcdef"
+	if err := b.Put(ctx, live, []byte("keep me")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Quarantine(ctx, live); err != nil {
+		t.Fatal(err)
+	}
+	// An orphaned temp file old enough to reclaim.
+	tmp := filepath.Join(dir, ".tmp-orphan")
+	if err := os.WriteFile(tmp, []byte("xx"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-2 * time.Hour)
+	if err := os.Chtimes(tmp, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	removed, freed, err := b.Sweep(ctx, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 2 || freed != 9 {
+		t.Errorf("dry-run Sweep: removed %d freed %d, want 2 and 9", removed, freed)
+	}
+	if _, err := os.Stat(tmp); err != nil {
+		t.Error("dry-run Sweep removed the temp file")
+	}
+
+	removed, freed, err = b.Sweep(ctx, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 2 || freed != 9 {
+		t.Errorf("Sweep: removed %d freed %d, want 2 and 9", removed, freed)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Error("Sweep left the orphaned temp file")
+	}
+}

@@ -120,12 +120,12 @@ type SectionInfo struct {
 // enc is a varint-oriented append-only buffer.
 type enc struct{ b []byte }
 
-func (e *enc) uvarint(v uint64)  { e.b = binary.AppendUvarint(e.b, v) }
-func (e *enc) varint(v int64)    { e.b = binary.AppendVarint(e.b, v) }
-func (e *enc) byte(v byte)       { e.b = append(e.b, v) }
-func (e *enc) bytes(v []byte)    { e.b = append(e.b, v...) }
-func (e *enc) str(s string)      { e.uvarint(uint64(len(s))); e.b = append(e.b, s...) }
-func (e *enc) uint(v int)        { e.uvarint(uint64(v)) }
+func (e *enc) uvarint(v uint64) { e.b = binary.AppendUvarint(e.b, v) }
+func (e *enc) varint(v int64)   { e.b = binary.AppendVarint(e.b, v) }
+func (e *enc) byte(v byte)      { e.b = append(e.b, v) }
+func (e *enc) bytes(v []byte)   { e.b = append(e.b, v...) }
+func (e *enc) str(s string)     { e.uvarint(uint64(len(s))); e.b = append(e.b, s...) }
+func (e *enc) uint(v int)       { e.uvarint(uint64(v)) }
 
 // appendSection frames one section: id, length, payload, CRC.
 func appendSection(dst []byte, id byte, payload []byte) []byte {
@@ -650,6 +650,161 @@ func DecodeReader(r io.Reader) (*sim.Measurements, error) {
 		return nil, err
 	}
 	return Decode(data)
+}
+
+// SectionCheck is one section's integrity verdict from CheckSections.
+type SectionCheck struct {
+	Name  string
+	Bytes int
+	// Err is nil when the section's CRC matches its payload.
+	Err error
+}
+
+// CheckSections walks a complete artifact's framing and verifies every
+// section CRC, collecting one result per section instead of failing on
+// the first mismatch — so `mbavf-store verify` and the scrubber can
+// report exactly which sections rotted. Framing-level damage (bad
+// magic, malformed lengths, truncation, duplicate or missing sections)
+// is returned as the error, alongside whatever sections were walkable
+// before the damage.
+func CheckSections(data []byte) ([]SectionCheck, error) {
+	if len(data) < len(magic)+1 || string(data[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrFormat)
+	}
+	if v := data[len(magic)]; v != version {
+		return nil, fmt.Errorf("%w: artifact version %d, this build reads %d", ErrFormat, v, version)
+	}
+	d := &dec{b: data, off: len(magic) + 1}
+	var out []SectionCheck
+	seen := make(map[byte]bool, numSecs)
+	for d.remaining() > 0 {
+		id, err := d.byte()
+		if err != nil {
+			return out, err
+		}
+		if id < secMeta || id > secGraph {
+			return out, fmt.Errorf("%w: unknown section id %d", ErrFormat, id)
+		}
+		if seen[id] {
+			return out, fmt.Errorf("%w: duplicate %s section", ErrFormat, sectionName(id))
+		}
+		seen[id] = true
+		n, err := d.uvarint()
+		if err != nil {
+			return out, err
+		}
+		if n > uint64(d.remaining()) {
+			return out, fmt.Errorf("%w: %s section length %d exceeds file", ErrCorrupt, sectionName(id), n)
+		}
+		payload, err := d.take(int(n))
+		if err != nil {
+			return out, err
+		}
+		crcb, err := d.take(4)
+		if err != nil {
+			return out, fmt.Errorf("%w: %s section missing checksum", ErrCorrupt, sectionName(id))
+		}
+		sc := SectionCheck{Name: sectionName(id), Bytes: len(payload)}
+		if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(crcb); got != want {
+			sc.Err = fmt.Errorf("%w: %s section checksum mismatch (%08x != %08x)",
+				ErrCorrupt, sectionName(id), got, want)
+		}
+		out = append(out, sc)
+	}
+	for id := byte(secMeta); id <= secGraph; id++ {
+		if !seen[id] {
+			return out, fmt.Errorf("%w: missing %s section", ErrFormat, sectionName(id))
+		}
+	}
+	return out, nil
+}
+
+// secLoc locates one section's payload inside an artifact blob, with
+// the CRC its bytes must hash to. The ranged load path verifies each
+// section at fetch time instead of eagerly.
+type secLoc struct {
+	off, n int64
+	crc    uint32
+}
+
+// maxSecHdr bounds one section header: id byte plus the payload-length
+// uvarint.
+const maxSecHdr = 1 + binary.MaxVarintLen64
+
+// scanSections walks an artifact's section table through small ranged
+// reads — read(off, n) returns n bytes of the blob at off — without
+// transferring any payload. Each iteration reads a section's trailing
+// CRC together with the next section's header, so a five-section
+// artifact costs six small reads. The framing is validated exactly as
+// splitSections does (magic, version, every section exactly once);
+// payload CRCs are NOT checked here — the returned locations carry them
+// for verification at fetch time.
+func scanSections(size int64, read func(off, n int64) ([]byte, error)) (map[byte]secLoc, error) {
+	hdr := int64(len(magic) + 1)
+	if size < hdr {
+		return nil, fmt.Errorf("%w: bad magic", ErrFormat)
+	}
+	take := func(off, n int64) ([]byte, error) {
+		if off+n > size {
+			n = size - off
+		}
+		return read(off, n)
+	}
+	buf, err := take(0, hdr+maxSecHdr)
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(buf)) < hdr || string(buf[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrFormat)
+	}
+	if v := buf[len(magic)]; v != version {
+		return nil, fmt.Errorf("%w: artifact version %d, this build reads %d", ErrFormat, v, version)
+	}
+	bufOff := int64(0)
+	off := hdr
+	secs := make(map[byte]secLoc, numSecs)
+	for off < size {
+		if off < bufOff || off >= bufOff+int64(len(buf)) {
+			if buf, err = take(off, maxSecHdr); err != nil {
+				return nil, err
+			}
+			bufOff = off
+		}
+		window := buf[off-bufOff:]
+		id := window[0]
+		if id < secMeta || id > secGraph {
+			return nil, fmt.Errorf("%w: unknown section id %d", ErrFormat, id)
+		}
+		if _, dup := secs[id]; dup {
+			return nil, fmt.Errorf("%w: duplicate %s section", ErrFormat, sectionName(id))
+		}
+		n, k := binary.Uvarint(window[1:])
+		if k <= 0 {
+			return nil, fmt.Errorf("%w: truncated %s section header", ErrCorrupt, sectionName(id))
+		}
+		payOff := off + 1 + int64(k)
+		if n > uint64(size) || payOff+int64(n)+4 > size {
+			return nil, fmt.Errorf("%w: %s section length %d exceeds file", ErrCorrupt, sectionName(id), n)
+		}
+		crcOff := payOff + int64(n)
+		// One read covers this section's CRC and (opportunistically) the
+		// next section's header.
+		if buf, err = take(crcOff, 4+maxSecHdr); err != nil {
+			return nil, err
+		}
+		bufOff = crcOff
+		if len(buf) < 4 {
+			return nil, fmt.Errorf("%w: %s section missing checksum", ErrCorrupt, sectionName(id))
+		}
+		secs[id] = secLoc{off: payOff, n: int64(n), crc: binary.LittleEndian.Uint32(buf[:4])}
+		off = crcOff + 4
+	}
+	for id := byte(secMeta); id <= secGraph; id++ {
+		if _, ok := secs[id]; !ok {
+			return nil, fmt.Errorf("%w: missing %s section", ErrFormat, sectionName(id))
+		}
+	}
+	return secs, nil
 }
 
 // DecodeMeta validates the framing (header, CRCs) of a complete artifact

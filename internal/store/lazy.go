@@ -1,30 +1,82 @@
 package store
 
 import (
+	"context"
 	"fmt"
+	"hash/crc32"
 	"sync"
 	"time"
 
 	"mbavf/internal/dataflow"
 	"mbavf/internal/lifetime"
 	"mbavf/internal/sim"
+	"mbavf/internal/store/backend"
 )
 
+// sectionSource hands an Artifact its raw section payloads. The
+// whole-blob path (mapSource) already holds every CRC-verified payload
+// in memory; the ranged path (rangedSource) fetches a section from the
+// backend on first use and verifies its CRC then.
+type sectionSource interface {
+	payload(id byte) ([]byte, error)
+}
+
+// mapSource serves payloads split out of a fully loaded blob by
+// splitSections, which verified every CRC before the Artifact existed.
+type mapSource map[byte][]byte
+
+func (m mapSource) payload(id byte) ([]byte, error) { return m[id], nil }
+
+// rangedSource fetches section payloads through a backend's ranged
+// reads. Each section's CRC (captured by the section-table scan at load
+// time) is verified against the fetched bytes, so transport damage and
+// bit rot surface as ErrCorrupt — and quarantine the artifact — exactly
+// as on the eager path, just later.
+type rangedSource struct {
+	ctx       context.Context
+	b         backend.Interface
+	key       string
+	locs      map[byte]secLoc
+	onBytes   func(n int)
+	onCorrupt func()
+}
+
+func (r *rangedSource) payload(id byte) ([]byte, error) {
+	loc, ok := r.locs[id]
+	if !ok {
+		// scanSections guarantees every section; this is unreachable.
+		return nil, fmt.Errorf("%w: missing %s section", ErrFormat, sectionName(id))
+	}
+	data, err := r.b.ReadSection(r.ctx, r.key, loc.off, loc.n)
+	if err != nil {
+		return nil, fmt.Errorf("store: fetching %s section: %w", sectionName(id), err)
+	}
+	if crc32.ChecksumIEEE(data) != loc.crc {
+		r.onCorrupt()
+		return nil, fmt.Errorf("%w: %s section checksum mismatch", ErrCorrupt, sectionName(id))
+	}
+	r.onBytes(len(data))
+	return data, nil
+}
+
 // Artifact is a parsed run artifact whose measurement payloads decode on
-// first use. Parse validates everything structural up front — magic,
-// version, section framing, every CRC — so any byte-level damage is
-// caught before an Artifact exists; the per-section payload decoding
-// (the expensive part, millions of varint-packed segments) is deferred
-// until an analysis actually touches that structure. A single L1 query
+// first use. On the whole-blob path Parse validates everything
+// structural up front — magic, version, section framing, every CRC — so
+// any byte-level damage is caught before an Artifact exists; on the
+// ranged path the framing is validated at load time and each section's
+// CRC on first fetch. Either way the per-section payload decoding (the
+// expensive part, millions of varint-packed segments) is deferred until
+// an analysis actually touches that structure. A single L1 query
 // against a big artifact therefore pays for the meta, graph and L1
-// sections only, never for the L2 and register-file timelines.
+// sections only, never for the L2 and register-file timelines — and
+// over a ranged backend it never even transfers them.
 //
 // All methods are safe for concurrent use: each section decodes at most
 // once (sync.Once) and is immutable afterwards, matching the read-only
 // sharing contract of analysis over a fresh simulation.
 type Artifact struct {
 	meta Meta
-	secs map[byte][]byte
+	src  sectionSource
 
 	graphOnce sync.Once
 	graph     *dataflow.Graph
@@ -53,7 +105,7 @@ func Parse(data []byte) (*Artifact, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Artifact{meta: meta, secs: secs}, nil
+	return &Artifact{meta: meta, src: mapSource(secs)}, nil
 }
 
 // Meta returns the artifact's identity and geometry (decoded by Parse).
@@ -62,8 +114,13 @@ func (a *Artifact) Meta() Meta { return a.meta }
 // Graph returns the solved liveness graph, decoding it on first call.
 func (a *Artifact) Graph() (*dataflow.Graph, error) {
 	a.graphOnce.Do(func() {
+		payload, err := a.src.payload(secGraph)
+		if err != nil {
+			a.graphErr = err
+			return
+		}
 		start := time.Now()
-		a.graph, a.nVers, a.graphErr = decodeGraph(a.secs[secGraph])
+		a.graph, a.nVers, a.graphErr = decodeGraph(payload)
 		if a.graphErr == nil {
 			obsDecodeNS.Record(uint64(time.Since(start).Nanoseconds()))
 		}
@@ -81,8 +138,13 @@ func (a *Artifact) tracker(id byte, name string, words, bpw int) (*lifetime.Trac
 			lt.err = fmt.Errorf("%s tracker needs the graph: %w", name, err)
 			return
 		}
+		payload, err := a.src.payload(id)
+		if err != nil {
+			lt.err = err
+			return
+		}
 		start := time.Now()
-		lt.t, lt.err = decodeTracker(name, a.secs[id], words, bpw, uint64(a.nVers))
+		lt.t, lt.err = decodeTracker(name, payload, words, bpw, uint64(a.nVers))
 		if lt.err == nil {
 			obsDecodeNS.Record(uint64(time.Since(start).Nanoseconds()))
 		}

@@ -1,0 +1,45 @@
+package mem_test
+
+import (
+	"context"
+	"testing"
+
+	"mbavf/internal/store/backend"
+	"mbavf/internal/store/mem"
+	"mbavf/internal/store/storetest"
+)
+
+func TestConformance(t *testing.T) {
+	storetest.Run(t, func(t *testing.T) backend.Interface { return mem.New() })
+}
+
+// The ranged variant must satisfy the same contract; only the store
+// layer's load-path choice differs.
+func TestConformanceRanged(t *testing.T) {
+	storetest.Run(t, func(t *testing.T) backend.Interface { return mem.NewRanged() })
+}
+
+// TestQuarantineKeepsBytes pins the post-mortem hook: quarantined bytes
+// stay inspectable until a sweep reclaims them.
+func TestQuarantineKeepsBytes(t *testing.T) {
+	ctx := context.Background()
+	b := mem.New()
+	key := "0123456789abcdef0123456789abcdef"
+	if err := b.Put(ctx, key, []byte("damaged")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Quarantine(ctx, key); err != nil {
+		t.Fatal(err)
+	}
+	data, ok := b.Quarantined(key)
+	if !ok || string(data) != "damaged" {
+		t.Fatalf("Quarantined = (%q, %v), want the original bytes", data, ok)
+	}
+	removed, freed, err := b.Sweep(ctx, false)
+	if err != nil || removed != 1 || freed != 7 {
+		t.Fatalf("Sweep = (%d, %d, %v), want (1, 7, nil)", removed, freed, err)
+	}
+	if _, ok := b.Quarantined(key); ok {
+		t.Error("Sweep left quarantined bytes")
+	}
+}

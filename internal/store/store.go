@@ -1,50 +1,83 @@
 package store
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
 	"fmt"
-	"io/fs"
-	"os"
-	"path/filepath"
-	"regexp"
+	"hash/crc32"
 	"sort"
 	"time"
 
 	"mbavf/internal/obs"
 	"mbavf/internal/sim"
+	"mbavf/internal/store/backend"
+	"mbavf/internal/store/disk"
 )
 
-// Observability series; /metrics exposes them as mbavf_store_*. A
+// Observability series; /metrics exposes them as mbavf_store_*. Every
+// family is counted twice: once unlabeled (the process aggregate smoke
+// tests and dashboards grep for) and once per backend kind, exposed as
+// mbavf_store_*{backend="disk"} — so a process mixing a local disk
+// store and a remote HTTP store still shows where the bytes went. A
 // cold-start query that answers without simulating shows up as a
 // store.hits increment with store.misses (and serve.simulations) flat.
 var (
-	obsHits         = obs.NewCounter("store.hits")
-	obsMisses       = obs.NewCounter("store.misses")
-	obsPuts         = obs.NewCounter("store.puts")
-	obsCorrupt      = obs.NewCounter("store.corrupt")
-	obsQuarantined  = obs.NewCounter("store.quarantined")
-	obsGCRemoved    = obs.NewCounter("store.gc_removed")
-	obsBytesRead    = obs.NewCounter("store.bytes_read")
-	obsBytesWritten = obs.NewCounter("store.bytes_written")
 	// obsDecodeNS records one sample per decoded section payload (graph
 	// or tracker); lazily loaded artifacts contribute only the sections
 	// their queries actually touched.
 	obsDecodeNS = obs.NewHistogram("store.decode_ns")
 )
 
+// counter2 increments the aggregate family and its backend-labeled
+// series together.
+type counter2 struct{ agg, lab *obs.Counter }
+
+func (c counter2) Add(n uint64) { c.agg.Add(n); c.lab.Add(n) }
+
+// metrics is one Store's counter set, labeled by its backend kind.
+type metrics struct {
+	hits         counter2
+	misses       counter2
+	puts         counter2
+	corrupt      counter2
+	quarantined  counter2
+	gcRemoved    counter2
+	bytesRead    counter2
+	bytesWritten counter2
+	scrubChecked counter2
+	scrubDamaged counter2
+}
+
+func newMetrics(kind string) *metrics {
+	c := func(family string) counter2 {
+		// The registry hands back the same counter for the same name, so
+		// every Store over the same backend kind shares one series.
+		return counter2{obs.NewCounter(family), obs.NewCounter(family + "|backend=" + kind)}
+	}
+	return &metrics{
+		hits:         c("store.hits"),
+		misses:       c("store.misses"),
+		puts:         c("store.puts"),
+		corrupt:      c("store.corrupt"),
+		quarantined:  c("store.quarantined"),
+		gcRemoved:    c("store.gc_removed"),
+		bytesRead:    c("store.bytes_read"),
+		bytesWritten: c("store.bytes_written"),
+		scrubChecked: c("store.scrub_checked"),
+		scrubDamaged: c("store.scrub_damaged"),
+	}
+}
+
 // ErrNotFound marks a Get/Inspect for a key the store does not hold;
 // callers fall through to simulation.
-var ErrNotFound = errors.New("store: artifact not found")
+var ErrNotFound = backend.ErrNotFound
 
-// artifactExt is the on-disk suffix of stored artifacts.
-const artifactExt = ".mbavf"
-
-// quarantineDir collects artifacts that failed decoding. They are kept
-// (renamed, not deleted) so an operator can post-mortem the damage, and
-// reclaimed by GC.
-const quarantineDir = "quarantine"
+// Backend is the pluggable blob layer beneath a Store; see
+// internal/store/backend for the contract and internal/store/disk,
+// .../mem, .../httpstore for the implementations.
+type Backend = backend.Interface
 
 // KeyFor returns the content address of a (workload, machine config)
 // pair: a 32-hex-digit digest stable across processes and hosts. The
@@ -57,122 +90,214 @@ func KeyFor(workload string, cfg sim.Config) string {
 	return hex.EncodeToString(h.Sum(nil))[:32]
 }
 
-// keyRE validates externally supplied keys before they touch the
-// filesystem (they become file names).
-var keyRE = regexp.MustCompile(`^[0-9a-f]{32}$`)
-
-// Store is a content-addressed directory of run artifacts. All methods
-// are safe for concurrent use by independent processes: writers commit
-// via temp-file-plus-rename, so readers only ever observe complete
-// files, and a crashed writer leaves at worst an orphaned temp file for
-// GC to sweep.
+// Store is a content-addressed collection of run artifacts over a
+// pluggable Backend. The Store owns artifact semantics — format
+// validation, CRC checking, quarantine of damaged artifacts, lazy
+// decoding, scrub and GC policy — while the backend only moves opaque
+// bytes. All methods are safe for concurrent use.
 type Store struct {
-	dir string
+	b backend.Interface
+	m *metrics
+	// ranged backends (HTTP) get the section-table-scan load path: an
+	// L1 query transfers the meta, graph and L1 sections only.
+	ranged bool
 }
 
-// Open returns a store rooted at dir, creating the directory if needed.
+// NewStore wraps a backend in artifact semantics.
+func NewStore(b backend.Interface) *Store {
+	s := &Store{b: b, m: newMetrics(b.Name())}
+	if rb, ok := b.(backend.Ranged); ok {
+		s.ranged = rb.Ranged()
+	}
+	return s
+}
+
+// Open returns a store over a disk backend rooted at dir, creating the
+// directory if needed — a shorthand for NewStore(disk.New(dir)) kept
+// for the many callers that predate pluggable backends.
 func Open(dir string) (*Store, error) {
-	if dir == "" {
-		return nil, fmt.Errorf("store: empty directory")
+	b, err := disk.New(dir)
+	if err != nil {
+		return nil, err
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("store: %w", err)
-	}
-	return &Store{dir: dir}, nil
+	return NewStore(b), nil
 }
 
-// Dir returns the store's root directory.
-func (s *Store) Dir() string { return s.dir }
+// Backend returns the blob layer this store runs over (so a server can
+// mount it behind the HTTP artifact protocol).
+func (s *Store) Backend() backend.Interface { return s.b }
 
-// Path returns the file path an artifact with the given key lives at.
-func (s *Store) Path(key string) string { return filepath.Join(s.dir, key+artifactExt) }
+// Dir describes the backing location: the root directory of a disk
+// store, the base URL of an HTTP store.
+func (s *Store) Dir() string { return s.b.String() }
 
-func checkKey(key string) error {
-	if !keyRE.MatchString(key) {
-		return fmt.Errorf("store: malformed key %q", key)
+// Path returns the file path an artifact with the given key lives at,
+// or "" when the backend is not file-based.
+func (s *Store) Path(key string) string {
+	if d, ok := s.b.(*disk.Backend); ok {
+		return d.Path(key)
 	}
-	return nil
+	return ""
 }
 
-// Get loads and decodes the artifact stored under key. A missing
+func checkKey(key string) error { return backend.CheckKey(key) }
+
+// Get loads and fully decodes the artifact stored under key. A missing
 // artifact returns ErrNotFound; a damaged one is quarantined and
 // returns an error wrapping ErrCorrupt or ErrFormat — it is never
 // silently analyzed, and the caller's fallback is re-simulation.
-func (s *Store) Get(key string) (*sim.Measurements, error) {
-	if err := checkKey(key); err != nil {
+func (s *Store) Get(ctx context.Context, key string) (*sim.Measurements, error) {
+	data, err := s.getBytes(ctx, key)
+	if err != nil {
 		return nil, err
 	}
-	data, err := os.ReadFile(s.Path(key))
-	if errors.Is(err, fs.ErrNotExist) {
-		obsMisses.Add(1)
-		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
-	}
-	if err != nil {
-		return nil, fmt.Errorf("store: %w", err)
-	}
-	obsBytesRead.Add(uint64(len(data)))
 	m, err := Decode(data)
 	if err != nil {
 		if errors.Is(err, ErrCorrupt) || errors.Is(err, ErrFormat) {
-			obsCorrupt.Add(1)
-			s.quarantine(key)
+			s.m.corrupt.Add(1)
+			s.quarantine(ctx, key)
 		}
 		return nil, err
 	}
-	obsHits.Add(1)
+	s.m.hits.Add(1)
 	return m, nil
 }
 
-// GetArtifact loads the artifact stored under key as a lazily decoding
-// Artifact: the framing and every CRC are verified before it returns (a
-// damaged file is quarantined exactly as in Get), but the measurement
-// payloads decode on first use. This is the serving tier's load path —
-// reviving a run costs low milliseconds, and each analysis then decodes
-// only the sections it touches.
-func (s *Store) GetArtifact(key string) (*Artifact, error) {
+// getBytes fetches the whole artifact blob, accounting for misses and
+// bytes read (but not hits — the caller decides once decoding works).
+func (s *Store) getBytes(ctx context.Context, key string) ([]byte, error) {
 	if err := checkKey(key); err != nil {
 		return nil, err
 	}
-	data, err := os.ReadFile(s.Path(key))
-	if errors.Is(err, fs.ErrNotExist) {
-		obsMisses.Add(1)
-		return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+	data, err := s.b.Get(ctx, key)
+	if errors.Is(err, ErrNotFound) {
+		s.m.misses.Add(1)
+		return nil, err
 	}
 	if err != nil {
-		return nil, fmt.Errorf("store: %w", err)
+		return nil, err
 	}
-	obsBytesRead.Add(uint64(len(data)))
+	s.m.bytesRead.Add(uint64(len(data)))
+	return data, nil
+}
+
+// GetArtifact loads the artifact stored under key as a lazily decoding
+// Artifact. Over a local backend the whole blob is read and every CRC
+// verified before it returns (a damaged file is quarantined exactly as
+// in Get); over a ranged backend (HTTP) only the section table and the
+// meta section transfer here, and each remaining section is fetched —
+// and CRC-verified — on the first analysis that touches it. Either way
+// the measurement payloads decode on first use. This is the serving
+// tier's load path: reviving a run costs low milliseconds, and each
+// analysis then pays for only the sections it touches.
+func (s *Store) GetArtifact(ctx context.Context, key string) (*Artifact, error) {
+	if s.ranged {
+		if err := checkKey(key); err != nil {
+			return nil, err
+		}
+		return s.getArtifactRanged(ctx, key)
+	}
+	data, err := s.getBytes(ctx, key)
+	if err != nil {
+		return nil, err
+	}
 	a, err := Parse(data)
 	if err != nil {
 		if errors.Is(err, ErrCorrupt) || errors.Is(err, ErrFormat) {
-			obsCorrupt.Add(1)
-			s.quarantine(key)
+			s.m.corrupt.Add(1)
+			s.quarantine(ctx, key)
 		}
 		return nil, err
 	}
-	obsHits.Add(1)
+	s.m.hits.Add(1)
 	return a, nil
 }
 
-// quarantine moves a damaged artifact out of the addressable namespace
-// so the next Get for its key misses cleanly. Best-effort: a failed
-// rename falls back to removal, and a failed removal leaves the file to
-// fail CRC again.
-func (s *Store) quarantine(key string) {
-	qdir := filepath.Join(s.dir, quarantineDir)
-	if err := os.MkdirAll(qdir, 0o755); err == nil {
-		if os.Rename(s.Path(key), filepath.Join(qdir, key+artifactExt)) == nil {
-			obsQuarantined.Add(1)
-			return
-		}
+// getArtifactRanged builds an Artifact without transferring the whole
+// blob: Stat for the size, a handful of small ReadSection calls to walk
+// the section table (validating framing eagerly), then the meta payload.
+// Section CRCs are verified as sections are fetched; a mismatch at any
+// point quarantines the artifact, exactly like the eager path.
+func (s *Store) getArtifactRanged(ctx context.Context, key string) (*Artifact, error) {
+	info, err := s.b.Stat(ctx, key)
+	if errors.Is(err, ErrNotFound) {
+		s.m.misses.Add(1)
+		return nil, err
 	}
-	_ = os.Remove(s.Path(key))
+	if err != nil {
+		return nil, err
+	}
+	read := func(off, n int64) ([]byte, error) {
+		data, err := s.b.ReadSection(ctx, key, off, n)
+		if err == nil {
+			s.m.bytesRead.Add(uint64(len(data)))
+		}
+		return data, err
+	}
+	locs, err := scanSections(info.Bytes, read)
+	if err != nil {
+		if errors.Is(err, ErrCorrupt) || errors.Is(err, ErrFormat) {
+			s.m.corrupt.Add(1)
+			s.quarantine(ctx, key)
+		}
+		return nil, err
+	}
+	// The meta section decodes now: Load must be able to check the
+	// artifact's identity before anyone analyzes it.
+	mloc := locs[secMeta]
+	payload, err := read(mloc.off, mloc.n)
+	if err != nil {
+		return nil, err
+	}
+	if crc32.ChecksumIEEE(payload) != mloc.crc {
+		err := fmt.Errorf("%w: meta section checksum mismatch", ErrCorrupt)
+		s.m.corrupt.Add(1)
+		s.quarantine(ctx, key)
+		return nil, err
+	}
+	meta, err := decodeMeta(payload)
+	if err != nil {
+		s.m.corrupt.Add(1)
+		s.quarantine(ctx, key)
+		return nil, err
+	}
+	s.m.hits.Add(1)
+	// Later section fetches run on a detached context: the artifact
+	// outlives the request that loaded it (it sits in the serve tier's
+	// run cache), so an abandoned request must not poison its decoding.
+	dctx := context.WithoutCancel(ctx)
+	src := &rangedSource{
+		ctx:     dctx,
+		b:       s.b,
+		key:     key,
+		locs:    locs,
+		onBytes: func(n int) { s.m.bytesRead.Add(uint64(n)) },
+		onCorrupt: func() {
+			s.m.corrupt.Add(1)
+			s.quarantine(dctx, key)
+		},
+	}
+	return &Artifact{meta: meta, src: src}, nil
 }
 
-// Put encodes m and commits it under key atomically: the artifact is
-// written to a temp file in the store directory and renamed into place,
-// so a crash mid-write never leaves a partial artifact addressable.
-func (s *Store) Put(key string, m *sim.Measurements) error {
+// quarantine moves a damaged artifact out of the addressable namespace
+// so the next Get for its key misses cleanly. Backends that cannot keep
+// the bytes for post-mortem just delete. Best-effort: a failure leaves
+// the artifact to fail its CRC again.
+func (s *Store) quarantine(ctx context.Context, key string) {
+	if q, ok := s.b.(backend.Quarantiner); ok {
+		if q.Quarantine(ctx, key) == nil {
+			s.m.quarantined.Add(1)
+		}
+		return
+	}
+	if s.b.Delete(ctx, key) == nil {
+		s.m.quarantined.Add(1)
+	}
+}
+
+// Put encodes m and commits it under key atomically.
+func (s *Store) Put(ctx context.Context, key string, m *sim.Measurements) error {
 	if err := checkKey(key); err != nil {
 		return err
 	}
@@ -180,45 +305,30 @@ func (s *Store) Put(key string, m *sim.Measurements) error {
 	if err != nil {
 		return err
 	}
-	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
-	if err != nil {
-		return fmt.Errorf("store: %w", err)
+	if err := s.b.Put(ctx, key, data); err != nil {
+		return err
 	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		return fmt.Errorf("store: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), s.Path(key)); err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	obsPuts.Add(1)
-	obsBytesWritten.Add(uint64(len(data)))
+	s.m.puts.Add(1)
+	s.m.bytesWritten.Add(uint64(len(data)))
 	return nil
 }
 
 // Has reports whether an artifact is stored under key (without
 // validating it; Get still decides whether it is usable).
-func (s *Store) Has(key string) bool {
+func (s *Store) Has(ctx context.Context, key string) bool {
 	if checkKey(key) != nil {
 		return false
 	}
-	_, err := os.Stat(s.Path(key))
-	return err == nil
+	ok, err := s.b.Has(ctx, key)
+	return err == nil && ok
 }
 
 // Delete removes the artifact stored under key, if any.
-func (s *Store) Delete(key string) error {
+func (s *Store) Delete(ctx context.Context, key string) error {
 	if err := checkKey(key); err != nil {
 		return err
 	}
-	if err := os.Remove(s.Path(key)); err != nil && !errors.Is(err, fs.ErrNotExist) {
-		return fmt.Errorf("store: %w", err)
-	}
-	return nil
+	return s.b.Delete(ctx, key)
 }
 
 // Info describes one stored artifact for listing and inspection.
@@ -233,72 +343,44 @@ type Info struct {
 	Err error
 }
 
-// keys returns the stored artifact keys, sorted.
-func (s *Store) keys() ([]string, error) {
-	ents, err := os.ReadDir(s.dir)
-	if err != nil {
-		return nil, fmt.Errorf("store: %w", err)
-	}
-	var keys []string
-	for _, e := range ents {
-		if e.IsDir() {
-			continue
-		}
-		name := e.Name()
-		if filepath.Ext(name) != artifactExt {
-			continue
-		}
-		key := name[:len(name)-len(artifactExt)]
-		if keyRE.MatchString(key) {
-			keys = append(keys, key)
-		}
-	}
-	sort.Strings(keys)
-	return keys, nil
-}
-
 // Inspect reads one artifact's metadata and section layout, verifying
 // its framing and CRCs but not decoding the measurement payloads.
-func (s *Store) Inspect(key string) (Info, error) {
+func (s *Store) Inspect(ctx context.Context, key string) (Info, error) {
 	if err := checkKey(key); err != nil {
 		return Info{}, err
 	}
-	st, err := os.Stat(s.Path(key))
-	if errors.Is(err, fs.ErrNotExist) {
-		return Info{}, fmt.Errorf("%w: %s", ErrNotFound, key)
-	}
+	ki, err := s.b.Stat(ctx, key)
 	if err != nil {
-		return Info{}, fmt.Errorf("store: %w", err)
+		return Info{}, err
 	}
-	data, err := os.ReadFile(s.Path(key))
+	data, err := s.b.Get(ctx, key)
 	if err != nil {
-		return Info{}, fmt.Errorf("store: %w", err)
+		return Info{}, err
 	}
 	meta, secs, err := DecodeMeta(data)
 	if err != nil {
 		return Info{}, err
 	}
-	return Info{Key: key, Bytes: st.Size(), ModTime: st.ModTime(), Meta: meta, Sections: secs}, nil
+	return Info{Key: key, Bytes: ki.Bytes, ModTime: ki.ModTime, Meta: meta, Sections: secs}, nil
 }
 
-// List enumerates the stored artifacts. Damaged artifacts are included
-// with Err set rather than hidden, so `mbavf-store ls` shows them.
-func (s *Store) List() ([]Info, error) {
-	keys, err := s.keys()
+// List enumerates the stored artifacts, sorted by key. Damaged
+// artifacts are included with Err set rather than hidden, so
+// `mbavf-store ls` shows them.
+func (s *Store) List(ctx context.Context) ([]Info, error) {
+	kis, err := s.b.List(ctx)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]Info, 0, len(keys))
-	for _, key := range keys {
-		info, err := s.Inspect(key)
+	sort.Slice(kis, func(i, j int) bool { return kis[i].Key < kis[j].Key })
+	out := make([]Info, 0, len(kis))
+	for _, ki := range kis {
+		info, err := s.Inspect(ctx, ki.Key)
 		if err != nil {
 			if errors.Is(err, ErrNotFound) {
 				continue // raced with a concurrent delete
 			}
-			info = Info{Key: key, Err: err}
-			if st, serr := os.Stat(s.Path(key)); serr == nil {
-				info.Bytes, info.ModTime = st.Size(), st.ModTime()
-			}
+			info = Info{Key: ki.Key, Bytes: ki.Bytes, ModTime: ki.ModTime, Err: err}
 		}
 		out = append(out, info)
 	}
@@ -308,86 +390,151 @@ func (s *Store) List() ([]Info, error) {
 // Verify fully decodes the artifact under key, exercising every CRC and
 // every payload invariant. It does not quarantine: verify is a
 // diagnostic, not a serving path.
-func (s *Store) Verify(key string) error {
+func (s *Store) Verify(ctx context.Context, key string) error {
 	if err := checkKey(key); err != nil {
 		return err
 	}
-	data, err := os.ReadFile(s.Path(key))
-	if errors.Is(err, fs.ErrNotExist) {
-		return fmt.Errorf("%w: %s", ErrNotFound, key)
-	}
+	data, err := s.b.Get(ctx, key)
 	if err != nil {
-		return fmt.Errorf("store: %w", err)
+		return err
 	}
 	_, err = Decode(data)
 	return err
 }
 
-// GC bounds the store: quarantined artifacts and orphaned temp files
-// are always removed, then the oldest artifacts (by modification time)
-// are evicted until the remainder fits maxBytes. maxBytes <= 0 means
-// unlimited (only the quarantine/temp sweep runs). It returns how many
-// files were removed and how many bytes were freed.
-func (s *Store) GC(maxBytes int64) (removed int, freed int64, err error) {
-	// Sweep the quarantine and stale temp files first.
-	qdir := filepath.Join(s.dir, quarantineDir)
-	if ents, rerr := os.ReadDir(qdir); rerr == nil {
-		for _, e := range ents {
-			p := filepath.Join(qdir, e.Name())
-			if st, serr := os.Stat(p); serr == nil && os.Remove(p) == nil {
-				removed++
-				freed += st.Size()
-			}
+// VerifySections checks the artifact under key section by section,
+// returning one result per section so damage reports name the section
+// that rotted instead of just the artifact. The returned error covers
+// framing-level damage (bad magic, truncation) that prevents walking
+// the sections at all.
+func (s *Store) VerifySections(ctx context.Context, key string) ([]SectionCheck, error) {
+	if err := checkKey(key); err != nil {
+		return nil, err
+	}
+	data, err := s.b.Get(ctx, key)
+	if err != nil {
+		return nil, err
+	}
+	return CheckSections(data)
+}
+
+// Scrub walks every stored artifact and validates its framing and every
+// section CRC (cheap CPU-bound checks over one sequential read each),
+// quarantining the damaged ones so they fail over to re-simulation
+// before a query ever trips on them. It returns how many artifacts were
+// checked and how many were found damaged.
+func (s *Store) Scrub(ctx context.Context) (checked, damaged int, err error) {
+	kis, err := s.b.List(ctx)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, ki := range kis {
+		if err := ctx.Err(); err != nil {
+			return checked, damaged, err
 		}
-	}
-	ents, rerr := os.ReadDir(s.dir)
-	if rerr != nil {
-		return removed, freed, fmt.Errorf("store: %w", rerr)
-	}
-	type aged struct {
-		key  string
-		size int64
-		mod  time.Time
-	}
-	var arts []aged
-	var total int64
-	for _, e := range ents {
-		if e.IsDir() {
-			continue
+		data, err := s.b.Get(ctx, ki.Key)
+		if errors.Is(err, ErrNotFound) {
+			continue // raced with a concurrent delete
 		}
-		st, serr := e.Info()
+		if err != nil {
+			return checked, damaged, err
+		}
+		checked++
+		s.m.scrubChecked.Add(1)
+		bad := false
+		secs, serr := CheckSections(data)
 		if serr != nil {
-			continue
+			bad = true
 		}
-		name := e.Name()
-		if filepath.Ext(name) != artifactExt {
-			// Orphaned temp file from a crashed writer: reclaim if it has
-			// been sitting for a while (an active writer renames within
-			// seconds).
-			if len(name) > 4 && name[:5] == ".tmp-" && time.Since(st.ModTime()) > time.Hour {
-				if os.Remove(filepath.Join(s.dir, name)) == nil {
-					removed++
-					freed += st.Size()
-				}
+		for _, sc := range secs {
+			if sc.Err != nil {
+				bad = true
 			}
-			continue
 		}
-		arts = append(arts, aged{key: name[:len(name)-len(artifactExt)], size: st.Size(), mod: st.ModTime()})
-		total += st.Size()
+		if bad {
+			damaged++
+			s.m.scrubDamaged.Add(1)
+			s.m.corrupt.Add(1)
+			s.quarantine(ctx, ki.Key)
+		}
+	}
+	return checked, damaged, nil
+}
+
+// GC bounds the store: the backend's private debris (quarantined
+// artifacts, orphaned temp files) is swept first, then the oldest
+// artifacts (by modification time) are evicted until the remainder fits
+// maxBytes. maxBytes <= 0 means unlimited (only the sweep runs). With
+// dryRun nothing is removed; the counts report what a real GC would
+// reclaim. It returns how many blobs were removed and how many bytes
+// were freed.
+func (s *Store) GC(ctx context.Context, maxBytes int64, dryRun bool) (removed int, freed int64, err error) {
+	if sw, ok := s.b.(backend.Sweeper); ok {
+		removed, freed, err = sw.Sweep(ctx, dryRun)
+		if err != nil {
+			return removed, freed, err
+		}
+	}
+	kis, err := s.b.List(ctx)
+	if err != nil {
+		return removed, freed, err
+	}
+	var total int64
+	for _, ki := range kis {
+		total += ki.Bytes
 	}
 	if maxBytes > 0 && total > maxBytes {
-		sort.Slice(arts, func(i, j int) bool { return arts[i].mod.Before(arts[j].mod) })
-		for _, a := range arts {
+		sort.Slice(kis, func(i, j int) bool { return kis[i].ModTime.Before(kis[j].ModTime) })
+		for _, ki := range kis {
 			if total <= maxBytes {
 				break
 			}
-			if os.Remove(filepath.Join(s.dir, a.key+artifactExt)) == nil {
-				removed++
-				freed += a.size
-				total -= a.size
+			if !dryRun {
+				if s.b.Delete(ctx, ki.Key) != nil {
+					continue
+				}
 			}
+			removed++
+			freed += ki.Bytes
+			total -= ki.Bytes
 		}
 	}
-	obsGCRemoved.Add(uint64(removed))
+	if !dryRun {
+		s.m.gcRemoved.Add(uint64(removed))
+	}
 	return removed, freed, nil
+}
+
+// MaintainConfig tunes the background maintenance loop.
+type MaintainConfig struct {
+	// Interval between maintenance passes (default 10 minutes).
+	Interval time.Duration
+	// MaxBytes bounds the store size for GC eviction; <= 0 disables
+	// eviction (the sweep and scrub still run).
+	MaxBytes int64
+	// Scrub enables the per-pass CRC scrub over every artifact.
+	Scrub bool
+}
+
+// Maintain runs scrub and GC passes every Interval until ctx is
+// cancelled. It blocks; callers run it in a goroutine. Failures are
+// absorbed (the loop keeps going) — maintenance is hygiene, never a
+// correctness dependency — but they surface in the scrub/GC counters.
+func (s *Store) Maintain(ctx context.Context, cfg MaintainConfig) {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 10 * time.Minute
+	}
+	t := time.NewTicker(cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		if cfg.Scrub {
+			_, _, _ = s.Scrub(ctx)
+		}
+		_, _, _ = s.GC(ctx, cfg.MaxBytes, false)
+	}
 }

@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"os"
 	"path/filepath"
@@ -9,6 +10,7 @@ import (
 	"testing"
 
 	"mbavf/internal/sim"
+	"mbavf/internal/store/backend"
 	"mbavf/internal/workloads"
 )
 
@@ -128,8 +130,8 @@ func TestDecodeMetaMatchesFull(t *testing.T) {
 func TestKeyFor(t *testing.T) {
 	cfg := sim.DefaultConfig()
 	k1 := KeyFor("vecadd", cfg)
-	if !keyRE.MatchString(k1) {
-		t.Fatalf("malformed key %q", k1)
+	if err := backend.CheckKey(k1); err != nil {
+		t.Fatalf("malformed key %q: %v", k1, err)
 	}
 	if k1 != KeyFor("vecadd", cfg) {
 		t.Error("key not stable")
@@ -145,6 +147,7 @@ func TestKeyFor(t *testing.T) {
 }
 
 func TestStorePutGetHasDelete(t *testing.T) {
+	ctx := context.Background()
 	st, err := Open(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
@@ -152,55 +155,57 @@ func TestStorePutGetHasDelete(t *testing.T) {
 	m := testMeasurements(t)
 	key := KeyFor(m.Workload, sim.DefaultConfig())
 
-	if _, err := st.Get(key); !errors.Is(err, ErrNotFound) {
+	if _, err := st.Get(ctx, key); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("want ErrNotFound before put, got %v", err)
 	}
-	if st.Has(key) {
+	if st.Has(ctx, key) {
 		t.Error("Has before put")
 	}
-	if err := st.Put(key, m); err != nil {
+	if err := st.Put(ctx, key, m); err != nil {
 		t.Fatal(err)
 	}
-	if !st.Has(key) {
+	if !st.Has(ctx, key) {
 		t.Error("no Has after put")
 	}
-	got, err := st.Get(key)
+	got, err := st.Get(ctx, key)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got.Workload != m.Workload || got.Cycles != m.Cycles {
 		t.Errorf("get mismatch: %+v", got)
 	}
-	if err := st.Delete(key); err != nil {
+	if err := st.Delete(ctx, key); err != nil {
 		t.Fatal(err)
 	}
-	if st.Has(key) {
+	if st.Has(ctx, key) {
 		t.Error("Has after delete")
 	}
-	if err := st.Delete(key); err != nil {
+	if err := st.Delete(ctx, key); err != nil {
 		t.Errorf("delete of missing key should be a no-op, got %v", err)
 	}
 }
 
 func TestStoreRejectsMalformedKeys(t *testing.T) {
+	ctx := context.Background()
 	st, err := Open(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, key := range []string{"", "short", "../../../../etc/passwd", "ZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZZ"} {
-		if _, err := st.Get(key); err == nil {
+		if _, err := st.Get(ctx, key); err == nil {
 			t.Errorf("Get(%q) accepted", key)
 		}
-		if err := st.Put(key, testMeasurements(t)); err == nil {
+		if err := st.Put(ctx, key, testMeasurements(t)); err == nil {
 			t.Errorf("Put(%q) accepted", key)
 		}
-		if st.Has(key) {
+		if st.Has(ctx, key) {
 			t.Errorf("Has(%q) true", key)
 		}
 	}
 }
 
 func TestStoreQuarantinesCorruptArtifact(t *testing.T) {
+	ctx := context.Background()
 	dir := t.TempDir()
 	st, err := Open(dir)
 	if err != nil {
@@ -208,7 +213,7 @@ func TestStoreQuarantinesCorruptArtifact(t *testing.T) {
 	}
 	m := testMeasurements(t)
 	key := KeyFor(m.Workload, sim.DefaultConfig())
-	if err := st.Put(key, m); err != nil {
+	if err := st.Put(ctx, key, m); err != nil {
 		t.Fatal(err)
 	}
 	// Flip one byte in the middle of the committed artifact.
@@ -222,32 +227,33 @@ func TestStoreQuarantinesCorruptArtifact(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	_, err = st.Get(key)
+	_, err = st.Get(ctx, key)
 	if err == nil {
 		t.Fatal("Get accepted corrupt artifact")
 	}
 	if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrFormat) {
 		t.Fatalf("untyped corruption error %v", err)
 	}
-	if st.Has(key) {
+	if st.Has(ctx, key) {
 		t.Error("corrupt artifact still addressable after quarantine")
 	}
-	if _, err := os.Stat(filepath.Join(dir, quarantineDir, key+artifactExt)); err != nil {
+	if _, err := os.Stat(filepath.Join(dir, "quarantine", key+".mbavf")); err != nil {
 		t.Errorf("quarantined file missing: %v", err)
 	}
 	// The key now misses cleanly: the fallback path is re-record.
-	if _, err := st.Get(key); !errors.Is(err, ErrNotFound) {
+	if _, err := st.Get(ctx, key); !errors.Is(err, ErrNotFound) {
 		t.Errorf("want ErrNotFound after quarantine, got %v", err)
 	}
-	if err := st.Put(key, m); err != nil {
+	if err := st.Put(ctx, key, m); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := st.Get(key); err != nil {
+	if _, err := st.Get(ctx, key); err != nil {
 		t.Errorf("re-record after quarantine failed: %v", err)
 	}
 }
 
 func TestStoreListInspectVerify(t *testing.T) {
+	ctx := context.Background()
 	dir := t.TempDir()
 	st, err := Open(dir)
 	if err != nil {
@@ -255,7 +261,7 @@ func TestStoreListInspectVerify(t *testing.T) {
 	}
 	m := testMeasurements(t)
 	key := KeyFor(m.Workload, sim.DefaultConfig())
-	if err := st.Put(key, m); err != nil {
+	if err := st.Put(ctx, key, m); err != nil {
 		t.Fatal(err)
 	}
 	// A second, damaged artifact under a different (well-formed) key.
@@ -264,7 +270,7 @@ func TestStoreListInspectVerify(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	infos, err := st.List()
+	infos, err := st.List(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,30 +295,31 @@ func TestStoreListInspectVerify(t *testing.T) {
 		t.Errorf("want 1 ok + 1 damaged, got %d + %d", okN, badN)
 	}
 
-	in, err := st.Inspect(key)
+	in, err := st.Inspect(ctx, key)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if in.Meta.Cycles != m.Cycles || len(in.Sections) != 5 {
 		t.Errorf("inspect mismatch: %+v", in)
 	}
-	if _, err := st.Inspect(badKey); err == nil {
+	if _, err := st.Inspect(ctx, badKey); err == nil {
 		t.Error("Inspect accepted damaged artifact")
 	}
 
-	if err := st.Verify(key); err != nil {
+	if err := st.Verify(ctx, key); err != nil {
 		t.Errorf("Verify of good artifact: %v", err)
 	}
-	if err := st.Verify(badKey); err == nil {
+	if err := st.Verify(ctx, badKey); err == nil {
 		t.Error("Verify accepted damaged artifact")
 	}
 	// Verify must not quarantine: it is a diagnostic.
-	if !st.Has(badKey) {
+	if !st.Has(ctx, badKey) {
 		t.Error("Verify quarantined the artifact")
 	}
 }
 
 func TestStoreGC(t *testing.T) {
+	ctx := context.Background()
 	dir := t.TempDir()
 	st, err := Open(dir)
 	if err != nil {
@@ -320,34 +327,43 @@ func TestStoreGC(t *testing.T) {
 	}
 	m := testMeasurements(t)
 	key := KeyFor(m.Workload, sim.DefaultConfig())
-	if err := st.Put(key, m); err != nil {
+	if err := st.Put(ctx, key, m); err != nil {
 		t.Fatal(err)
 	}
 	// Plant a quarantined file; GC always reclaims it.
-	qdir := filepath.Join(dir, quarantineDir)
+	qdir := filepath.Join(dir, "quarantine")
 	if err := os.MkdirAll(qdir, 0o755); err != nil {
 		t.Fatal(err)
 	}
 	if err := os.WriteFile(filepath.Join(qdir, "deadbeef.mbavf"), []byte("x"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	removed, freed, err := st.GC(0)
+	removed, freed, err := st.GC(ctx, 0, false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if removed != 1 || freed != 1 {
 		t.Errorf("quarantine sweep: removed %d freed %d", removed, freed)
 	}
-	if !st.Has(key) {
+	if !st.Has(ctx, key) {
 		t.Error("unlimited GC evicted a live artifact")
 	}
-	// A 1-byte budget evicts everything.
-	removed, _, err = st.GC(1)
+	// A dry run against a 1-byte budget reports the eviction without
+	// performing it.
+	removed, _, err = st.GC(ctx, 1, true)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if removed != 1 || st.Has(key) {
-		t.Errorf("budgeted GC: removed %d, has=%v", removed, st.Has(key))
+	if removed != 1 || !st.Has(ctx, key) {
+		t.Errorf("dry-run GC: removed %d, has=%v", removed, st.Has(ctx, key))
+	}
+	// A 1-byte budget evicts everything.
+	removed, _, err = st.GC(ctx, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 || st.Has(ctx, key) {
+		t.Errorf("budgeted GC: removed %d, has=%v", removed, st.Has(ctx, key))
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"mbavf/internal/obs"
 	"mbavf/internal/sim"
 	"mbavf/internal/store"
+	"mbavf/internal/store/disk"
 )
 
 // ErrNotInStore marks a RunStore lookup for a workload whose artifact
@@ -24,25 +25,53 @@ var obsStoreFallbacks = obs.NewCounter("store.fallback_simulations")
 // keyed by a stable hash of the workload and the machine configuration,
 // so analyses served from the store are exactly the analyses a fresh
 // simulation would produce — for the price of a millisecond-scale
-// decode instead of a full simulation. Multiple processes may share one
-// store directory; writes are atomic and damaged artifacts quarantine
-// themselves on first read.
+// decode instead of a full simulation.
+//
+// The storage itself is pluggable: NewRunStore accepts any
+// store.Backend — a local directory (internal/store/disk), the HTTP
+// artifact server of another mbavf-serve process
+// (internal/store/httpstore, so one recorded artifact warms a whole
+// fleet), or an in-memory map for tests (internal/store/mem). Multiple
+// processes may share one backend; writes are atomic and damaged
+// artifacts quarantine themselves on first read.
 type RunStore struct {
 	st *store.Store
 }
 
+// NewRunStore builds a run store over any artifact-store backend.
+func NewRunStore(b store.Backend) *RunStore {
+	return &RunStore{st: store.NewStore(b)}
+}
+
 // OpenRunStore opens (creating if needed) a run-artifact store rooted at
 // dir.
+//
+// Deprecated: OpenRunStore is the pre-backend spelling, kept as a thin
+// bit-identical wrapper over NewRunStore with a disk backend so
+// existing callers compile unchanged. New code should construct the
+// backend explicitly: NewRunStore(disk.New(dir)).
 func OpenRunStore(dir string) (*RunStore, error) {
-	st, err := store.Open(dir)
+	b, err := disk.New(dir)
 	if err != nil {
 		return nil, err
 	}
-	return &RunStore{st: st}, nil
+	return NewRunStore(b), nil
 }
 
-// Dir returns the store's root directory.
+// Dir describes the store's backing location: the root directory of a
+// disk store, the base URL of an HTTP store.
 func (rs *RunStore) Dir() string { return rs.st.Dir() }
+
+// Backend returns the blob layer this store runs over, so a server can
+// mount it behind the HTTP artifact protocol.
+func (rs *RunStore) Backend() store.Backend { return rs.st.Backend() }
+
+// Maintain runs the store's background hygiene loop — periodic CRC
+// scrubs and size-bounding GC — until ctx is cancelled. It blocks;
+// callers run it in a goroutine.
+func (rs *RunStore) Maintain(ctx context.Context, cfg store.MaintainConfig) {
+	rs.st.Maintain(ctx, cfg)
+}
 
 // Key returns the content address of the named workload's artifact
 // under the default machine configuration (the one RunWorkload uses).
@@ -51,20 +80,29 @@ func (rs *RunStore) Key(workload string) string {
 }
 
 // Has reports whether the workload's artifact is recorded.
-func (rs *RunStore) Has(workload string) bool { return rs.st.Has(rs.Key(workload)) }
+func (rs *RunStore) Has(workload string) bool {
+	return rs.st.Has(context.Background(), rs.Key(workload))
+}
 
 // Load revives the named workload's recorded Run. A missing artifact
 // returns ErrNotInStore; a damaged one (any CRC mismatch) is
 // quarantined and returns a typed decode error. Either way the caller's
 // fallback is RunWorkload.
 //
-// Loading is lazy: the artifact's framing and checksums are fully
-// verified here, but each section's measurement payload decodes on the
-// first analysis that touches it — reviving a run costs milliseconds
-// regardless of artifact size, and an L1 query never pays to decode the
-// L2 timeline.
+// Loading is lazy: over a local backend the artifact's framing and
+// checksums are fully verified here, while each section's measurement
+// payload decodes on the first analysis that touches it; over a ranged
+// backend (HTTP) even the payload bytes transfer on first touch —
+// reviving a run costs milliseconds regardless of artifact size, and an
+// L1 query never pays to decode (or download) the L2 timeline.
 func (rs *RunStore) Load(workload string) (*Run, error) {
-	a, err := rs.st.GetArtifact(rs.Key(workload))
+	return rs.LoadContext(context.Background(), workload)
+}
+
+// LoadContext is Load under a context, which bounds the backend I/O
+// (a remote store may be slow or gone).
+func (rs *RunStore) LoadContext(ctx context.Context, workload string) (*Run, error) {
+	a, err := rs.st.GetArtifact(ctx, rs.Key(workload))
 	if err != nil {
 		return nil, err
 	}
@@ -123,16 +161,39 @@ func (r *Run) Preload(sts ...Structure) error {
 // Save records the run as the named workload's artifact, atomically
 // replacing any previous recording.
 func (rs *RunStore) Save(workload string, r *Run) error {
+	return rs.SaveContext(context.Background(), workload, r)
+}
+
+// SaveContext is Save under a context bounding the backend I/O.
+func (rs *RunStore) SaveContext(ctx context.Context, workload string, r *Run) error {
 	m, err := r.measurements()
 	if err != nil {
 		return err
 	}
-	return rs.st.Put(rs.Key(workload), m)
+	return rs.st.Put(ctx, rs.Key(workload), m)
 }
 
 // storeRetryDelay is the backoff before the single Load retry on a
 // transient store failure; a var so tests don't wait.
 var storeRetryDelay = 50 * time.Millisecond
+
+// loadPreloaded is LoadContext plus an eager Preload of the structures
+// the caller is about to analyze. The preload matters on a ranged
+// (HTTP) backend: section payloads transfer and CRC-check on first
+// touch, so forcing the touch here surfaces remote damage while the
+// caller can still fall back to simulation and re-record.
+func (rs *RunStore) loadPreloaded(ctx context.Context, workload string, sts []Structure) (*Run, error) {
+	r, err := rs.LoadContext(ctx, workload)
+	if err != nil {
+		return nil, err
+	}
+	if len(sts) > 0 {
+		if err := r.Preload(sts...); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
 
 // RunWorkloadStored returns the named workload's Run from the store when
 // a valid artifact is recorded, and simulates (then records) otherwise.
@@ -144,17 +205,28 @@ var storeRetryDelay = 50 * time.Millisecond
 // Load failures split by kind. A damaged artifact (ErrCorrupt /
 // ErrFormat) is already quarantined by the store, so the fallback
 // simulation re-records a good replacement. A transient failure (EMFILE,
-// NFS hiccup, permission flap) gets one retried Load after a short
-// backoff, and if that also fails the fallback simulation does NOT
-// overwrite the artifact — the recording on disk may be perfectly good,
-// and clobbering it mid-flap would throw away an expensive, valid run.
+// NFS hiccup, an unreachable artifact server) gets one retried Load
+// after a short backoff, and if that also fails the fallback simulation
+// does NOT overwrite the artifact — the recording in the store may be
+// perfectly good, and clobbering it mid-flap would throw away an
+// expensive, valid run.
 func RunWorkloadStored(ctx context.Context, name string, rs *RunStore) (*Run, bool, error) {
+	return RunWorkloadStoredFor(ctx, name, rs)
+}
+
+// RunWorkloadStoredFor is RunWorkloadStored with the structures the
+// caller is about to analyze: a store-served Run arrives with those
+// structures preloaded, so a remote section that turns out damaged (or
+// a server that vanishes mid-download) is discovered here — where the
+// fallback-to-simulation machinery can still handle it — instead of
+// mid-analysis.
+func RunWorkloadStoredFor(ctx context.Context, name string, rs *RunStore, sts ...Structure) (*Run, bool, error) {
 	if rs == nil {
 		r, err := RunWorkloadContext(ctx, name)
 		return r, false, err
 	}
 	record := true
-	r, err := rs.Load(name)
+	r, err := rs.loadPreloaded(ctx, name, sts)
 	switch {
 	case err == nil:
 		return r, true, nil
@@ -171,7 +243,7 @@ func RunWorkloadStored(ctx context.Context, name string, rs *RunStore) (*Run, bo
 		case <-ctx.Done():
 			return nil, false, ctx.Err()
 		}
-		if r, err = rs.Load(name); err == nil {
+		if r, err = rs.loadPreloaded(ctx, name, sts); err == nil {
 			return r, true, nil
 		}
 		obsStoreFallbacks.Add(1)
@@ -182,7 +254,7 @@ func RunWorkloadStored(ctx context.Context, name string, rs *RunStore) (*Run, bo
 		return nil, false, err
 	}
 	if record {
-		_ = rs.Save(name, r) // best-effort; failure to persist must not fail the run
+		_ = rs.SaveContext(ctx, name, r) // best-effort; failure to persist must not fail the run
 	}
 	return r, false, nil
 }
