@@ -29,7 +29,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: a paper artifact (table1, fig2, fig4, fig5, fig6, table2, fig8, fig9, fig10, table3, fig11), an ablation (locality, schemes, geometry, l2, cachesize, validate), or 'all' for the paper set")
+	exp := flag.String("exp", "all", "experiment to run: a paper artifact (table1, fig2, fig4, fig5, fig6, table2, fig8, fig9, fig10, table3, fig11), an ablation (locality, schemes, geometry, l2, cachesize, validate), the protection-policy sweep (policies), or 'all' for the paper set")
 	workloadsFlag := flag.String("workloads", "", "comma-separated workload subset (default: the paper set)")
 	injections := flag.Int("injections", 200, "single-bit injections per benchmark for table2")
 	iworkers := flag.Int("iworkers", runtime.NumCPU(), "injection worker-pool size (identical results for any value)")
@@ -44,6 +44,8 @@ func main() {
 	storeDir := flag.String("store", "", "persistent run-artifact store directory: load recorded runs instead of simulating, record fresh ones")
 	fabricWorkers := flag.String("fabric-workers", "", "comma-separated fabric worker base URLs; distributes injection campaigns across the fleet")
 	scalarSolve := flag.Bool("scalar-solve", false, "force the scalar per-bit ACE solver instead of the packed word-parallel one (bit-identical results, slower; for cross-checking)")
+	policiesFlag := flag.String("policies", "", "comma-separated protection policies for the policies experiment (default: all built-in policies)")
+	scrubInterval := flag.Int64("scrub-interval", 0, "scrub period in cycles for the scrubbing policies (0 = built-in default; must not be negative)")
 	flag.Parse()
 
 	obs.SetProcessName("mbavf-exp " + *exp)
@@ -88,15 +90,28 @@ func main() {
 	defer stop()
 
 	opts := mbavf.ExperimentOptions{
-		Injections: *injections,
-		Windows:    *windows,
-		AVFWindows: *avfWindows,
-		Seed:       *seed,
-		Workers:    *iworkers,
-		StoreDir:   *storeDir,
+		Injections:    *injections,
+		Windows:       *windows,
+		AVFWindows:    *avfWindows,
+		Seed:          *seed,
+		Workers:       *iworkers,
+		StoreDir:      *storeDir,
+		ScrubInterval: *scrubInterval,
 	}
 	if *workloadsFlag != "" {
 		opts.Workloads = strings.Split(*workloadsFlag, ",")
+	}
+	if *policiesFlag != "" {
+		for _, p := range strings.Split(*policiesFlag, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				opts.Policies = append(opts.Policies, p)
+			}
+		}
+	}
+	// Fail fast on bad policy knobs (unknown names, negative scrub
+	// interval) before any simulation starts.
+	if err := opts.Validate(); err != nil {
+		fail("%v", err)
 	}
 	if *fabricWorkers != "" {
 		for _, p := range strings.Split(*fabricWorkers, ",") {
@@ -188,6 +203,12 @@ func toInternal(opts mbavf.ExperimentOptions) experiments.Options {
 	}
 	if opts.AVFWindows > 0 {
 		io.AVFWindows = opts.AVFWindows
+	}
+	if len(opts.Policies) > 0 {
+		io.Policies = opts.Policies
+	}
+	if opts.ScrubInterval > 0 {
+		io.ScrubInterval = opts.ScrubInterval
 	}
 	io.StoreDir = opts.StoreDir
 	io.FabricWorkers = opts.FabricWorkers

@@ -59,6 +59,13 @@ type Options struct {
 	// to a local run (deterministic per-shot sampling); an unreachable
 	// fleet degrades to in-process execution.
 	FabricWorkers []string
+	// Policies restricts the protection policies the policies experiment
+	// sweeps; nil means every built-in policy (policy.Names()). Names are
+	// validated by the public facade before reaching here.
+	Policies []string
+	// ScrubInterval is the scrub period, in cycles, of the scrubbing
+	// policies; 0 selects the policy package's default.
+	ScrubInterval int64
 }
 
 // ctx returns the experiment's context, never nil.
@@ -279,6 +286,7 @@ func registerExp(name, title string, fn func(Options) ([]*report.Table, error)) 
 // sweep is log-scale lines.
 var chartSpecs = map[string]ChartSpec{
 	"avft":     {Skip: true},
+	"policies": {Skip: true},
 	"table1":   {Skip: true},
 	"table2":   {Skip: true},
 	"table3":   {Skip: true},

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"mbavf/internal/policy"
 	"mbavf/internal/report"
 )
 
@@ -83,7 +84,7 @@ func TestResetCachePerWorkload(t *testing.T) {
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"avft", "cachesize", "fig10", "fig11", "fig2", "fig4", "fig5", "fig6", "fig8", "fig9",
-		"geometry", "l2", "locality", "schemes", "table1", "table2", "table3", "validate"}
+		"geometry", "l2", "locality", "policies", "schemes", "table1", "table2", "table3", "validate"}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("experiments = %v", got)
@@ -300,6 +301,58 @@ func TestValidateRuns(t *testing.T) {
 	// in EXPERIMENTS.md shows ratios near 1).
 	if injected > 0 && (analysis/injected < 0.2 || analysis/injected > 5) {
 		t.Errorf("analysis %v and injection %v differ wildly", analysis, injected)
+	}
+}
+
+func TestPoliciesExperiment(t *testing.T) {
+	o := quickOpts()
+	o.Workloads = []string{"vecadd", "matmul"}
+	tables := runExp(t, "policies", o)
+	// Two tables (absolute, delta) per structure.
+	if len(tables) != 6 {
+		t.Fatalf("policies tables = %d, want 6", len(tables))
+	}
+	// Every built-in policy contributes a DUE and an SDC column.
+	wantCols := 1 + 2*len(policy.Names())
+	if got := len(tables[0].Header); got != wantCols {
+		t.Fatalf("policies columns = %d, want %d (header %v)", got, wantCols, tables[0].Header)
+	}
+	for _, tb := range tables {
+		if len(tb.Rows) != 2 {
+			t.Fatalf("%s: rows = %d, want 2", tb.Title, len(tb.Rows))
+		}
+	}
+	// Delta tables: the degenerate policies (columns 1..4: parity and
+	// sec-ded DUE/SDC) deviate exactly zero from their baselines.
+	for i := 1; i < len(tables); i += 2 {
+		tb := tables[i]
+		for _, wl := range o.Workloads {
+			for col := 1; col <= 4; col++ {
+				if v := cell(t, tb, wl, col); v != 0 {
+					t.Errorf("%s: %s col %d (%s) = %v, want exactly 0", tb.Title, wl, col, tb.Header[col], v)
+				}
+			}
+		}
+	}
+	// The absolute tables: on-use DUE never exceeds on-detect DUE for the
+	// same scheme (false DUEs can only be removed). matmul on l1:
+	// parity DUE col 1, parity-on-use DUE col 3, sec-ded DUE col 5,
+	// sec-ded-on-use DUE col 7.
+	l1 := tables[0]
+	for _, wl := range o.Workloads {
+		if onUse, onDet := cell(t, l1, wl, 3), cell(t, l1, wl, 1); onUse > onDet {
+			t.Errorf("%s: parity-on-use DUE %v exceeds parity DUE %v", wl, onUse, onDet)
+		}
+		if onUse, onDet := cell(t, l1, wl, 7), cell(t, l1, wl, 5); onUse > onDet {
+			t.Errorf("%s: sec-ded-on-use DUE %v exceeds sec-ded DUE %v", wl, onUse, onDet)
+		}
+	}
+	// Restricting the policy set narrows the tables.
+	o.Policies = []string{"sec-ded", "sec-ded-scrub"}
+	o.ScrubInterval = 2048
+	tables = runExp(t, "policies", o)
+	if got := len(tables[0].Header); got != 5 {
+		t.Fatalf("restricted policies columns = %d, want 5", got)
 	}
 }
 

@@ -48,14 +48,29 @@ func Default32MB() CacheParams {
 }
 
 func (p CacheParams) validate() error {
-	if p.Bits <= 0 || p.WordBits <= 0 || p.RawFITPerBit <= 0 {
+	if p.Bits <= 0 || p.WordBits <= 0 {
 		return fmt.Errorf("mttf: non-positive parameters: %+v", p)
+	}
+	// A zero raw rate is not a degenerate sweep point — it is an input
+	// error: every MTTF below divides by the rate, so accepting it would
+	// silently emit +Inf/NaN points into Figure 2 sweeps.
+	if p.RawFITPerBit <= 0 {
+		return fmt.Errorf("mttf: raw FIT/bit must be positive (got %g)", p.RawFITPerBit)
 	}
 	return nil
 }
 
 // perBitRate returns the per-bit fault rate in events per hour.
 func (p CacheParams) perBitRate() float64 { return p.RawFITPerBit / 1e9 }
+
+// DomainStrikeRate returns the per-protection-domain strike rate in
+// events per hour for a domain of wordBits data bits under a raw per-bit
+// rate of rawFITPerBit FIT — the mu of TemporalMTTF's accumulation
+// model, exported so policy-level temporal models are seeded by the same
+// math as the Figure 2 sweep.
+func DomainStrikeRate(wordBits, rawFITPerBit float64) float64 {
+	return wordBits * rawFITPerBit / 1e9
+}
 
 // SpatialMTTF returns the cache's MTTF in hours from spatial multi-bit
 // faults: a single strike whose spatial extent defeats the protection.
@@ -86,7 +101,7 @@ func TemporalMTTF(p CacheParams) (float64, error) {
 		return 0, err
 	}
 	words := p.Bits / p.WordBits
-	mu := p.WordBits * p.perBitRate()
+	mu := DomainStrikeRate(p.WordBits, p.RawFITPerBit)
 	if p.LifetimeHours <= 0 {
 		return math.Sqrt(math.Pi/(2*words)) / mu, nil
 	}

@@ -2,6 +2,7 @@ package mttf
 
 import (
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -135,5 +136,34 @@ func TestInvalidParams(t *testing.T) {
 	}
 	if _, err := TemporalMTTF(p); err == nil {
 		t.Error("zero params should error")
+	}
+}
+
+func TestNonPositiveRawFITRejected(t *testing.T) {
+	// A zero or negative raw rate must be an explicit error, not a
+	// degenerate (+Inf/NaN) MTTF point silently entering a sweep.
+	for _, fit := range []float64{0, -1e-4} {
+		p := Default32MB()
+		p.RawFITPerBit = fit
+		p.SMBFFraction = 0.001
+		for name, f := range map[string]func(CacheParams) (float64, error){
+			"SpatialMTTF":  SpatialMTTF,
+			"TemporalMTTF": TemporalMTTF,
+		} {
+			_, err := f(p)
+			if err == nil {
+				t.Fatalf("%s with RawFITPerBit=%g: want error, got nil", name, fit)
+			}
+			if !strings.Contains(err.Error(), "raw FIT/bit must be positive") {
+				t.Errorf("%s with RawFITPerBit=%g: error %q does not name the raw rate", name, fit, err)
+			}
+		}
+	}
+}
+
+func TestDomainStrikeRate(t *testing.T) {
+	// 64-bit domains at 1e-4 FIT/bit: 64e-4 FIT/domain = 6.4e-12/hour.
+	if got, want := DomainStrikeRate(64, 1e-4), 6.4e-12; math.Abs(got-want) > 1e-24 {
+		t.Errorf("DomainStrikeRate(64, 1e-4) = %g, want %g", got, want)
 	}
 }

@@ -1,0 +1,387 @@
+// Package policy evaluates protection policies: an error-protection
+// scheme composed with an error-reporting discipline and a scrubbing /
+// temporal-accumulation model.
+//
+// The paper computes MB-AVFs under a fixed protection assumption per
+// structure (parity vs SEC-DED). A policy generalizes that assumption
+// along two axes the serving tier actually tunes:
+//
+//   - Reporting discipline. Report-on-detect is the paper's accounting:
+//     a detected-uncorrectable fault in a microarchitecturally ACE window
+//     is a DUE, whether or not the consuming computation influences
+//     program output. Report-on-use (Jaulmes et al., arXiv:1810.06472)
+//     delays the report until the corrupted value is consumed by
+//     output-affecting computation — decided here from the solved
+//     liveness graph's read points — so detected-but-dynamically-dead
+//     consumption (the false-DUE class) raises no error at all.
+//
+//   - Scrubbing and temporal accumulation. A spatial fault group may land
+//     in a protection domain that already holds an earlier single-bit
+//     strike, escalating every overlapped region by one flip (a 2-bit
+//     detected fault becomes a 3-bit undetected one). The probability of
+//     that multi-event occupancy follows the Poisson math of
+//     mttf.TemporalMTTF: p = 1 - exp(-lambda * W), where lambda is the
+//     per-domain strike intensity and W the accumulation window. A
+//     periodic scrubber bounds W at the scrub interval — scrubs clear
+//     accumulated correctable faults between ACE windows — so temporal
+//     and spatial vulnerability interact through one first-class model
+//     instead of being assumed independent.
+//
+// A policy pass reclassifies the spatial solver's fault-group outcomes;
+// it never re-simulates. Evaluate consumes an already-solved core.Result
+// (base scheme) and requests at most one extra solve (the
+// escalated-by-one-flip scheme) when the temporal mix is active. With
+// temporal accumulation off and report-on-detect, a policy's numbers are
+// bit-identical to the plain scheme's — the degenerate-limit property the
+// equivalence suite pins.
+package policy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"mbavf/internal/core"
+	"mbavf/internal/ecc"
+	"mbavf/internal/interval"
+	"mbavf/internal/mttf"
+	"mbavf/internal/obs"
+)
+
+// Observability series: evaluation volume, how often the reporting
+// discipline actually changed an outcome, and how often the temporal mix
+// required an escalated solve. Exposed as mbavf_policy_* on /metrics.
+var (
+	obsEvals     = obs.NewCounter("policy.evals")
+	obsReclass   = obs.NewCounter("policy.reclassified")
+	obsEscalated = obs.NewCounter("policy.escalated_solves")
+)
+
+// ErrBadPolicy marks a semantically invalid policy configuration: an
+// unknown policy name, a non-positive scrub interval, a negative strike
+// intensity. The public facade wraps it into mbavf.ErrBadOption so the
+// serving layer maps it to a client error.
+var ErrBadPolicy = errors.New("policy: bad option")
+
+// Reporting selects when a detected-but-uncorrectable fault is reported.
+type Reporting uint8
+
+const (
+	// ReportOnDetect raises the error as soon as a read detects it — the
+	// paper's DUE accounting: every detected fault in a uarch-ACE window
+	// counts, including dynamically dead consumption (false DUEs).
+	ReportOnDetect Reporting = iota
+	// ReportOnUse delays the report until the corrupted value is consumed
+	// by output-affecting computation, per the solved liveness graph:
+	// detected faults whose consumers are dynamically dead (the false-DUE
+	// class) raise no error, so only true DUEs remain.
+	ReportOnUse
+)
+
+func (r Reporting) String() string {
+	switch r {
+	case ReportOnDetect:
+		return "on-detect"
+	case ReportOnUse:
+		return "on-use"
+	default:
+		return fmt.Sprintf("Reporting(%d)", uint8(r))
+	}
+}
+
+// DefaultScrubInterval is the scrub period, in cycles, the named scrub
+// policies use when the caller does not choose one: 64Ki cycles sits
+// well inside a typical instrumented run, so scrubbing visibly bounds
+// the accumulation window.
+const DefaultScrubInterval = 1 << 16
+
+// DefaultTemporalIntensity is the accumulated-strike intensity (expected
+// single-bit strikes per protection domain per million cycles) of the
+// named temporal policies. Like the accelerated beam conditions behind
+// the paper's Table I, it is deliberately far above field rates so the
+// temporal+spatial interplay is visible within a simulated run;
+// IntensityFromFIT converts realistic physical rates, which put the
+// accumulation probability near 1e-19 — the Figure 2 conclusion that
+// temporal MBFs are negligible next to spatial ones.
+const DefaultTemporalIntensity = 1.0
+
+// Policy is one protection policy: a scheme, a reporting discipline, and
+// the scrub/temporal-accumulation knobs.
+type Policy struct {
+	// Name labels the policy in tables, cache keys, and metrics.
+	Name string
+	// Scheme is the protection code guarding each domain.
+	Scheme ecc.Scheme
+	// Reporting is the error-reporting discipline.
+	Reporting Reporting
+	// ScrubInterval is the period, in cycles, of a background scrubber
+	// that rewrites every protection word, clearing accumulated
+	// correctable faults. Zero means no scrubber: accumulated strikes
+	// persist for the whole run. The scrubber only bounds temporal
+	// accumulation; it has no effect when TemporalIntensity is zero.
+	ScrubInterval interval.Cycle
+	// TemporalIntensity is the rate at which independent single-bit
+	// strikes accumulate, in expected strikes per protection domain per
+	// million cycles. Zero disables the temporal-accumulation mix
+	// entirely (the spatial-only model of the paper).
+	TemporalIntensity float64
+}
+
+// Validate checks the policy's configuration.
+func (p Policy) Validate() error {
+	if p.Scheme == nil {
+		return fmt.Errorf("%w: policy %q has no scheme", ErrBadPolicy, p.Name)
+	}
+	if p.Reporting > ReportOnUse {
+		return fmt.Errorf("%w: unknown reporting discipline %d", ErrBadPolicy, p.Reporting)
+	}
+	if p.TemporalIntensity < 0 || math.IsNaN(p.TemporalIntensity) || math.IsInf(p.TemporalIntensity, 0) {
+		return fmt.Errorf("%w: temporal intensity must be finite and non-negative (got %g)", ErrBadPolicy, p.TemporalIntensity)
+	}
+	return nil
+}
+
+// Env is the structure-level context a policy is evaluated in.
+type Env struct {
+	// TotalCycles is the measured run length (the AVF denominator).
+	TotalCycles interval.Cycle
+	// DomainBits is the number of data bits per protection domain (one
+	// code word), from the interleaving layout.
+	DomainBits int
+}
+
+// AccumulationWindow returns the cycles during which an earlier strike
+// can persist in a domain before the spatial fault lands: the run length,
+// bounded by the scrub interval when a scrubber runs.
+func (p Policy) AccumulationWindow(env Env) interval.Cycle {
+	w := env.TotalCycles
+	if p.ScrubInterval > 0 && p.ScrubInterval < w {
+		w = p.ScrubInterval
+	}
+	return w
+}
+
+// AccumulationProbability returns the probability that at least one
+// independent single-bit strike has accumulated in a protection domain
+// within the accumulation window — the Poisson tail 1 - exp(-lambda*W)
+// of mttf.TemporalMTTF's per-word strike model. Zero intensity gives
+// exactly zero, which keeps the degenerate policy bit-identical to the
+// plain scheme.
+func (p Policy) AccumulationProbability(env Env) float64 {
+	if p.TemporalIntensity <= 0 {
+		return 0
+	}
+	w := float64(p.AccumulationWindow(env)) / 1e6
+	return -math.Expm1(-p.TemporalIntensity * w)
+}
+
+// IntensityFromFIT converts a physical raw fault rate into a policy
+// TemporalIntensity, through the same per-domain strike rate mu that
+// mttf.TemporalMTTF accumulates: strikes/domain/Mcycle =
+// mu[strikes/hour] / clockHz * 1e6 / 3600. At realistic field rates
+// (1e-4 FIT/bit, 64-bit domains, 1GHz) this is ~1.8e-18 — temporal
+// accumulation is negligible, the paper's Figure 2 conclusion.
+func IntensityFromFIT(domainBits int, rawFITPerBit, clockHz float64) float64 {
+	if domainBits <= 0 || rawFITPerBit <= 0 || clockHz <= 0 {
+		return 0
+	}
+	muPerHour := mttf.DomainStrikeRate(float64(domainBits), rawFITPerBit)
+	return muPerHour / 3600 / clockHz * 1e6
+}
+
+// Escalated wraps a scheme so every region reacts as if one extra bit
+// had flipped: the accumulated single-bit strike joins the spatial fault
+// group inside the domain. The wrapper is itself an ecc.Scheme, so the
+// escalated pass rides the same packed solver as the base pass.
+//
+// Escalating every overlapped region of a group jointly is conservative
+// (one strike lands in one domain); the approximation is second-order in
+// the accumulation probability and documented in DESIGN.md §12.
+type Escalated struct {
+	Base ecc.Scheme
+}
+
+func (e Escalated) Name() string { return e.Base.Name() + "+accum" }
+
+func (e Escalated) React(flipped int) ecc.Reaction {
+	if flipped == 0 {
+		return e.Base.React(0)
+	}
+	return e.Base.React(flipped + 1)
+}
+
+func (e Escalated) CheckBits(dataBits int) int { return e.Base.CheckBits(dataBits) }
+
+// Outcome is the policy-adjusted vulnerability of one (structure, fault
+// mode) point. All AVF fields are fractions of group-cycles, directly
+// comparable to the plain scheme's MB-AVFs.
+type Outcome struct {
+	DUE      float64
+	SDC      float64
+	TrueDUE  float64
+	FalseDUE float64
+	// SBAVF / SBAVFLive are the structure's raw single-bit ACE fractions
+	// (policy-independent normalization bases).
+	SBAVF     float64
+	SBAVFLive float64
+	// AccumP is the temporal multi-event occupancy probability that was
+	// mixed in (0 when the temporal model is off).
+	AccumP float64
+	// Escalated reports that an escalated-scheme solve contributed.
+	Escalated bool
+}
+
+// Solver produces the solved spatial MB-AVF result of one scheme over
+// the structure and fault mode under evaluation — the seam through which
+// a policy pass rides the existing (packed or scalar) solver without
+// re-simulating. Callers memoize it per scheme name when sweeping many
+// policies.
+type Solver func(ecc.Scheme) (*core.Result, error)
+
+// Classify maps one solved spatial result into reporting-adjusted AVFs.
+// Report-on-detect reproduces the solver's own accounting untouched;
+// report-on-use keeps only detected faults whose consumption influences
+// program output (the liveness graph's true-DUE time), reclassifying
+// false DUEs as masked. SDC is unchanged by the discipline: corrupted
+// data that defeats the code silently is silent under either discipline,
+// and on structures with detection-preempts-SDC the solver has already
+// converted preempted corruption into true DUEs, which a delayed report
+// still catches at the consuming read.
+func Classify(r *core.Result, rep Reporting) Outcome {
+	out := Outcome{SBAVF: r.BitAVF(), SBAVFLive: r.BitAVFLive()}
+	switch rep {
+	case ReportOnUse:
+		out.DUE = r.TrueDUEMBAVF()
+		out.TrueDUE = r.TrueDUEMBAVF()
+		out.FalseDUE = 0
+	default:
+		out.DUE = r.DUEMBAVF()
+		out.TrueDUE = r.TrueDUEMBAVF()
+		out.FalseDUE = r.FalseDUEMBAVF()
+	}
+	out.SDC = r.SDCMBAVF()
+	return out
+}
+
+// Evaluate computes the policy's outcome from the base scheme's solved
+// result, requesting one escalated solve through solve only when the
+// temporal mix is active (AccumP > 0). With the mix off the base
+// classification is returned untouched — no floating-point operation
+// separates the degenerate policy from the plain scheme.
+func (p Policy) Evaluate(env Env, base *core.Result, solve Solver) (Outcome, error) {
+	if err := p.Validate(); err != nil {
+		return Outcome{}, err
+	}
+	if base == nil {
+		return Outcome{}, fmt.Errorf("policy: %s: nil base result", p.Name)
+	}
+	obsEvals.Add(1)
+	out := Classify(base, p.Reporting)
+	if p.Reporting == ReportOnUse && base.FalseDUEMBAVF() > 0 {
+		obsReclass.Add(1)
+	}
+	prob := p.AccumulationProbability(env)
+	if prob == 0 {
+		return out, nil
+	}
+	if solve == nil {
+		return Outcome{}, fmt.Errorf("policy: %s needs an escalated solve (p=%g) but got no solver", p.Name, prob)
+	}
+	escRes, err := solve(Escalated{p.Scheme})
+	if err != nil {
+		return Outcome{}, err
+	}
+	esc := Classify(escRes, p.Reporting)
+	obsEscalated.Add(1)
+	mix := func(a, b float64) float64 { return (1-prob)*a + prob*b }
+	out.DUE = mix(out.DUE, esc.DUE)
+	out.SDC = mix(out.SDC, esc.SDC)
+	out.TrueDUE = mix(out.TrueDUE, esc.TrueDUE)
+	out.FalseDUE = mix(out.FalseDUE, esc.FalseDUE)
+	out.AccumP = prob
+	out.Escalated = true
+	return out, nil
+}
+
+// Spec parameterizes the named policies: the scrub period for the
+// *-scrub policies and the strike intensity for the temporal ones. Zero
+// values select the package defaults.
+type Spec struct {
+	// ScrubInterval is the scrub period in cycles; 0 selects
+	// DefaultScrubInterval. Negative values are rejected by Named's
+	// callers before conversion (the wire/flag forms are signed).
+	ScrubInterval interval.Cycle
+	// TemporalIntensity is the accumulated-strike intensity; 0 selects
+	// DefaultTemporalIntensity for the temporal/scrub policies.
+	TemporalIntensity float64
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.ScrubInterval == 0 {
+		s.ScrubInterval = DefaultScrubInterval
+	}
+	if s.TemporalIntensity == 0 {
+		s.TemporalIntensity = DefaultTemporalIntensity
+	}
+	return s
+}
+
+// Names lists the built-in policies in presentation order.
+func Names() []string {
+	return []string{
+		"parity",
+		"parity-on-use",
+		"sec-ded",
+		"sec-ded-on-use",
+		"sec-ded-temporal",
+		"sec-ded-scrub",
+	}
+}
+
+// Known reports whether name is a built-in policy.
+func Known(name string) bool {
+	for _, n := range Names() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Named builds one of the built-in policies:
+//
+//   - parity / sec-ded: the plain scheme with report-on-detect and no
+//     temporal model — the paper's Table 2 assumptions, bit-identical to
+//     Run.AVF under the same scheme.
+//   - parity-on-use / sec-ded-on-use: the same schemes under delayed
+//     (report-on-use) reporting.
+//   - sec-ded-temporal: SEC-DED with temporal accumulation at the spec's
+//     intensity and no scrubber (the accumulation window is the run).
+//   - sec-ded-scrub: sec-ded-temporal plus a periodic scrubber at the
+//     spec's interval, bounding the accumulation window.
+func Named(name string, spec Spec) (Policy, error) {
+	spec = spec.withDefaults()
+	switch name {
+	case "parity":
+		return Policy{Name: name, Scheme: ecc.Parity{}, Reporting: ReportOnDetect}, nil
+	case "parity-on-use":
+		return Policy{Name: name, Scheme: ecc.Parity{}, Reporting: ReportOnUse}, nil
+	case "sec-ded":
+		return Policy{Name: name, Scheme: ecc.SECDED{}, Reporting: ReportOnDetect}, nil
+	case "sec-ded-on-use":
+		return Policy{Name: name, Scheme: ecc.SECDED{}, Reporting: ReportOnUse}, nil
+	case "sec-ded-temporal":
+		return Policy{
+			Name: name, Scheme: ecc.SECDED{}, Reporting: ReportOnDetect,
+			TemporalIntensity: spec.TemporalIntensity,
+		}, nil
+	case "sec-ded-scrub":
+		return Policy{
+			Name: name, Scheme: ecc.SECDED{}, Reporting: ReportOnDetect,
+			ScrubInterval:     spec.ScrubInterval,
+			TemporalIntensity: spec.TemporalIntensity,
+		}, nil
+	default:
+		return Policy{}, fmt.Errorf("%w: unknown policy %q (have %v)", ErrBadPolicy, name, Names())
+	}
+}

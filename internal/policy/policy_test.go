@@ -1,0 +1,295 @@
+package policy
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"mbavf/internal/core"
+	"mbavf/internal/ecc"
+)
+
+// fakeResult builds a solved Result with known classified cycle totals:
+// 1000 groups x 1000 cycles, with the given group-cycle counters.
+func fakeResult(due, trueDUE, falseDUE, sdc uint64) *core.Result {
+	return &core.Result{
+		Groups:      1000,
+		Bits:        4000,
+		TotalCycles: 1000,
+		Counters:    core.Counters{DUE: due, TrueDUE: trueDUE, FalseDUE: falseDUE, SDC: sdc},
+		BitUarch:    500000,
+		BitLive:     250000,
+	}
+}
+
+func TestNamedCoversAllNames(t *testing.T) {
+	for _, name := range Names() {
+		p, err := Named(name, Spec{})
+		if err != nil {
+			t.Fatalf("Named(%q): %v", name, err)
+		}
+		if p.Name != name {
+			t.Errorf("Named(%q).Name = %q", name, p.Name)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("Named(%q).Validate: %v", name, err)
+		}
+		if !Known(name) {
+			t.Errorf("Known(%q) = false", name)
+		}
+	}
+	if Known("tmr") {
+		t.Error(`Known("tmr") = true`)
+	}
+}
+
+func TestNamedUnknown(t *testing.T) {
+	_, err := Named("chipkill", Spec{})
+	if !errors.Is(err, ErrBadPolicy) {
+		t.Fatalf("unknown policy: err = %v, want ErrBadPolicy", err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		p    Policy
+		ok   bool
+	}{
+		{"plain", Policy{Name: "p", Scheme: ecc.Parity{}}, true},
+		{"no scheme", Policy{Name: "p"}, false},
+		{"bad reporting", Policy{Name: "p", Scheme: ecc.Parity{}, Reporting: Reporting(9)}, false},
+		{"negative intensity", Policy{Name: "p", Scheme: ecc.Parity{}, TemporalIntensity: -1}, false},
+		{"nan intensity", Policy{Name: "p", Scheme: ecc.Parity{}, TemporalIntensity: math.NaN()}, false},
+		{"inf intensity", Policy{Name: "p", Scheme: ecc.Parity{}, TemporalIntensity: math.Inf(1)}, false},
+	} {
+		err := tc.p.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok {
+			if err == nil {
+				t.Errorf("%s: want error", tc.name)
+			} else if !errors.Is(err, ErrBadPolicy) {
+				t.Errorf("%s: err = %v, want ErrBadPolicy", tc.name, err)
+			}
+		}
+	}
+}
+
+func TestEscalatedReactions(t *testing.T) {
+	e := Escalated{Base: ecc.SECDED{}}
+	// k=0 stays untouched: no spatial fault in the region means the
+	// accumulated strike alone, which SEC-DED corrects — and more to the
+	// point, un-overlapped regions must not react.
+	if got := e.React(0); got != (ecc.SECDED{}).React(0) {
+		t.Errorf("React(0) = %v, want base React(0)", got)
+	}
+	// A 1-bit spatial flip + 1 accumulated = 2 flips: detected.
+	if got, want := e.React(1), (ecc.SECDED{}).React(2); got != want {
+		t.Errorf("React(1) = %v, want %v", got, want)
+	}
+	// A 2-bit spatial flip + 1 accumulated = 3 flips: defeated.
+	if got, want := e.React(2), (ecc.SECDED{}).React(3); got != want {
+		t.Errorf("React(2) = %v, want %v", got, want)
+	}
+	if e.Name() != "sec-ded+accum" {
+		t.Errorf("Name() = %q", e.Name())
+	}
+	if got, want := e.CheckBits(64), (ecc.SECDED{}).CheckBits(64); got != want {
+		t.Errorf("CheckBits(64) = %d, want %d", got, want)
+	}
+}
+
+func TestClassifyDisciplines(t *testing.T) {
+	r := fakeResult(70000, 30000, 40000, 20000)
+	det := Classify(r, ReportOnDetect)
+	if det.DUE != r.DUEMBAVF() || det.SDC != r.SDCMBAVF() ||
+		det.TrueDUE != r.TrueDUEMBAVF() || det.FalseDUE != r.FalseDUEMBAVF() {
+		t.Errorf("on-detect must mirror the result: %+v", det)
+	}
+	use := Classify(r, ReportOnUse)
+	if use.DUE != r.TrueDUEMBAVF() {
+		t.Errorf("on-use DUE = %g, want true-DUE %g", use.DUE, r.TrueDUEMBAVF())
+	}
+	if use.FalseDUE != 0 {
+		t.Errorf("on-use FalseDUE = %g, want 0", use.FalseDUE)
+	}
+	if use.SDC != r.SDCMBAVF() {
+		t.Errorf("on-use must not change SDC: %g != %g", use.SDC, r.SDCMBAVF())
+	}
+	if use.SBAVF != r.BitAVF() || use.SBAVFLive != r.BitAVFLive() {
+		t.Errorf("normalization bases must be discipline-independent: %+v", use)
+	}
+}
+
+func TestAccumulationWindowBoundedByScrub(t *testing.T) {
+	env := Env{TotalCycles: 1 << 20, DomainBits: 64}
+	noScrub := Policy{Scheme: ecc.SECDED{}, TemporalIntensity: 1}
+	if got := noScrub.AccumulationWindow(env); got != env.TotalCycles {
+		t.Errorf("no scrubber: window = %d, want run length %d", got, env.TotalCycles)
+	}
+	scrub := noScrub
+	scrub.ScrubInterval = 1 << 16
+	if got := scrub.AccumulationWindow(env); got != 1<<16 {
+		t.Errorf("scrubbed: window = %d, want %d", got, 1<<16)
+	}
+	// A scrub interval beyond the run cannot extend the window.
+	scrub.ScrubInterval = 1 << 40
+	if got := scrub.AccumulationWindow(env); got != env.TotalCycles {
+		t.Errorf("huge scrub interval: window = %d, want run length %d", got, env.TotalCycles)
+	}
+}
+
+func TestAccumulationProbability(t *testing.T) {
+	env := Env{TotalCycles: 1 << 20, DomainBits: 64}
+	zero := Policy{Scheme: ecc.SECDED{}}
+	if got := zero.AccumulationProbability(env); got != 0 {
+		t.Errorf("zero intensity: p = %g, want exactly 0", got)
+	}
+	p := Policy{Scheme: ecc.SECDED{}, TemporalIntensity: 1}
+	got := p.AccumulationProbability(env)
+	want := -math.Expm1(-1.0 * float64(env.TotalCycles) / 1e6)
+	if got != want {
+		t.Errorf("p = %g, want %g", got, want)
+	}
+	if got <= 0 || got >= 1 {
+		t.Errorf("p = %g, want in (0,1)", got)
+	}
+	// Scrubbing is monotone: a shorter scrub interval gives a smaller
+	// accumulation probability.
+	prev := got
+	for _, scrub := range []uint64{1 << 19, 1 << 17, 1 << 14, 1 << 8, 1} {
+		q := p
+		q.ScrubInterval = scrub
+		cur := q.AccumulationProbability(env)
+		if cur >= prev {
+			t.Errorf("scrub %d: p = %g, want < %g", scrub, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestIntensityFromFIT(t *testing.T) {
+	// Realistic field rates give a vanishingly small intensity: the
+	// Figure 2 conclusion that temporal accumulation is negligible.
+	got := IntensityFromFIT(64, 1e-4, 1e9)
+	if got <= 0 || got > 1e-15 {
+		t.Errorf("realistic intensity = %g, want tiny but positive", got)
+	}
+	// Consistency with the closed form: mu/3600/clock*1e6.
+	want := 64 * 1e-4 / 1e9 / 3600 / 1e9 * 1e6
+	if math.Abs(got-want) > want*1e-12 {
+		t.Errorf("IntensityFromFIT = %g, want %g", got, want)
+	}
+	for _, bad := range [][3]float64{{0, 1e-4, 1e9}, {64, 0, 1e9}, {64, 1e-4, 0}} {
+		if got := IntensityFromFIT(int(bad[0]), bad[1], bad[2]); got != 0 {
+			t.Errorf("IntensityFromFIT(%v) = %g, want 0", bad, got)
+		}
+	}
+}
+
+func TestEvaluateDegenerateIsExactCopy(t *testing.T) {
+	r := fakeResult(70000, 30000, 40000, 20000)
+	p, err := Named("sec-ded", Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := Env{TotalCycles: r.TotalCycles, DomainBits: 64}
+	// No solver given: the degenerate policy must never need one.
+	out, err := p.Evaluate(env, r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Outcome{
+		DUE: r.DUEMBAVF(), SDC: r.SDCMBAVF(),
+		TrueDUE: r.TrueDUEMBAVF(), FalseDUE: r.FalseDUEMBAVF(),
+		SBAVF: r.BitAVF(), SBAVFLive: r.BitAVFLive(),
+	}
+	if out != want {
+		t.Errorf("degenerate Evaluate = %+v, want exact copy %+v", out, want)
+	}
+}
+
+func TestEvaluateTemporalMix(t *testing.T) {
+	base := fakeResult(70000, 30000, 40000, 20000)
+	esc := fakeResult(200000, 90000, 110000, 100000)
+	p := Policy{Name: "t", Scheme: ecc.SECDED{}, TemporalIntensity: 1}
+	env := Env{TotalCycles: base.TotalCycles, DomainBits: 64}
+	var solvedName string
+	out, err := p.Evaluate(env, base, func(s ecc.Scheme) (*core.Result, error) {
+		solvedName = s.Name()
+		return esc, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solvedName != "sec-ded+accum" {
+		t.Errorf("escalated solve used scheme %q", solvedName)
+	}
+	if !out.Escalated {
+		t.Error("Escalated flag not set")
+	}
+	prob := p.AccumulationProbability(env)
+	if out.AccumP != prob {
+		t.Errorf("AccumP = %g, want %g", out.AccumP, prob)
+	}
+	wantDUE := (1-prob)*base.DUEMBAVF() + prob*esc.DUEMBAVF()
+	if math.Abs(out.DUE-wantDUE) > 1e-15 {
+		t.Errorf("mixed DUE = %g, want %g", out.DUE, wantDUE)
+	}
+	wantSDC := (1-prob)*base.SDCMBAVF() + prob*esc.SDCMBAVF()
+	if math.Abs(out.SDC-wantSDC) > 1e-15 {
+		t.Errorf("mixed SDC = %g, want %g", out.SDC, wantSDC)
+	}
+	// The escalated SEC-DED outcome is strictly worse here, so the mix
+	// must raise both DUE and SDC above the base.
+	if out.DUE <= base.DUEMBAVF() || out.SDC <= base.SDCMBAVF() {
+		t.Errorf("temporal mix should raise DUE/SDC: %+v vs base DUE=%g SDC=%g",
+			out, base.DUEMBAVF(), base.SDCMBAVF())
+	}
+}
+
+func TestEvaluateNeedsSolverOnlyWhenMixing(t *testing.T) {
+	base := fakeResult(70000, 30000, 40000, 20000)
+	p := Policy{Name: "t", Scheme: ecc.SECDED{}, TemporalIntensity: 1}
+	env := Env{TotalCycles: base.TotalCycles, DomainBits: 64}
+	if _, err := p.Evaluate(env, base, nil); err == nil {
+		t.Error("active temporal mix with nil solver should error")
+	}
+	if _, err := p.Evaluate(env, nil, nil); err == nil {
+		t.Error("nil base result should error")
+	}
+	bad := Policy{Name: "t", Scheme: ecc.SECDED{}, TemporalIntensity: -1}
+	if _, err := bad.Evaluate(env, base, nil); !errors.Is(err, ErrBadPolicy) {
+		t.Error("invalid policy should fail Evaluate with ErrBadPolicy")
+	}
+}
+
+func TestSpecDefaults(t *testing.T) {
+	p, err := Named("sec-ded-scrub", Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ScrubInterval != DefaultScrubInterval {
+		t.Errorf("default scrub interval = %d, want %d", p.ScrubInterval, DefaultScrubInterval)
+	}
+	if p.TemporalIntensity != DefaultTemporalIntensity {
+		t.Errorf("default intensity = %g, want %g", p.TemporalIntensity, DefaultTemporalIntensity)
+	}
+	p, err = Named("sec-ded-scrub", Spec{ScrubInterval: 4096, TemporalIntensity: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ScrubInterval != 4096 || p.TemporalIntensity != 0.25 {
+		t.Errorf("spec not honored: %+v", p)
+	}
+	// The plain policies ignore the spec entirely.
+	p, err = Named("sec-ded", Spec{ScrubInterval: 4096, TemporalIntensity: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ScrubInterval != 0 || p.TemporalIntensity != 0 {
+		t.Errorf("plain policy must stay degenerate: %+v", p)
+	}
+}

@@ -158,6 +158,8 @@ func writeErr(w http.ResponseWriter, err error) {
 //	POST /api/v1/avf/batch         many AVF queries in one request
 //	GET  /api/v1/ser               one SER query (query parameters)
 //	POST /api/v1/ser               one SER query (JSON body)
+//	GET  /api/v1/policy            one protection-policy query (query parameters)
+//	POST /api/v1/policy            one protection-policy query (JSON body)
 //	GET  /api/v1/experiments       runnable paper artifacts
 //	POST /api/v1/jobs/injection    async fault-injection campaign
 //	POST /api/v1/jobs/experiment   async experiment regeneration
@@ -183,6 +185,8 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /api/v1/avf/batch", s.wrap("avf_batch", s.handleAVFBatch))
 	mux.Handle("GET /api/v1/ser", s.wrap("ser", s.handleSER))
 	mux.Handle("POST /api/v1/ser", s.wrap("ser", s.handleSER))
+	mux.Handle("GET /api/v1/policy", s.wrap("policy", s.handlePolicy))
+	mux.Handle("POST /api/v1/policy", s.wrap("policy", s.handlePolicy))
 	mux.Handle("GET /api/v1/mttf", s.wrap("mttf", s.handleMTTF))
 	mux.Handle("GET /api/v1/experiments", s.wrap("experiments", s.handleExperiments))
 	mux.Handle("POST /api/v1/jobs/injection", s.wrap("jobs_injection", s.handleJobInjection))
@@ -277,9 +281,11 @@ func (s *Server) handleCatalog(w http.ResponseWriter, _ *http.Request) {
 		Workloads   []string    `json:"workloads"`
 		Structures  []structure `json:"structures"`
 		Schemes     []string    `json:"schemes"`
+		Policies    []string    `json:"policies"`
 		Experiments []string    `json:"experiments"`
 	}{
 		Workloads:   workloads.Names(),
+		Policies:    mbavf.Policies(),
 		Experiments: mbavf.Experiments(),
 	}
 	for _, st := range mbavf.Structures() {

@@ -285,7 +285,7 @@ func TestInjectionCampaignFacade(t *testing.T) {
 }
 
 func TestExperimentFacade(t *testing.T) {
-	if len(Experiments()) != 18 {
+	if len(Experiments()) != 19 {
 		t.Errorf("experiments = %v", Experiments())
 	}
 	out, err := RunExperiment("table1", ExperimentOptions{})

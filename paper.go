@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"mbavf/internal/experiments"
+	"mbavf/internal/policy"
 )
 
 // Experiments lists the reproducible paper artifacts (table1, fig2, fig4,
@@ -37,6 +38,14 @@ type ExperimentOptions struct {
 	// across these fabric worker base URLs (results stay bit-identical
 	// to in-process runs).
 	FabricWorkers []string
+	// Policies restricts the protection policies the policies experiment
+	// evaluates (nil = every built-in policy; see Policies()). Unknown
+	// names are rejected with ErrBadOption.
+	Policies []string
+	// ScrubInterval is the scrub period, in cycles, of the scrubbing
+	// policies (0 = the built-in default; negative values are rejected
+	// with ErrBadOption).
+	ScrubInterval int64
 }
 
 // internal validates the options and translates them to the experiment
@@ -67,6 +76,20 @@ func (o ExperimentOptions) internal() (experiments.Options, error) {
 	}
 	if o.Seed != 0 {
 		io.Seed = o.Seed
+	}
+	if o.ScrubInterval < 0 {
+		return experiments.Options{}, fmt.Errorf("%w: ScrubInterval must not be negative (got %d)", ErrBadOption, o.ScrubInterval)
+	}
+	for _, name := range o.Policies {
+		if !policy.Known(name) {
+			return experiments.Options{}, fmt.Errorf("%w: unknown policy %q (have %v)", ErrBadOption, name, Policies())
+		}
+	}
+	if len(o.Policies) > 0 {
+		io.Policies = o.Policies
+	}
+	if o.ScrubInterval > 0 {
+		io.ScrubInterval = o.ScrubInterval
 	}
 	io.StoreDir = o.StoreDir
 	io.FabricWorkers = o.FabricWorkers

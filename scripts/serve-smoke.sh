@@ -36,9 +36,21 @@ URL="http://$ADDR/api/v1/avf?workload=vecadd&structure=l1&scheme=sec-ded&style=l
 curl -sf "$URL" | grep -q '"sb_avf"'
 curl -sf "$URL" | grep -q '"cached": true'
 
+echo "--- policy query (cold: reclassifies the cached run; warm: cache hit)"
+PURL="http://$ADDR/api/v1/policy?workload=vecadd&structure=l1&policy=sec-ded-on-use&style=logical&factor=2&mode=4"
+curl -sf "$PURL" | grep -q '"delta_due"'
+curl -sf "$PURL" | grep -q '"cached": true'
+curl -sf "http://$ADDR/api/v1/catalog" | grep -q '"sec-ded-on-use"'
+
 echo "--- bad query maps to 400"
 CODE=$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR/api/v1/avf?workload=vecadd&structure=l1&scheme=nope&style=logical&factor=2&mode=2")
 [ "$CODE" = "400" ] || { echo "want 400, got $CODE" >&2; exit 1; }
+
+echo "--- bad policy knobs map to 400"
+CODE=$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR/api/v1/policy?workload=vecadd&structure=l1&policy=chipkill&style=logical&factor=2&mode=4")
+[ "$CODE" = "400" ] || { echo "unknown policy: want 400, got $CODE" >&2; exit 1; }
+CODE=$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR/api/v1/policy?workload=vecadd&structure=l1&policy=sec-ded&style=logical&factor=2&mode=4&scrub_interval=0")
+[ "$CODE" = "400" ] || { echo "zero scrub interval: want 400, got $CODE" >&2; exit 1; }
 
 echo "--- metrics"
 curl -sf "http://$ADDR/metrics" | grep -q '^mbavf_serve_requests'
@@ -63,11 +75,17 @@ for i in $(seq 1 50); do
 done
 curl -sf "$URL" | grep -q '"sb_avf"'
 
+echo "--- policy query against the warm store performs zero simulations"
+curl -sf "$PURL" | grep -q '"delta_due"'
+
 echo "--- metrics: second boot answered from the store, no simulation"
 # Zero-valued series are not exposed, so "never simulated" is the
-# absence of the simulations counter while store hits are present.
+# absence of the simulations counter while store hits are present. The
+# policy query above rode the store-served run too — policy evals are
+# visible while the simulation counter stays absent.
 METRICS="$(curl -sf "http://$ADDR/metrics")"
 echo "$METRICS" | grep -q '^mbavf_store_hits'
+echo "$METRICS" | grep -q '^mbavf_policy_evals'
 if echo "$METRICS" | grep -q '^mbavf_serve_simulations'; then
     echo "cold start simulated despite a warm store" >&2
     exit 1
